@@ -1,0 +1,36 @@
+//! End-to-end simulator throughput: simulated seconds per wall-clock
+//! second on the paper's Table 1 workload, per scheme. Establishes that
+//! the full figure regeneration (`paper all`) is laptop-scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qbm_core::units::{ByteSize, Dur};
+use qbm_sim::scenarios::{paper_experiment, section3_schemes};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let specs = qbm_traffic::table1();
+    let buffer = ByteSize::from_mib(1).bytes();
+    let mut g = c.benchmark_group("sim_one_second");
+    g.sample_size(10);
+    for scheme in section3_schemes() {
+        let mut cfg = paper_experiment(&specs, &scheme, buffer);
+        cfg.warmup = Dur::from_millis(100);
+        cfg.duration = Dur::from_millis(1100); // 1 simulated second measured
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(
+            BenchmarkId::new("table1", &scheme.label),
+            &cfg,
+            |b, cfg| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(cfg.run_once(seed))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! `qbm` — run QoS scenarios from the command line.
+//!
+//! ```text
+//! qbm run   <scenario.qbm | table1 | table2>   admission check + simulation
+//! qbm check <scenario.qbm | table1 | table2>   admission check only
+//! qbm plan  <scenario.qbm | table1 | table2> [k]   §4 hybrid plan (default k = 3)
+//! qbm sweep <scenario.qbm | table1 | table2>   utilization/loss over buffer sizes
+//! ```
+
+use qbm_cli::report::{admission_report, simulation_report};
+use qbm_cli::Scenario;
+use qbm_core::analysis::hybrid::{
+    buffer_savings_eq17, hybrid_buffer_eq19, optimal_alphas, rate_assignment_eq16,
+    single_fifo_buffer_eq13, Grouping,
+};
+use qbm_core::units::{ByteSize, Dur, Rate};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => usage(),
+    };
+    let Some(target) = rest.first() else {
+        usage();
+    };
+    let scenario = load(target);
+    match cmd {
+        "check" => print!("{}", admission_report(&scenario)),
+        "run" => {
+            print!("{}", admission_report(&scenario));
+            println!();
+            let multi = scenario.to_config().run_many(1, scenario.seeds);
+            print!("{}", simulation_report(&scenario, &multi));
+        }
+        "sweep" => sweep(&scenario),
+        "plan" => {
+            let k: usize = rest
+                .get(1)
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(3)
+                .clamp(1, scenario.flows.len());
+            plan(&scenario, k);
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  qbm run   <scenario.qbm|table1|table2>\n  qbm check <scenario.qbm|table1|table2>\n  qbm plan  <scenario.qbm|table1|table2> [k]\n  qbm sweep <scenario.qbm|table1|table2>"
+    );
+    std::process::exit(2)
+}
+
+/// Sweep the buffer from half to 4x the scenario's size: the fastest
+/// way to see where the configuration sits on the paper's
+/// buffer/utilization trade-off curve.
+fn sweep(s: &Scenario) {
+    use qbm_core::flow::Conformance;
+    println!(
+        "{:>12} {:>10} {:>12} {:>12}",
+        "buffer", "util %", "conf loss %", "agg Mb/s"
+    );
+    for mult in [0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0] {
+        let mut cfg = s.to_config();
+        cfg.buffer_bytes = (s.buffer_bytes as f64 * mult).round() as u64;
+        let multi = cfg.run_many(1, s.seeds);
+        let util = multi.summarize(|r| {
+            r.aggregate_throughput_bps() / s.link.bps() as f64 * 100.0
+        });
+        let loss = multi
+            .summarize(|r| r.class_loss_ratio(&s.flows, Conformance::Conformant) * 100.0);
+        let agg = multi.summarize(|r| r.aggregate_throughput_bps() / 1e6);
+        println!(
+            "{:>12} {:>10.2} {:>12.3} {:>12.2}",
+            format!("{}", ByteSize::from_bytes(cfg.buffer_bytes)),
+            util.mean,
+            loss.mean,
+            agg.mean
+        );
+    }
+}
+
+fn load(target: &str) -> Scenario {
+    match target {
+        // Built-in paper workloads on the paper's link.
+        "table1" | "table2" => {
+            let flows = if target == "table1" {
+                qbm_traffic::table1()
+            } else {
+                qbm_traffic::table2()
+            };
+            Scenario {
+                link: Rate::from_mbps(48.0),
+                buffer_bytes: ByteSize::from_mib(1).bytes(),
+                sched: qbm_sched::SchedKind::Fifo,
+                policy: qbm_core::policy::PolicyKind::Threshold,
+                duration: Dur::from_secs(22),
+                warmup: Dur::from_secs(2),
+                seeds: 5,
+                flows,
+            }
+        }
+        path => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read `{path}`: {e}");
+                std::process::exit(2);
+            });
+            Scenario::parse(&text).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            })
+        }
+    }
+}
+
+fn plan(s: &Scenario, k: usize) {
+    let r = s.link.bps() as f64;
+    let grouping = Grouping::optimize_contiguous(&s.flows, k);
+    let groups = grouping.profiles(&s.flows);
+    let alphas = optimal_alphas(&groups);
+    let rho: f64 = groups.iter().map(|g| g.rho_bps).sum();
+    if rho >= r {
+        eprintln!("mix oversubscribes the link (Σρ ≥ R) — no feasible plan");
+        std::process::exit(1);
+    }
+    let rates = rate_assignment_eq16(r, &groups, &alphas);
+    let sigma: f64 = groups.iter().map(|g| g.sigma_bytes).sum();
+    println!(
+        "hybrid plan, k = {k} (σ/ρ-sorted DP grouping over {} flows)\n",
+        s.flows.len()
+    );
+    println!(
+        "{:>6} {:>7} {:>8} {:>11} {:>11}",
+        "queue", "flows", "alpha", "rho Mb/s", "R_i Mb/s"
+    );
+    for (q, g) in groups.iter().enumerate() {
+        println!(
+            "{:>6} {:>7} {:>8.4} {:>11.2} {:>11.2}",
+            q,
+            g.n_flows,
+            alphas[q],
+            g.rho_bps / 1e6,
+            rates[q] / 1e6
+        );
+    }
+    println!(
+        "\nB_single-FIFO = {} | B_hybrid = {} | saved = {} (Eq. 17)",
+        ByteSize::from_bytes(single_fifo_buffer_eq13(r, sigma, rho).ceil() as u64),
+        ByteSize::from_bytes(hybrid_buffer_eq19(r, &groups).ceil() as u64),
+        ByteSize::from_bytes(buffer_savings_eq17(r, &groups).round() as u64),
+    );
+    println!("queue membership: {:?}", grouping.members());
+}

@@ -1,0 +1,41 @@
+//! # qbm-cli
+//!
+//! The `qbm` command-line front end: describe a link, an admission
+//! policy, a scheduler and a flow mix in a small scenario file, and get
+//! back the §2.3 admission verdict plus simulated per-flow QoS.
+//!
+//! ```console
+//! $ qbm run scenario.qbm            # parse, admit, simulate, report
+//! $ qbm run table1                  # built-in paper workloads
+//! $ qbm check scenario.qbm          # admission control only (no sim)
+//! $ qbm plan  scenario.qbm --k 3    # §4 hybrid planning for the mix
+//! ```
+//!
+//! The scenario format is line-based (see [`scenario`]):
+//!
+//! ```text
+//! link = 48Mbps
+//! buffer = 1MiB
+//! sched = fifo                  # fifo|wfq|drr|vclock|edf|wf2q
+//! policy = threshold            # none|threshold|sharing:2MiB|
+//!                               # adaptive:1MiB|dyn-thresh|red|fred
+//! duration = 22s
+//! warmup = 2s
+//! seeds = 5
+//!
+//! [flow]
+//! peak = 16Mbps
+//! avg = 2Mbps
+//! bucket = 50KiB
+//! rate = 2Mbps
+//! class = conformant            # conformant|moderate|aggressive
+//! count = 3                     # replicate this row
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod scenario;
+pub mod units;
+
+pub use scenario::{Scenario, ScenarioError};

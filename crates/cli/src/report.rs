@@ -1,0 +1,134 @@
+//! Text reporting for the `qbm` binary.
+
+use qbm_core::admission::{admissible, AdmissionOutcome, Discipline, LinkConfig};
+use qbm_core::flow::Conformance;
+use qbm_core::units::{ByteSize, Dur};
+use qbm_sim::MultiRun;
+
+use crate::Scenario;
+
+/// Render the §2.3 admission verdicts for a scenario.
+pub fn admission_report(s: &Scenario) -> String {
+    let link = LinkConfig::new(s.link, s.buffer_bytes);
+    let reserved: u64 = s.flows.iter().map(|f| f.token_rate.bps()).sum();
+    let sigma: u64 = s.flows.iter().map(|f| f.bucket_bytes).sum();
+    let mut out = format!(
+        "link {} | buffer {} | {} flows | reserved {:.2} Mb/s ({:.1}% of link) | Σσ {}\n",
+        s.link,
+        ByteSize::from_bytes(s.buffer_bytes),
+        s.flows.len(),
+        reserved as f64 / 1e6,
+        reserved as f64 / s.link.bps() as f64 * 100.0,
+        ByteSize::from_bytes(sigma),
+    );
+    for (name, disc) in [
+        ("WFQ      (Eqs. 5-6)", Discipline::Wfq),
+        ("FIFO+thr (Eqs. 7-9)", Discipline::FifoThreshold),
+    ] {
+        let verdict = match admissible(link, disc, &s.flows) {
+            AdmissionOutcome::Accepted => "ACCEPTED — lossless for conformant flows".to_string(),
+            AdmissionOutcome::RejectedBandwidth => {
+                "REJECTED — bandwidth limited (Σρ > R)".to_string()
+            }
+            AdmissionOutcome::RejectedBuffer => {
+                let needed = match disc {
+                    Discipline::Wfq => sigma as f64,
+                    Discipline::FifoThreshold => {
+                        qbm_core::admission::fifo_required_buffer(s.link, &s.flows)
+                    }
+                };
+                format!(
+                    "REJECTED — buffer limited (needs {})",
+                    ByteSize::from_bytes(needed.ceil() as u64)
+                )
+            }
+        };
+        out.push_str(&format!("  {name}: {verdict}\n"));
+    }
+    out
+}
+
+/// Render the multi-seed simulation results for a scenario.
+pub fn simulation_report(s: &Scenario, multi: &MultiRun) -> String {
+    let mut out = format!(
+        "simulated {} × {} seeds under {}+{} (warmup {})\n\n",
+        Dur(s.duration.as_nanos()),
+        s.seeds,
+        s.sched.label(),
+        s.policy.label(),
+        s.warmup,
+    );
+    out.push_str(&format!(
+        "{:>5} {:>11} {:>11} {:>9} {:>11} {:>12}\n",
+        "flow", "reserved", "delivered", "loss %", "mean delay", "class"
+    ));
+    for f in &s.flows {
+        let thr = multi.summarize(|r| r.flow_throughput_bps(f.id) / 1e6);
+        let loss = multi.summarize(|r| r.flows[f.id.index()].loss_ratio() * 100.0);
+        let delay = multi.summarize(|r| r.flows[f.id.index()].mean_delay().as_secs_f64() * 1e3);
+        out.push_str(&format!(
+            "{:>5} {:>11} {:>11} {:>9} {:>11} {:>12}\n",
+            f.id.0,
+            format!("{}", f.token_rate),
+            format!("{:.2}Mb/s", thr.mean),
+            format!("{:.2}", loss.mean),
+            format!("{:.2}ms", delay.mean),
+            match f.class {
+                Conformance::Conformant => "conformant",
+                Conformance::ModeratelyNonConformant => "moderate",
+                Conformance::Aggressive => "aggressive",
+            },
+        ));
+    }
+    let agg = multi.summarize(|r| r.aggregate_throughput_bps() / 1e6);
+    let conf = multi.summarize(|r| r.class_loss_ratio(&s.flows, Conformance::Conformant) * 100.0);
+    out.push_str(&format!(
+        "\naggregate: {:.2} ±{:.2} Mb/s ({:.1}% of link) | conformant loss {:.3}%\n",
+        agg.mean,
+        agg.ci95,
+        agg.mean * 1e6 / s.link.bps() as f64 * 100.0,
+        conf.mean,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Scenario {
+        Scenario::parse(
+            "link = 48Mbps\nbuffer = 1MiB\nseeds = 2\nduration = 3s\nwarmup = 1s\n\
+             [flow]\nrate = 2Mbps\nbucket = 50KiB\npeak = 16Mbps\navg = 2Mbps\ncount = 2\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn admission_report_contains_verdicts() {
+        let r = admission_report(&scenario());
+        assert!(r.contains("WFQ"));
+        assert!(r.contains("FIFO+thr"));
+        assert!(r.contains("ACCEPTED"));
+        assert!(r.contains("2 flows"));
+    }
+
+    #[test]
+    fn buffer_limited_report_names_requirement() {
+        let mut s = scenario();
+        s.buffer_bytes = 10_000; // far below Σσ = 100 KiB
+        let r = admission_report(&s);
+        assert!(r.contains("buffer limited"), "{r}");
+        assert!(r.contains("needs"));
+    }
+
+    #[test]
+    fn simulation_report_renders_rows() {
+        let s = scenario();
+        let multi = s.to_config().run_many(1, s.seeds);
+        let r = simulation_report(&s, &multi);
+        assert!(r.contains("aggregate:"));
+        // Two flow rows plus the "conformant loss" summary line.
+        assert_eq!(r.lines().filter(|l| l.contains("conformant")).count(), 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Human-friendly unit parsing for scenario files.
+//!
+//! * rates — `48Mbps`, `400kbps`, `2.4Gbps`, `1200bps` (decimal, bits);
+//! * sizes — `50KiB`, `2MiB`, `1000B` (binary, per DESIGN.md §7; the
+//!   aliases `KB`/`MB` mean the same binary units the paper's tables
+//!   are read in);
+//! * durations — `22s`, `500ms`, `90us`.
+
+use qbm_core::units::{Dur, Rate};
+
+/// A parse failure with the offending text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitError {
+    /// What was being parsed ("rate", "size", "duration").
+    pub what: &'static str,
+    /// The input that failed.
+    pub input: String,
+}
+
+impl std::fmt::Display for UnitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {}: `{}`", self.what, self.input)
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+fn split_suffix(s: &str) -> (&str, &str) {
+    let idx = s
+        .find(|c: char| c.is_ascii_alphabetic())
+        .unwrap_or(s.len());
+    (s[..idx].trim(), s[idx..].trim())
+}
+
+/// Parse a rate like `48Mbps` / `400kbps` / `2.4Gbps`.
+pub fn parse_rate(s: &str) -> Result<Rate, UnitError> {
+    let t = s.trim();
+    let (num, suffix) = split_suffix(t);
+    let err = || UnitError {
+        what: "rate",
+        input: s.to_string(),
+    };
+    let v: f64 = num.parse().map_err(|_| err())?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(err());
+    }
+    let mult = match suffix.to_ascii_lowercase().as_str() {
+        "bps" | "b/s" => 1.0,
+        "kbps" | "kb/s" => 1e3,
+        "mbps" | "mb/s" => 1e6,
+        "gbps" | "gb/s" => 1e9,
+        _ => return Err(err()),
+    };
+    Ok(Rate::from_bps((v * mult).round() as u64))
+}
+
+/// Parse a size like `50KiB` / `2MiB` / `1000B` (KB/MB aliases accept
+/// the paper's binary reading).
+pub fn parse_size(s: &str) -> Result<u64, UnitError> {
+    let t = s.trim();
+    let (num, suffix) = split_suffix(t);
+    let err = || UnitError {
+        what: "size",
+        input: s.to_string(),
+    };
+    let v: f64 = num.parse().map_err(|_| err())?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(err());
+    }
+    let mult = match suffix.to_ascii_lowercase().as_str() {
+        "b" | "" => 1.0,
+        "kib" | "kb" => 1024.0,
+        "mib" | "mb" => 1024.0 * 1024.0,
+        "gib" | "gb" => 1024.0 * 1024.0 * 1024.0,
+        _ => return Err(err()),
+    };
+    Ok((v * mult).round() as u64)
+}
+
+/// Parse a duration like `22s` / `500ms` / `90us`.
+pub fn parse_duration(s: &str) -> Result<Dur, UnitError> {
+    let t = s.trim();
+    let (num, suffix) = split_suffix(t);
+    let err = || UnitError {
+        what: "duration",
+        input: s.to_string(),
+    };
+    let v: f64 = num.parse().map_err(|_| err())?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(err());
+    }
+    let secs = match suffix.to_ascii_lowercase().as_str() {
+        "s" | "sec" | "" => v,
+        "ms" => v * 1e-3,
+        "us" => v * 1e-6,
+        "ns" => v * 1e-9,
+        _ => return Err(err()),
+    };
+    Ok(Dur::from_secs_f64(secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        assert_eq!(parse_rate("48Mbps").unwrap().bps(), 48_000_000);
+        assert_eq!(parse_rate("400kbps").unwrap().bps(), 400_000);
+        assert_eq!(parse_rate("2.4Gbps").unwrap().bps(), 2_400_000_000);
+        assert_eq!(parse_rate(" 12 bps ").unwrap().bps(), 12);
+        assert_eq!(parse_rate("3MB/s").unwrap().bps(), 3_000_000);
+        assert!(parse_rate("12").is_err());
+        assert!(parse_rate("fastish").is_err());
+        assert!(parse_rate("-2Mbps").is_err());
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(parse_size("50KiB").unwrap(), 51_200);
+        assert_eq!(parse_size("50KB").unwrap(), 51_200); // paper alias
+        assert_eq!(parse_size("2MiB").unwrap(), 2 * 1024 * 1024);
+        assert_eq!(parse_size("1000B").unwrap(), 1000);
+        assert_eq!(parse_size("1000").unwrap(), 1000);
+        assert_eq!(parse_size("0.5MiB").unwrap(), 524_288);
+        assert!(parse_size("2acres").is_err());
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(parse_duration("22s").unwrap().as_nanos(), 22_000_000_000);
+        assert_eq!(parse_duration("500ms").unwrap().as_nanos(), 500_000_000);
+        assert_eq!(parse_duration("90us").unwrap().as_nanos(), 90_000);
+        assert!(parse_duration("1fortnight").is_err());
+    }
+
+    #[test]
+    fn errors_carry_input() {
+        let e = parse_rate("zoom").unwrap_err();
+        assert!(e.to_string().contains("zoom"));
+        assert_eq!(e.what, "rate");
+    }
+}

@@ -1,0 +1,250 @@
+//! The paper's Example 1: a conformant CBR flow versus a greedy flow.
+//!
+//! Setup: flow 1 arrives at constant rate `ρ₁` into a FIFO buffer of
+//! size `B` whose threshold gives it `B₁ = B·ρ₁/R`; flow 2 is *greedy* —
+//! it keeps its occupancy pinned at `B₂ = B − B₁` at all times.
+//!
+//! The paper tracks the system at the instants `t₀ < t₁ < …` where flow
+//! 2's buffered backlog "clears". With `lᵢ = tᵢ − tᵢ₋₁`:
+//!
+//! ```text
+//! l₁     = B₂/R
+//! lᵢ₊₁  = (ρ₁/R)·lᵢ + B₂/R
+//! Rᵢ²    = B₂/lᵢ           (flow 2's service rate in interval i)
+//! Rᵢ¹    = R − Rᵢ²          (flow 1's)
+//! ```
+//!
+//! with limits `lᵢ → B₂/(R−ρ₁)`, `Rᵢ¹ → ρ₁`, `Rᵢ² → R−ρ₁`: the
+//! conformant flow *asymptotically* receives its guaranteed rate without
+//! ever losing a bit — the necessity half of the threshold rule.
+
+use serde::{Deserialize, Serialize};
+
+/// One interval `(tᵢ₋₁, tᵢ)` of the Example 1 dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Interval index `i ≥ 1`.
+    pub i: usize,
+    /// Start time `tᵢ₋₁`, seconds.
+    pub start: f64,
+    /// Length `lᵢ = tᵢ − tᵢ₋₁`, seconds.
+    pub len: f64,
+    /// Flow 1's service rate `Rᵢ¹` during the interval, bits/s.
+    pub rate1: f64,
+    /// Flow 2's service rate `Rᵢ²` during the interval, bits/s.
+    pub rate2: f64,
+    /// Flow 1's buffer occupancy at the interval's *end*, bytes
+    /// (`ρ₁·lᵢ` in bits, converted).
+    pub q1_end_bytes: f64,
+}
+
+/// The Example 1 system. All rates bits/s, sizes bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct Example1 {
+    /// Link rate `R`.
+    pub r_bps: f64,
+    /// Flow 1's (conformant) arrival rate `ρ₁ < R`.
+    pub rho1_bps: f64,
+    /// Flow 2's pinned occupancy `B₂`, bytes.
+    pub b2_bytes: f64,
+}
+
+impl Example1 {
+    /// Configure from a total buffer `B` on a rate-`R` link, with flow 1
+    /// reserved `ρ₁` (so `B₁ = B·ρ₁/R`, `B₂ = B − B₁`).
+    pub fn from_buffer(b_bytes: f64, r_bps: f64, rho1_bps: f64) -> Example1 {
+        assert!(r_bps > rho1_bps && rho1_bps > 0.0, "need 0 < ρ₁ < R");
+        let b1 = b_bytes * rho1_bps / r_bps;
+        Example1 {
+            r_bps,
+            rho1_bps,
+            b2_bytes: b_bytes - b1,
+        }
+    }
+
+    /// `l₁ = B₂/R` in seconds.
+    pub fn l1(&self) -> f64 {
+        self.b2_bytes * 8.0 / self.r_bps
+    }
+
+    /// The recurrence-limit interval length `l∞ = B₂/(R − ρ₁)`, seconds.
+    pub fn l_limit(&self) -> f64 {
+        self.b2_bytes * 8.0 / (self.r_bps - self.rho1_bps)
+    }
+
+    /// Closed form of the recurrence:
+    /// `lᵢ = l∞·(1 − (ρ₁/R)ⁱ)` for `i ≥ 1`.
+    pub fn l_closed_form(&self, i: usize) -> f64 {
+        assert!(i >= 1, "intervals are 1-indexed");
+        self.l_limit() * (1.0 - (self.rho1_bps / self.r_bps).powi(i as i32))
+    }
+
+    /// Iterate the exact dynamics. The iterator is infinite; take as
+    /// many intervals as needed.
+    pub fn intervals(&self) -> IntervalIter {
+        IntervalIter {
+            sys: *self,
+            i: 0,
+            start: 0.0,
+            l: 0.0,
+        }
+    }
+
+    /// Number of intervals until flow 1's service rate is within
+    /// `tol` (relative) of its guarantee `ρ₁`.
+    pub fn intervals_to_converge(&self, tol: f64) -> usize {
+        assert!(tol > 0.0);
+        for iv in self.intervals().take(10_000) {
+            if (self.rho1_bps - iv.rate1).abs() / self.rho1_bps <= tol {
+                return iv.i;
+            }
+        }
+        usize::MAX
+    }
+}
+
+/// Infinite iterator over Example 1 intervals (see [`Example1::intervals`]).
+#[derive(Debug, Clone)]
+pub struct IntervalIter {
+    sys: Example1,
+    i: usize,
+    start: f64,
+    l: f64,
+}
+
+impl Iterator for IntervalIter {
+    type Item = Interval;
+
+    fn next(&mut self) -> Option<Interval> {
+        let s = &self.sys;
+        self.i += 1;
+        let prev_end = self.start + self.l;
+        // l_{i+1} = (ρ₁/R)·lᵢ + B₂/R, seeded with l₀ = 0 so l₁ = B₂/R.
+        self.l = (s.rho1_bps / s.r_bps) * self.l + s.b2_bytes * 8.0 / s.r_bps;
+        self.start = if self.i == 1 { 0.0 } else { prev_end };
+        let rate2 = (s.b2_bytes * 8.0) / self.l;
+        let rate1 = s.r_bps - rate2;
+        Some(Interval {
+            i: self.i,
+            start: self.start,
+            len: self.l,
+            rate1,
+            rate2,
+            q1_end_bytes: s.rho1_bps * self.l / 8.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> Example1 {
+        // 48 Mb/s link, ρ₁ = 12 Mb/s, B = 1 MiB → B₁ = 256 KiB, B₂ = 768 KiB.
+        Example1::from_buffer(1_048_576.0, 48e6, 12e6)
+    }
+
+    #[test]
+    fn buffer_split_matches_prop1() {
+        let s = sys();
+        assert!((s.b2_bytes - 786_432.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_interval_starves_flow1() {
+        // R₁¹ = 0, R₁² = R: flow 2's initial backlog drains alone.
+        let iv = sys().intervals().next().unwrap();
+        assert_eq!(iv.i, 1);
+        assert!((iv.rate1 - 0.0).abs() < 1e-6);
+        assert!((iv.rate2 - 48e6).abs() < 1e-6);
+        assert!((iv.len - sys().l1()).abs() < 1e-15);
+        assert_eq!(iv.start, 0.0);
+    }
+
+    #[test]
+    fn second_interval_rates_match_paper() {
+        // Paper: after t₁, R₂¹ = ρ₁·R/(ρ₁+R), R₂² = R²/(ρ₁+R).
+        let s = sys();
+        let iv2 = s.intervals().nth(1).unwrap();
+        let expect_r1 = s.rho1_bps * s.r_bps / (s.rho1_bps + s.r_bps);
+        let expect_r2 = s.r_bps * s.r_bps / (s.rho1_bps + s.r_bps);
+        assert!((iv2.rate1 - expect_r1).abs() / expect_r1 < 1e-12);
+        assert!((iv2.rate2 - expect_r2).abs() / expect_r2 < 1e-12);
+        // And R₂¹ < ρ₁ — still below guarantee (paper's remark).
+        assert!(iv2.rate1 < s.rho1_bps);
+    }
+
+    #[test]
+    fn recurrence_matches_closed_form() {
+        let s = sys();
+        for (idx, iv) in s.intervals().take(50).enumerate() {
+            let cf = s.l_closed_form(idx + 1);
+            assert!(
+                (iv.len - cf).abs() / cf < 1e-12,
+                "interval {} recurrence {} vs closed form {}",
+                idx + 1,
+                iv.len,
+                cf
+            );
+        }
+    }
+
+    #[test]
+    fn limits_match_paper() {
+        let s = sys();
+        let far = s.intervals().nth(200).unwrap();
+        assert!((far.len - s.l_limit()).abs() / s.l_limit() < 1e-9);
+        assert!((far.rate1 - s.rho1_bps).abs() / s.rho1_bps < 1e-9);
+        assert!((far.rate2 - (s.r_bps - s.rho1_bps)).abs() < 1.0);
+        // Flow 1 asymptotically fills exactly its allowed share:
+        // q₁(∞) = ρ₁·l∞/8 = B₂ρ₁/(R−ρ₁)/8… in bytes this equals
+        // ρ₁·B₂/(R−ρ₁) bits = B·ρ₁/R bytes = B₁. Check against B₁.
+        let b1 = 1_048_576.0 * 12e6 / 48e6;
+        assert!((far.q1_end_bytes - b1).abs() / b1 < 1e-9);
+    }
+
+    #[test]
+    fn flow1_occupancy_never_exceeds_threshold() {
+        // The necessity argument: the occupancy creeps up to B₁ but
+        // never beyond (within floating error).
+        let s = sys();
+        let b1 = 1_048_576.0 - s.b2_bytes;
+        for iv in s.intervals().take(500) {
+            assert!(iv.q1_end_bytes <= b1 * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn rates_are_monotone_toward_guarantee() {
+        let s = sys();
+        let mut prev = -1.0;
+        for iv in s.intervals().take(100) {
+            assert!(iv.rate1 >= prev, "rate1 not monotone at {}", iv.i);
+            prev = iv.rate1;
+            assert!(iv.rate1 <= s.rho1_bps + 1e-6);
+        }
+    }
+
+    #[test]
+    fn convergence_speed_depends_on_utilization() {
+        // Higher ρ₁/R converges more slowly (geometric ratio ρ₁/R).
+        let slow = Example1::from_buffer(1e6, 48e6, 40e6).intervals_to_converge(0.01);
+        let fast = Example1::from_buffer(1e6, 48e6, 4e6).intervals_to_converge(0.01);
+        assert!(slow > fast, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn interval_starts_chain() {
+        let s = sys();
+        let ivs: Vec<Interval> = s.intervals().take(10).collect();
+        for w in ivs.windows(2) {
+            assert!((w[0].start + w[0].len - w[1].start).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < ρ₁ < R")]
+    fn rho_at_link_rate_rejected() {
+        let _ = Example1::from_buffer(1e6, 48e6, 48e6);
+    }
+}

@@ -1,0 +1,115 @@
+//! Propositions 1 and 2: lossless thresholds under FIFO.
+//!
+//! All quantities here are in *consistent* units: buffer/burst sizes in
+//! bytes, rates in bits per second (converted internally), times in
+//! seconds. Functions take `f64` because they are design-time formulas,
+//! not hot-path code.
+
+/// Proposition 1: a peak-rate-`rho` flow sharing a `b`-byte buffer on a
+/// rate-`r` FIFO link never loses a bit if its occupancy threshold is
+/// `b·ρ/R` bytes.
+///
+/// `rho_bps` and `r_bps` in bits/s, `b_bytes` in bytes; returns bytes.
+pub fn peak_rate_threshold(b_bytes: f64, r_bps: f64, rho_bps: f64) -> f64 {
+    assert!(r_bps > 0.0, "zero link rate");
+    assert!(rho_bps >= 0.0 && b_bytes >= 0.0);
+    b_bytes * rho_bps / r_bps
+}
+
+/// Proposition 2: a `(σ, ρ)`-constrained flow needs threshold
+/// `σ + B·ρ/R` bytes. Both sufficient and (by the note after Prop. 2)
+/// necessary.
+pub fn token_bucket_threshold(b_bytes: f64, r_bps: f64, rho_bps: f64, sigma_bytes: f64) -> f64 {
+    sigma_bytes + peak_rate_threshold(b_bytes, r_bps, rho_bps)
+}
+
+/// Eq. (9): total buffer required so that *every* flow's Prop. 2
+/// threshold fits: `B ≥ R·Σσ/(R − Σρ)`. `f64::INFINITY` when `Σρ ≥ R`.
+pub fn required_buffer_eq9(r_bps: f64, sum_rho_bps: f64, sum_sigma_bytes: f64) -> f64 {
+    assert!(r_bps > 0.0, "zero link rate");
+    if sum_rho_bps >= r_bps {
+        return f64::INFINITY;
+    }
+    r_bps * sum_sigma_bytes / (r_bps - sum_rho_bps)
+}
+
+/// Worst-case FIFO queueing delay in seconds for a `b`-byte buffer on a
+/// rate-`r` link — the §1 scalability argument (1 MByte on OC-48 is
+/// under 3.5 ms).
+pub fn worst_case_delay(b_bytes: f64, r_bps: f64) -> f64 {
+    assert!(r_bps > 0.0, "zero link rate");
+    b_bytes * 8.0 / r_bps
+}
+
+/// The `M̂ = B₂·ρ₁/(R − ρ₁)` bound from the Proposition 2 proof: the
+/// supremum of `M(t) = Q₁(t) + σ₁(t) − σ₁`. Exposed so the fluid
+/// validator can check the *proof's* invariant, not just its corollary.
+pub fn m_hat(b2_bytes: f64, r_bps: f64, rho1_bps: f64) -> f64 {
+    assert!(r_bps > rho1_bps, "flow rate at or above link rate");
+    b2_bytes * rho1_bps / (r_bps - rho1_bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: f64 = 48e6;
+
+    #[test]
+    fn prop1_proportional_share() {
+        // ρ/R = 1/4 of a 1 MiB buffer.
+        let t = peak_rate_threshold(1_048_576.0, R, 12e6);
+        assert!((t - 262_144.0).abs() < 1e-9);
+        // Zero rate -> zero threshold.
+        assert_eq!(peak_rate_threshold(1e6, R, 0.0), 0.0);
+        // Full-rate flow gets the whole buffer.
+        assert!((peak_rate_threshold(1e6, R, R) - 1e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prop2_adds_burst() {
+        let t = token_bucket_threshold(1_048_576.0, R, 12e6, 51_200.0);
+        assert!((t - (51_200.0 + 262_144.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq9_consistency_with_thresholds() {
+        // At B = required_buffer, the thresholds exactly tile the buffer:
+        // Σ(σᵢ + ρᵢB/R) = Σσ + B·Σρ/R = B  ⟺  B = R·Σσ/(R−Σρ).
+        let sum_rho = 32.8e6;
+        let sum_sigma = 600.0 * 1024.0;
+        let b = required_buffer_eq9(R, sum_rho, sum_sigma);
+        let tiled = sum_sigma + sum_rho * b / R;
+        assert!((tiled - b).abs() / b < 1e-12);
+    }
+
+    #[test]
+    fn eq9_divergence_and_monotonicity() {
+        assert!(required_buffer_eq9(R, R, 1.0).is_infinite());
+        let mut prev = 0.0;
+        for u in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let b = required_buffer_eq9(R, u * R, 1000.0);
+            assert!(b > prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn oc48_delay_claim() {
+        // §1: 1 MByte buffer on 2.4 Gb/s < 3.5 ms.
+        let d = worst_case_delay(1_048_576.0, 2.4e9);
+        assert!(d < 3.5e-3 && d > 3.0e-3);
+    }
+
+    #[test]
+    fn m_hat_consistent_with_prop2_threshold() {
+        // With B₁ = σ₁ + Bρ₁/R and B₂ = B − B₁ the proof's bound
+        // σ₁ + M̂ must not exceed B₁ (see DESIGN.md derivation).
+        let b = 1_048_576.0;
+        let (rho1, sigma1) = (12e6, 51_200.0);
+        let b1 = token_bucket_threshold(b, R, rho1, sigma1);
+        let b2 = b - b1;
+        let bound = sigma1 + m_hat(b2, R, rho1);
+        assert!(bound <= b1 + 1e-6, "proof bound {bound} exceeds threshold {b1}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Closed-form results from the paper.
+//!
+//! * [`fifo_bounds`] — Propositions 1 and 2: per-flow lossless buffer
+//!   thresholds under FIFO, and the Eq. 9/10 total-buffer requirement;
+//! * [`example1`] — the Example 1 greedy-flow dynamics: the interval
+//!   recurrence, its closed form, and the asymptotic service rates;
+//! * [`delay`] — the §1 delay trade-off: FIFO worst-case vs the
+//!   Parekh–Gallager WFQ per-flow bound;
+//! * [`hybrid`] — §4: Proposition 3's optimal rate split across `k`
+//!   FIFO queues, per-queue buffer needs (Eq. 18), total hybrid buffer
+//!   (Eq. 19), the buffer-savings identity (Eq. 17), and flow-grouping
+//!   search utilities.
+
+pub mod delay;
+pub mod example1;
+pub mod fifo_bounds;
+pub mod hybrid;
+
+pub use delay::{
+    burstiness_along_path, delay_inflation, fifo_delay_bound, output_burstiness_bytes,
+    wfq_delay_bound,
+};
+pub use example1::{Example1, Interval};
+pub use fifo_bounds::{
+    peak_rate_threshold, required_buffer_eq9, token_bucket_threshold, worst_case_delay,
+};
+pub use hybrid::{
+    buffer_savings_eq17, hybrid_buffer_eq19, min_queues_for_budget, optimal_alphas,
+    per_queue_buffer_eq18, rate_assignment_eq16, single_fifo_buffer_eq13, GroupProfile,
+    Grouping,
+};

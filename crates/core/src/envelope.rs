@@ -1,0 +1,197 @@
+//! `(σ, ρ [, P])` arrival envelopes — the paper's Eq. (2).
+//!
+//! An envelope bounds a flow's cumulative arrivals:
+//! `A(t) − A(s) ≤ min(σ + ρ·(t−s), P·(t−s))` for all `s ≤ t`
+//! (the peak term only when a peak rate `P` is declared).
+//!
+//! [`Envelope`] is the *declarative* form used by admission control and
+//! the analysis module; [`crate::token_bucket::TokenBucket`] is the
+//! matching run-time state machine.
+
+use crate::units::{Dur, Rate};
+use serde::{Deserialize, Serialize};
+
+/// A leaky-bucket traffic envelope with optional peak-rate cap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Burst size σ, bytes.
+    pub sigma_bytes: u64,
+    /// Token (sustained) rate ρ.
+    pub rho: Rate,
+    /// Optional peak rate `P ≥ ρ`.
+    pub peak: Option<Rate>,
+}
+
+impl Envelope {
+    /// A pure `(σ, ρ)` envelope with no peak-rate cap.
+    pub fn new(sigma_bytes: u64, rho: Rate) -> Envelope {
+        Envelope {
+            sigma_bytes,
+            rho,
+            peak: None,
+        }
+    }
+
+    /// A `(σ, ρ)` envelope additionally capped at peak rate `p`.
+    ///
+    /// Panics if `p < ρ` — such an envelope can never emit its tokens.
+    pub fn with_peak(sigma_bytes: u64, rho: Rate, p: Rate) -> Envelope {
+        assert!(p >= rho, "peak rate {p} below token rate {rho}");
+        Envelope {
+            sigma_bytes,
+            rho,
+            peak: Some(p),
+        }
+    }
+
+    /// Maximum bytes the flow may emit in any window of length `dt`
+    /// (fractional — the fluid bound of Eq. 2).
+    pub fn max_bytes_in(&self, dt: Dur) -> f64 {
+        let secs = dt.as_secs_f64();
+        let bucket = self.sigma_bytes as f64 + self.rho.bytes_per_sec() * secs;
+        match self.peak {
+            Some(p) => bucket.min(p.bytes_per_sec() * secs),
+            None => bucket,
+        }
+    }
+
+    /// Does a cumulative arrival trace `(time, bytes-so-far)` conform?
+    ///
+    /// Checks Eq. (2) over every pair of sample points; intended for
+    /// tests and offline trace validation, not the hot path. Sample
+    /// points must be sorted by time with non-decreasing cumulative
+    /// bytes. A small `slack_bytes` absorbs packetization (the fluid
+    /// bound is exceeded by at most one packet when arrivals are
+    /// instantaneous packets).
+    pub fn trace_conforms(&self, trace: &[(Dur, u64)], slack_bytes: u64) -> bool {
+        for (i, &(t_i, a_i)) in trace.iter().enumerate() {
+            for &(t_j, a_j) in &trace[..=i] {
+                debug_assert!(t_j <= t_i && a_j <= a_i, "trace not sorted");
+                let win = t_i - t_j;
+                let bound = self.max_bytes_in(win) + slack_bytes as f64;
+                if (a_i - a_j) as f64 > bound + 1e-9 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The *maximum backlog* this flow alone can build in an initially
+    /// empty queue drained at `service` — `σ·(1 − ρ/P)⁻¹`-free version:
+    /// with no peak cap the worst case is the instantaneous burst σ;
+    /// with a peak cap `P > service` the backlog grows at `P − service`
+    /// until the bucket empties.
+    pub fn max_backlog_bytes(&self, service: Rate) -> f64 {
+        if self.rho >= service {
+            return f64::INFINITY;
+        }
+        match self.peak {
+            None => self.sigma_bytes as f64,
+            Some(p) if p <= service => 0.0,
+            Some(p) => {
+                // Burst duration until tokens exhaust: σ / (P − ρ);
+                // backlog grows at (P − service) during it.
+                let p_bps = p.bytes_per_sec();
+                let rho_bps = self.rho.bytes_per_sec();
+                let svc_bps = service.bytes_per_sec();
+                let burst_dur = self.sigma_bytes as f64 / (p_bps - rho_bps);
+                (p_bps - svc_bps) * burst_dur
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Time;
+
+    #[test]
+    fn max_bytes_combines_bucket_and_peak() {
+        // 50 KB bucket, 2 Mb/s token rate, 16 Mb/s peak (Table 1 flow 0).
+        let e = Envelope::with_peak(51_200, Rate::from_mbps(2.0), Rate::from_mbps(16.0));
+        // At t=0+: peak line wins (0), not the bucket (51_200).
+        assert_eq!(e.max_bytes_in(Dur::ZERO), 0.0);
+        // Long window: bucket line wins.
+        let long = e.max_bytes_in(Dur::from_secs(10));
+        assert!((long - (51_200.0 + 250_000.0 * 10.0)).abs() < 1e-6);
+        // Crossover: peak line = bucket line at σ/(P−ρ) = 51200/1750000 s.
+        let tc = 51_200.0 / (2_000_000.0 - 250_000.0);
+        let at_cross = e.max_bytes_in(Dur::from_secs_f64(tc));
+        assert!((at_cross - 2_000_000.0 * tc).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_peak_allows_instant_burst() {
+        let e = Envelope::new(1000, Rate::from_mbps(1.0));
+        assert_eq!(e.max_bytes_in(Dur::ZERO), 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak rate")]
+    fn peak_below_token_rate_rejected() {
+        let _ = Envelope::with_peak(1000, Rate::from_mbps(2.0), Rate::from_mbps(1.0));
+    }
+
+    #[test]
+    fn conforming_trace_accepted_and_violation_caught() {
+        let e = Envelope::new(1000, Rate::from_bps(8000)); // 1000 B/s
+        // 1000 B burst at t=0, then 1000 B/s.
+        let good: Vec<(Dur, u64)> = (0..10)
+            .map(|s| (Dur::from_secs(s), 1000 + 1000 * s))
+            .collect();
+        assert!(e.trace_conforms(&good, 0));
+        // Same but a 2000 B spike in one second: violates.
+        let mut bad = good.clone();
+        bad[5].1 += 1500;
+        for p in bad.iter_mut().skip(6) {
+            p.1 += 1500;
+        }
+        assert!(!e.trace_conforms(&bad, 0));
+        // ... unless within declared slack.
+        assert!(e.trace_conforms(&bad, 1500));
+    }
+
+    #[test]
+    fn max_backlog_cases() {
+        let svc = Rate::from_mbps(10.0);
+        // No peak: backlog is the burst.
+        assert_eq!(Envelope::new(5000, Rate::from_mbps(1.0)).max_backlog_bytes(svc), 5000.0);
+        // Peak below service: no backlog ever.
+        assert_eq!(
+            Envelope::with_peak(5000, Rate::from_mbps(1.0), Rate::from_mbps(8.0))
+                .max_backlog_bytes(svc),
+            0.0
+        );
+        // Token rate >= service: unbounded.
+        assert!(Envelope::new(1, Rate::from_mbps(10.0))
+            .max_backlog_bytes(svc)
+            .is_infinite());
+        // Peak above service: (P−R)·σ/(P−ρ).
+        let e = Envelope::with_peak(8000, Rate::from_mbps(2.0), Rate::from_mbps(16.0));
+        let expect = (2_000_000.0 - 1_250_000.0) * 8000.0 / (2_000_000.0 - 250_000.0);
+        assert!((e.max_backlog_bytes(svc) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn envelope_matches_token_bucket_emissions() {
+        // A greedy source shaped by the equivalent TokenBucket must
+        // produce a trace that conforms to the Envelope.
+        use crate::token_bucket::TokenBucket;
+        let e = Envelope::new(2000, Rate::from_bps(80_000)); // 10 KB/s
+        let mut tb = TokenBucket::new(2000, Rate::from_bps(80_000));
+        let mut now = Time::ZERO;
+        let mut cum = 0u64;
+        let mut trace = vec![(Dur::ZERO, 0u64)];
+        for _ in 0..200 {
+            let wait = tb.time_until_conformant(now, 500).unwrap();
+            now += wait;
+            tb.consume(now, 500);
+            cum += 500;
+            trace.push((now.since(Time::ZERO), cum));
+        }
+        // Packetization slack: one packet.
+        assert!(e.trace_conforms(&trace, 500));
+    }
+}

@@ -1,0 +1,82 @@
+//! Configuration-time error type.
+//!
+//! Hot-path operations (admission decisions, scheduler picks) are
+//! infallible by construction; everything that can go wrong is caught
+//! when a configuration is assembled, following the "misuse is a
+//! configuration error, not a runtime branch" idiom.
+
+use core::fmt;
+
+/// Why a link/flow/policy configuration was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Link rate must be positive.
+    ZeroLinkRate,
+    /// Buffer must be able to hold at least one maximum-size packet.
+    BufferTooSmall {
+        /// Configured capacity, bytes.
+        capacity: u64,
+        /// Required minimum, bytes.
+        needed: u64,
+    },
+    /// Σρᵢ ≥ R: reservations exceed the link (Eq. 5/7 violated at
+    /// configuration time; admission control reports the same condition
+    /// per-flow as a rejection instead).
+    Oversubscribed {
+        /// Total reserved rate, b/s.
+        reserved_bps: u64,
+        /// Link rate, b/s.
+        link_bps: u64,
+    },
+    /// A flow id is out of range or duplicated.
+    BadFlowId(u32),
+    /// A numeric parameter is outside its meaningful domain.
+    BadParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroLinkRate => write!(f, "link rate must be positive"),
+            ConfigError::BufferTooSmall { capacity, needed } => write!(
+                f,
+                "buffer of {capacity} B cannot hold a {needed} B packet"
+            ),
+            ConfigError::Oversubscribed {
+                reserved_bps,
+                link_bps,
+            } => write!(
+                f,
+                "reserved {reserved_bps} b/s exceeds link capacity {link_bps} b/s"
+            ),
+            ConfigError::BadFlowId(id) => write!(f, "invalid flow id {id}"),
+            ConfigError::BadParameter { what, constraint } => {
+                write!(f, "parameter `{what}` invalid: {constraint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ConfigError::Oversubscribed {
+            reserved_bps: 50_000_000,
+            link_bps: 48_000_000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("50000000") && s.contains("48000000"));
+        assert!(ConfigError::ZeroLinkRate.to_string().contains("positive"));
+        assert!(ConfigError::BadFlowId(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,75 @@
+//! # qbm-core
+//!
+//! Core library for *Scalable QoS Provision Through Buffer Management*
+//! (Guérin, Kamat, Peris, Rajan — SIGCOMM 1998).
+//!
+//! The paper's thesis is that per-flow **rate guarantees** can be enforced
+//! on a plain FIFO link using only **O(1) buffer management** — per-flow
+//! buffer-occupancy thresholds — instead of the `O(log N)` sorted-priority
+//! work of WFQ-class schedulers. This crate implements:
+//!
+//! * exact, drift-free [`units`] for time, rate, and size arithmetic;
+//! * [`envelope`]/[`token_bucket`] — `(σ, ρ)` leaky-bucket traffic
+//!   envelopes and the *burst potential* process of the paper's Eq. (3);
+//! * [`flow`] — flow identities and traffic specifications;
+//! * [`policy`] — the [`policy::BufferPolicy`] trait and all four packet
+//!   admission policies evaluated in the paper: a plain shared buffer,
+//!   fixed per-flow thresholds (`σᵢ + ρᵢ·B/R`, Propositions 1–2), the
+//!   §3.3 buffer-sharing scheme with *holes* and *headroom*, and the §5
+//!   future-work variant restricting sharing to adaptive flows;
+//! * [`admission`] — the schedulability regions of §2.3 (Eqs. 5–10) with
+//!   bandwidth-limited vs. buffer-limited classification;
+//! * [`analysis`] — closed-form results: Prop. 1/2 buffer bounds, the
+//!   Example 1 greedy-flow dynamics, and the Prop. 3 hybrid rate
+//!   allocation with its buffer-savings formula (Eqs. 11–19).
+//!
+//! The crate is deliberately free of any simulation machinery (see
+//! `qbm-sim`) so that the policies can be embedded in a real forwarding
+//! path: every hot-path operation is a handful of integer compares.
+//!
+//! ## Quick taste
+//!
+//! ```
+//! use qbm_core::prelude::*;
+//!
+//! // A 48 Mb/s link with a 1 MByte buffer (the paper's setup).
+//! let link = LinkConfig::new(Rate::from_mbps(48.0), ByteSize::from_mib(1).bytes());
+//!
+//! // A flow reserving 2 Mb/s with a 50 KByte token bucket.
+//! let spec = FlowSpec::builder(FlowId(0))
+//!     .token_rate(Rate::from_mbps(2.0))
+//!     .bucket(ByteSize::from_kib(50).bytes())
+//!     .peak(Rate::from_mbps(16.0))
+//!     .avg(Rate::from_mbps(2.0))
+//!     .build();
+//!
+//! // Proposition 2: the lossless threshold is σ + B·ρ/R.
+//! let thr = qbm_core::analysis::token_bucket_threshold(
+//!     link.buffer_bytes as f64, link.rate.bps() as f64,
+//!     spec.token_rate.bps() as f64, spec.bucket_bytes as f64);
+//! assert!(thr > spec.bucket_bytes as f64);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod analysis;
+pub mod envelope;
+pub mod error;
+pub mod flow;
+pub mod policy;
+pub mod token_bucket;
+pub mod units;
+
+/// Convenient glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::admission::{AdmissionController, AdmissionOutcome, Discipline, LinkConfig};
+    pub use crate::envelope::Envelope;
+    pub use crate::flow::{Conformance, FlowId, FlowSpec};
+    pub use crate::policy::{
+        AdaptiveSharing, BufferPolicy, BufferSharing, DropReason, DynamicThreshold,
+        FixedThreshold, Red, RedConfig, SharedBuffer, Verdict,
+    };
+    pub use crate::token_bucket::TokenBucket;
+    pub use crate::units::{ByteSize, Dur, Rate, Time};
+}

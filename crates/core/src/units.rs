@@ -1,0 +1,479 @@
+//! Exact time / rate / size arithmetic.
+//!
+//! The simulator clock is an integer nanosecond counter. All conversions
+//! between (bytes, rate) and time go through `u128` intermediates with
+//! round-to-nearest, so repeated transmissions never accumulate floating
+//! point drift and every run is bit-for-bit reproducible.
+//!
+//! Conventions (documented in DESIGN.md §7):
+//! * time — nanoseconds, `u64` (≈ 584 years of range);
+//! * rate — bits per second, `u64`;
+//! * size — bytes, `u64`; 1 KByte = 1024 B, 1 MByte = 2²⁰ B.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// Nanoseconds in one second.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// An absolute simulation time, in nanoseconds since the start of the run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Dur(pub u64);
+
+/// A transmission or reservation rate, in bits per second.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Rate(u64);
+
+/// A byte count with binary-unit constructors (KiB = 1024 B).
+///
+/// The paper's "KBytes"/"MBytes" are interpreted as binary units; the
+/// 2.4 % decimal/binary difference does not affect any reported shape.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(u64);
+
+impl Time {
+    /// The origin of simulated time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Time {
+        Time(s * NS_PER_SEC)
+    }
+
+    /// Construct from (possibly fractional) seconds, rounding to the
+    /// nearest nanosecond. Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Time {
+        assert!(s.is_finite() && s >= 0.0, "invalid time: {s}");
+        Time((s * NS_PER_SEC as f64).round() as u64)
+    }
+
+    /// This instant expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NS_PER_SEC as f64
+    }
+
+    /// Nanoseconds since the origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`. Panics (in debug) if `earlier`
+    /// is in the future — the event loop only moves forward.
+    pub fn since(self, earlier: Time) -> Dur {
+        debug_assert!(earlier <= self, "time moved backwards: {earlier} > {self}");
+        Dur(self.0 - earlier.0)
+    }
+
+    /// Saturating time advance (used for "infinitely far" sentinels).
+    pub const fn saturating_add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl Dur {
+    /// The empty duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Dur {
+        Dur(s * NS_PER_SEC)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+
+    /// Construct from (possibly fractional) seconds, rounding to the
+    /// nearest nanosecond. Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Dur {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        Dur((s * NS_PER_SEC as f64).round() as u64)
+    }
+
+    /// This span expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NS_PER_SEC as f64
+    }
+
+    /// Nanoseconds in this span.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// True iff this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Rate {
+    /// The zero rate (a stopped source).
+    pub const ZERO: Rate = Rate(0);
+
+    /// Construct from bits per second.
+    pub const fn from_bps(bps: u64) -> Rate {
+        Rate(bps)
+    }
+
+    /// Construct from megabits per second (decimal: 1 Mb/s = 10⁶ b/s),
+    /// matching the paper's "Mbits/s" columns. Rounds to the nearest
+    /// bit per second; panics on negative or non-finite input.
+    pub fn from_mbps(mbps: f64) -> Rate {
+        assert!(mbps.is_finite() && mbps >= 0.0, "invalid rate: {mbps}");
+        Rate((mbps * 1e6).round() as u64)
+    }
+
+    /// Construct from kilobits per second (decimal).
+    pub fn from_kbps(kbps: f64) -> Rate {
+        assert!(kbps.is_finite() && kbps >= 0.0, "invalid rate: {kbps}");
+        Rate((kbps * 1e3).round() as u64)
+    }
+
+    /// Bits per second.
+    pub const fn bps(self) -> u64 {
+        self.0
+    }
+
+    /// Megabits per second (decimal).
+    pub fn mbps(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0 as f64 / 8.0
+    }
+
+    /// Time to transmit `bytes` at this rate, rounded to the nearest
+    /// nanosecond. Panics if the rate is zero.
+    ///
+    /// Exact: `ns = round(bytes · 8 · 10⁹ / rate)` in `u128`.
+    pub fn transmission_time(self, bytes: u64) -> Dur {
+        assert!(self.0 > 0, "transmission over a zero-rate link");
+        let num = (bytes as u128) * 8 * (NS_PER_SEC as u128);
+        let den = self.0 as u128;
+        Dur(((num + den / 2) / den) as u64)
+    }
+
+    /// Whole bits conveyed in `d` at this rate (rounded down).
+    pub fn bits_in(self, d: Dur) -> u64 {
+        ((self.0 as u128 * d.0 as u128) / NS_PER_SEC as u128) as u64
+    }
+
+    /// Time needed to accumulate `bits` at this rate (rounded up), or
+    /// `None` if the rate is zero (never).
+    pub fn time_to_send_bits(self, bits: u64) -> Option<Dur> {
+        if self.0 == 0 {
+            return None;
+        }
+        let num = bits as u128 * NS_PER_SEC as u128;
+        let den = self.0 as u128;
+        Some(Dur(num.div_ceil(den) as u64))
+    }
+
+    /// `self` as a fraction of `of` (e.g. a flow's share of the link).
+    pub fn fraction_of(self, of: Rate) -> f64 {
+        assert!(of.0 > 0, "fraction of a zero rate");
+        self.0 as f64 / of.0 as f64
+    }
+}
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Construct from a raw byte count.
+    pub const fn from_bytes(b: u64) -> ByteSize {
+        ByteSize(b)
+    }
+
+    /// Construct from binary kilobytes (1 KiB = 1024 B).
+    pub const fn from_kib(k: u64) -> ByteSize {
+        ByteSize(k * 1024)
+    }
+
+    /// Construct from binary megabytes (1 MiB = 2²⁰ B).
+    pub const fn from_mib(m: u64) -> ByteSize {
+        ByteSize(m * 1024 * 1024)
+    }
+
+    /// Construct from fractional binary megabytes, rounding to a byte.
+    pub fn from_mib_f64(m: f64) -> ByteSize {
+        assert!(m.is_finite() && m >= 0.0, "invalid size: {m}");
+        ByteSize((m * (1u64 << 20) as f64).round() as u64)
+    }
+
+    /// The raw byte count.
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Bits in this many bytes.
+    pub const fn bits(self) -> u64 {
+        self.0 * 8
+    }
+
+    /// This size in binary kilobytes.
+    pub fn kib(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// This size in binary megabytes.
+    pub fn mib(self) -> f64 {
+        self.0 as f64 / (1u64 << 20) as f64
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, d: Dur) -> Time {
+        Time(self.0.checked_add(d.0).expect("time overflow"))
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, d: Dur) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    fn sub(self, d: Dur) -> Time {
+        Time(self.0.checked_sub(d.0).expect("time underflow"))
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, o: Dur) -> Dur {
+        Dur(self.0.checked_add(o.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, o: Dur) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, o: Dur) -> Dur {
+        Dur(self.0.checked_sub(o.0).expect("duration underflow"))
+    }
+}
+
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, o: Dur) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, k: u64) -> Dur {
+        Dur(self.0.checked_mul(k).expect("duration overflow"))
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, k: u64) -> Dur {
+        Dur(self.0 / k)
+    }
+}
+
+impl Add for Rate {
+    type Output = Rate;
+    fn add(self, o: Rate) -> Rate {
+        Rate(self.0.checked_add(o.0).expect("rate overflow"))
+    }
+}
+
+impl Sub for Rate {
+    type Output = Rate;
+    fn sub(self, o: Rate) -> Rate {
+        Rate(self.0.checked_sub(o.0).expect("rate underflow"))
+    }
+}
+
+impl core::iter::Sum for Rate {
+    fn sum<I: Iterator<Item = Rate>>(iter: I) -> Rate {
+        iter.fold(Rate::ZERO, |a, b| a + b)
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, o: ByteSize) -> ByteSize {
+        ByteSize(self.0.checked_add(o.0).expect("size overflow"))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= NS_PER_SEC {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bps = self.0;
+        if bps >= 1_000_000 {
+            write!(f, "{:.2}Mb/s", bps as f64 / 1e6)
+        } else if bps >= 1_000 {
+            write!(f, "{:.2}Kb/s", bps as f64 / 1e3)
+        } else {
+            write!(f, "{bps}b/s")
+        }
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= (1 << 20) {
+            write!(f, "{:.2}MiB", self.mib())
+        } else if b >= 1024 {
+            write!(f, "{:.2}KiB", self.kib())
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmission_time_is_exact_for_paper_parameters() {
+        // 500-byte packet on a 48 Mb/s link: 4000 bits / 48e6 b/s
+        // = 83.333…µs -> 83333ns (round to nearest).
+        let r = Rate::from_mbps(48.0);
+        assert_eq!(r.transmission_time(500), Dur(83_333));
+    }
+
+    #[test]
+    fn transmission_time_round_trips_with_bits_in() {
+        for &rate in &[400_000u64, 2_000_000, 48_000_000, 2_400_000_000] {
+            let r = Rate::from_bps(rate);
+            for &bytes in &[1u64, 40, 500, 1500, 65_535] {
+                let t = r.transmission_time(bytes);
+                let bits = r.bits_in(t);
+                // Round-to-nearest keeps us within one bit-time of exact.
+                let err = bits as i128 - (bytes * 8) as i128;
+                assert!(err.abs() <= 1, "rate {rate} bytes {bytes}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn time_to_send_bits_is_inverse_of_bits_in() {
+        let r = Rate::from_mbps(16.0);
+        let d = r.time_to_send_bits(4000).unwrap();
+        assert!(r.bits_in(d) >= 4000);
+        // One nanosecond earlier must not be enough.
+        assert!(r.bits_in(Dur(d.0 - 1)) < 4000);
+    }
+
+    #[test]
+    fn zero_rate_never_sends() {
+        assert_eq!(Rate::ZERO.time_to_send_bits(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-rate")]
+    fn transmission_on_zero_rate_panics() {
+        let _ = Rate::ZERO.transmission_time(1);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::from_secs(1);
+        let t2 = t + Dur::from_millis(500);
+        assert_eq!(t2.as_nanos(), 1_500_000_000);
+        assert_eq!(t2.since(t), Dur::from_millis(500));
+        assert_eq!(Time::MAX.saturating_add(Dur::from_secs(1)), Time::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn time_add_overflow_panics() {
+        let _ = Time::MAX + Dur(1);
+    }
+
+    #[test]
+    fn byte_size_units() {
+        assert_eq!(ByteSize::from_kib(50).bytes(), 51_200);
+        assert_eq!(ByteSize::from_mib(1).bytes(), 1_048_576);
+        assert_eq!(ByteSize::from_mib_f64(0.5).bytes(), 524_288);
+        assert_eq!(ByteSize::from_kib(2).bits(), 16_384);
+    }
+
+    #[test]
+    fn rate_units_and_sum() {
+        assert_eq!(Rate::from_mbps(48.0).bps(), 48_000_000);
+        assert_eq!(Rate::from_kbps(400.0).bps(), 400_000);
+        let total: Rate = [Rate::from_mbps(2.0), Rate::from_mbps(8.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.bps(), 10_000_000);
+        assert!((Rate::from_mbps(12.0).fraction_of(Rate::from_mbps(48.0)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Rate::from_mbps(48.0)), "48.00Mb/s");
+        assert_eq!(format!("{}", Dur::from_micros(83)), "83.000us");
+        assert_eq!(format!("{}", ByteSize::from_mib(2)), "2.00MiB");
+        assert_eq!(format!("{}", Dur(250)), "250ns");
+        assert_eq!(format!("{}", Rate::from_bps(500)), "500b/s");
+    }
+
+    #[test]
+    fn worst_case_delay_matches_paper_intro_claim() {
+        // §1: "the worst case delay caused by a 1MByte buffer feeding an
+        // OC-48 link (2.4 Gb/s) is less than 3.5 msec".
+        let d = Rate::from_bps(2_400_000_000).transmission_time(ByteSize::from_mib(1).bytes());
+        assert!(d < Dur::from_millis(3) + Dur::from_micros(500));
+        assert!(d > Dur::from_millis(3));
+    }
+}

@@ -1,0 +1,199 @@
+//! Fluid Generalized Processor Sharing — the ideal reference server.
+//!
+//! GPS serves every backlogged flow simultaneously at rate
+//! `R·φᵢ/Σ_backlogged φ`. It is the fluid ideal that WFQ (PGPS)
+//! approximates packet-by-packet and the reference in the paper's
+//! Proposition-3 hybrid: a WFQ scheduler offering queue `i` the rate
+//! `Rᵢ` behaves, in fluid, like a GPS server with weights `Rᵢ`.
+//!
+//! Used by tests to validate, at fluid level:
+//! * weighted sharing among backlogged flows (the WFQ weight semantics);
+//! * the guaranteed-rate property: a flow's service rate never falls
+//!   below `R·φᵢ/Σφ` while it is backlogged;
+//! * the hybrid rate assignment: feeding the Eq.-16 rates as weights
+//!   gives each group at least its reserved `ρ̂ᵢ`.
+
+/// A fluid GPS server over `n` weighted flows.
+#[derive(Debug, Clone)]
+pub struct FluidGps {
+    service_bytes_per_sec: f64,
+    weights: Vec<f64>,
+    backlog: Vec<f64>,
+    delivered: Vec<f64>,
+}
+
+impl FluidGps {
+    /// A GPS server of `service_bps` with the given positive weights.
+    pub fn new(service_bps: f64, weights: Vec<f64>) -> FluidGps {
+        assert!(service_bps > 0.0, "zero service rate");
+        assert!(!weights.is_empty(), "no flows");
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        let n = weights.len();
+        FluidGps {
+            service_bytes_per_sec: service_bps / 8.0,
+            weights,
+            backlog: vec![0.0; n],
+            delivered: vec![0.0; n],
+        }
+    }
+
+    /// Advance one step of `dt` seconds: add `offered` bytes per flow,
+    /// then serve the GPS allocation (recomputing the active set as
+    /// flows empty within the step — exact piecewise-constant service).
+    ///
+    /// Returns the per-flow bytes served during the step.
+    // Index loops touch backlog/weights/served in lockstep; iterators
+    // would need zip chains that obscure the GPS algebra.
+    #[allow(clippy::needless_range_loop)]
+    pub fn step(&mut self, dt: f64, offered: &[f64]) -> Vec<f64> {
+        assert_eq!(offered.len(), self.backlog.len());
+        let n = self.backlog.len();
+        for f in 0..n {
+            self.backlog[f] += offered[f];
+        }
+        let mut served = vec![0.0; n];
+        let mut remaining = dt;
+        // Piecewise: serve until the next flow empties or time runs out.
+        for _ in 0..=n {
+            let active_w: f64 = (0..n)
+                .filter(|&f| self.backlog[f] > 1e-12)
+                .map(|f| self.weights[f])
+                .sum();
+            if active_w <= 0.0 || remaining <= 0.0 {
+                break;
+            }
+            // Time until the first active flow empties at current rates.
+            let mut t_next = remaining;
+            for f in 0..n {
+                if self.backlog[f] > 1e-12 {
+                    let rate = self.service_bytes_per_sec * self.weights[f] / active_w;
+                    t_next = t_next.min(self.backlog[f] / rate);
+                }
+            }
+            for f in 0..n {
+                if self.backlog[f] > 1e-12 {
+                    let rate = self.service_bytes_per_sec * self.weights[f] / active_w;
+                    let amount = (rate * t_next).min(self.backlog[f]);
+                    self.backlog[f] -= amount;
+                    served[f] += amount;
+                    self.delivered[f] += amount;
+                }
+            }
+            remaining -= t_next;
+        }
+        served
+    }
+
+    /// Current backlog of a flow, bytes.
+    pub fn backlog(&self, flow: usize) -> f64 {
+        self.backlog[flow]
+    }
+
+    /// Cumulative delivered bytes of a flow.
+    pub fn delivered(&self, flow: usize) -> f64 {
+        self.delivered[flow]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: f64 = 48e6; // 6 MB/s
+
+    #[test]
+    fn backlogged_flows_share_by_weight() {
+        let mut g = FluidGps::new(R, vec![2.0, 1.0]);
+        // Both heavily backlogged for 1 s.
+        g.step(0.0, &[10e6, 10e6]);
+        let served = g.step(1.0, &[0.0, 0.0]);
+        assert!((served[0] / served[1] - 2.0).abs() < 1e-9);
+        assert!((served[0] + served[1] - 6e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_flows_release_capacity() {
+        let mut g = FluidGps::new(R, vec![1.0, 1.0]);
+        g.step(0.0, &[6e6, 0.0]);
+        // Flow 1 idle: flow 0 gets the whole server.
+        let served = g.step(0.5, &[0.0, 0.0]);
+        assert!((served[0] - 3e6).abs() < 1e-6);
+        assert_eq!(served[1], 0.0);
+    }
+
+    #[test]
+    fn flow_emptying_mid_step_redistributes_exactly() {
+        let mut g = FluidGps::new(R, vec![1.0, 1.0]);
+        // Flow 0 has 1 MB (empties after 1/3 s at 3 MB/s); flow 1 has 10 MB.
+        g.step(0.0, &[1e6, 10e6]);
+        let served = g.step(1.0, &[0.0, 0.0]);
+        // Flow 0: all 1 MB. Flow 1: 3 MB/s for 1/3 s + 6 MB/s for 2/3 s = 5 MB.
+        assert!((served[0] - 1e6).abs() < 1e-6, "served0 {}", served[0]);
+        assert!((served[1] - 5e6).abs() < 1e-3, "served1 {}", served[1]);
+        assert!(g.backlog(0) < 1e-9);
+    }
+
+    #[test]
+    fn guaranteed_rate_while_backlogged() {
+        // Weight share 1/4 ⟹ at least R/4 whenever backlogged, no
+        // matter what the other flows do.
+        let mut g = FluidGps::new(R, vec![1.0, 3.0]);
+        g.step(0.0, &[50e6, 0.0]);
+        let dt = 1e-3;
+        for step in 0..1000 {
+            // The competitor blasts intermittently.
+            let blast = if step % 7 < 3 { 20_000.0 } else { 0.0 };
+            let served = g.step(dt, &[0.0, blast]);
+            if g.backlog(0) > 1.0 {
+                let min_rate = 6e6 / 4.0 * dt * 0.999;
+                assert!(
+                    served[0] >= min_rate,
+                    "step {step}: served {} below guarantee {min_rate}",
+                    served[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eq16_weights_deliver_group_reservations() {
+        // The §4 hybrid premise in fluid: serve 3 groups with the
+        // Eq.-16 rates as GPS weights; each group backlogged at its
+        // reserved rate must be served at ≥ that rate.
+        use qbm_core::analysis::hybrid::{optimal_alphas, rate_assignment_eq16, GroupProfile};
+        let groups = vec![
+            GroupProfile { sigma_bytes: 150.0 * 1024.0, rho_bps: 6e6, n_flows: 3 },
+            GroupProfile { sigma_bytes: 300.0 * 1024.0, rho_bps: 24e6, n_flows: 3 },
+            GroupProfile { sigma_bytes: 150.0 * 1024.0, rho_bps: 2.8e6, n_flows: 3 },
+        ];
+        let alphas = optimal_alphas(&groups);
+        let rates = rate_assignment_eq16(R, &groups, &alphas);
+        let mut g = FluidGps::new(R, rates.clone());
+        let dt = 1e-3;
+        let mut delivered = [0.0; 3];
+        let horizon = 2.0;
+        let steps = (horizon / dt) as usize;
+        for _ in 0..steps {
+            // Each group offers exactly its reservation (conformant).
+            let offered: Vec<f64> = groups.iter().map(|gr| gr.rho_bps / 8.0 * dt).collect();
+            let served = g.step(dt, &offered);
+            for (d, s) in delivered.iter_mut().zip(&served) {
+                *d += s;
+            }
+        }
+        for (i, gr) in groups.iter().enumerate() {
+            let rate = delivered[i] * 8.0 / horizon;
+            assert!(
+                rate >= gr.rho_bps * 0.999,
+                "group {i}: {rate} below reservation {}",
+                gr.rho_bps
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let _ = FluidGps::new(R, vec![0.0]);
+    }
+}

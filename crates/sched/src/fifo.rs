@@ -1,0 +1,75 @@
+//! The single FIFO queue — the paper's O(1) scheduling endpoint.
+
+use crate::scheduler::{PacketRef, Scheduler};
+use qbm_core::units::Time;
+use std::collections::VecDeque;
+
+/// First-in-first-out over all flows. Constant work per operation and
+/// no per-flow state at all: this is the discipline the paper pairs
+/// with threshold buffer management to get rate guarantees without a
+/// sorting scheduler.
+#[derive(Debug, Default)]
+pub struct Fifo {
+    q: VecDeque<PacketRef>,
+}
+
+impl Fifo {
+    /// An empty queue.
+    pub fn new() -> Fifo {
+        Fifo::default()
+    }
+}
+
+impl Scheduler for Fifo {
+    fn enqueue(&mut self, _now: Time, pkt: PacketRef) {
+        self.q.push_back(pkt);
+    }
+
+    fn dequeue(&mut self, _now: Time) -> Option<PacketRef> {
+        self.q.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::testutil::pkt;
+
+    #[test]
+    fn strict_arrival_order() {
+        let mut f = Fifo::new();
+        let now = Time::ZERO;
+        f.enqueue(now, pkt(1, 500, 0, 0));
+        f.enqueue(now, pkt(0, 500, 0, 1));
+        f.enqueue(now, pkt(1, 100, 1, 2));
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.dequeue(now).unwrap().seq, 0);
+        assert_eq!(f.dequeue(now).unwrap().seq, 1);
+        assert_eq!(f.dequeue(now).unwrap().seq, 2);
+        assert!(f.dequeue(now).is_none());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn interleaves_nothing() {
+        // FIFO gives no isolation: a monopolizing flow's packets all
+        // leave before a later arrival from another flow.
+        let mut f = Fifo::new();
+        for i in 0..10 {
+            f.enqueue(Time::ZERO, pkt(0, 500, 0, i));
+        }
+        f.enqueue(Time::ZERO, pkt(1, 500, 0, 10));
+        for _ in 0..10 {
+            assert_eq!(f.dequeue(Time::ZERO).unwrap().flow.index(), 0);
+        }
+        assert_eq!(f.dequeue(Time::ZERO).unwrap().flow.index(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based fairness and equivalence checks for the schedulers.
+
+use proptest::prelude::*;
+use qbm_core::flow::FlowId;
+use qbm_core::units::{Rate, Time};
+use qbm_sched::{Drr, Hybrid, PacketRef, Scheduler, Wfq};
+
+const LINK: Rate = Rate::from_bps(48_000_000);
+
+fn pkt(flow: u32, seq: u64) -> PacketRef {
+    PacketRef {
+        flow: FlowId(flow),
+        len: 500,
+        arrival: Time::ZERO,
+        seq,
+        green: true,
+    }
+}
+
+/// Serve `total` packets from a fully backlogged scheduler and return
+/// bytes served per flow.
+fn backlogged_service(s: &mut dyn Scheduler, flows: usize, total: usize) -> Vec<u64> {
+    let mut seq = 0u64;
+    // Backlog: `total` packets per flow is always enough.
+    for _ in 0..total {
+        for f in 0..flows {
+            s.enqueue(Time::ZERO, pkt(f as u32, seq));
+            seq += 1;
+        }
+    }
+    let mut now = Time::ZERO;
+    let mut served = vec![0u64; flows];
+    for _ in 0..total {
+        let p = s.dequeue(now).expect("backlogged scheduler ran dry");
+        served[p.flow.index()] += p.len as u64;
+        now += LINK.transmission_time(p.len as u64);
+    }
+    served
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// WFQ fairness: for continuously backlogged flows, normalized
+    /// service (bytes/weight) differs between any two flows by at most
+    /// a couple of packet units — the classic PGPS bound.
+    #[test]
+    fn wfq_normalized_service_is_balanced(
+        weights in proptest::collection::vec(100_000u64..8_000_000, 2..8),
+    ) {
+        let n = weights.len();
+        let mut wfq = Wfq::new(LINK, weights.clone());
+        let served = backlogged_service(&mut wfq, n, 600);
+        // Normalized service = served / weight; compare pairwise.
+        let norm: Vec<f64> = served.iter().zip(&weights)
+            .map(|(s, w)| *s as f64 / *w as f64).collect();
+        let max = norm.iter().cloned().fold(f64::MIN, f64::max);
+        let min = norm.iter().cloned().fold(f64::MAX, f64::min);
+        // One 500-byte packet at the smallest weight is the granularity.
+        let w_min = *weights.iter().min().unwrap() as f64;
+        let tol = 3.0 * 500.0 / w_min;
+        prop_assert!(
+            max - min <= tol,
+            "normalized spread {} exceeds {} (weights {:?}, served {:?})",
+            max - min, tol, weights, served
+        );
+    }
+
+    /// DRR achieves the same weighted shares in the long run (looser
+    /// per-round granularity).
+    #[test]
+    fn drr_long_run_shares_match_weights(
+        weights in proptest::collection::vec(100_000u64..8_000_000, 2..6),
+    ) {
+        let n = weights.len();
+        let mut drr = Drr::new(weights.clone());
+        let served = backlogged_service(&mut drr, n, 2000);
+        let total_w: u64 = weights.iter().sum();
+        let total_s: u64 = served.iter().sum();
+        for (s, w) in served.iter().zip(&weights) {
+            let expect = total_s as f64 * *w as f64 / total_w as f64;
+            let rel = (*s as f64 - expect).abs() / expect;
+            prop_assert!(rel < 0.15, "flow share {s} vs expected {expect}");
+        }
+    }
+
+    /// A hybrid with one flow per queue is *exactly* per-flow WFQ, for
+    /// any weights and any arrival pattern.
+    #[test]
+    fn hybrid_one_per_queue_equals_wfq(
+        weights in proptest::collection::vec(100_000u64..8_000_000, 2..6),
+        arrivals in proptest::collection::vec((0u32..6, 0u64..2_000_000), 1..200),
+    ) {
+        let n = weights.len();
+        let assignment: Vec<usize> = (0..n).collect();
+        let mut hybrid = Hybrid::new(LINK, assignment, weights.clone());
+        let mut wfq = Wfq::new(LINK, weights);
+        // Same time-sorted arrival sequence into both.
+        let mut evs: Vec<(u64, u32)> = arrivals
+            .iter()
+            .map(|&(f, t)| (t, f % n as u32))
+            .collect();
+        evs.sort();
+        for (seq, &(t, f)) in evs.iter().enumerate() {
+            let p = PacketRef {
+                flow: FlowId(f),
+                len: 500,
+                arrival: Time(t),
+                seq: seq as u64,
+                green: true,
+            };
+            hybrid.enqueue(Time(t), p);
+            wfq.enqueue(Time(t), p);
+        }
+        let t_end = Time(2_000_000);
+        loop {
+            let a = hybrid.dequeue(t_end);
+            let b = wfq.dequeue(t_end);
+            prop_assert_eq!(a, b, "degenerate hybrid diverged from WFQ");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Work conservation: any scheduler drains exactly what was
+    /// enqueued, once, in some order (no loss, no duplication).
+    #[test]
+    fn schedulers_conserve_packets(
+        arrivals in proptest::collection::vec((0u32..4, 0u64..1_000_000), 1..300),
+    ) {
+        let weights = vec![1_000_000u64; 4];
+        let mk: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(qbm_sched::Fifo::new()),
+            Box::new(Wfq::new(LINK, weights.clone())),
+            Box::new(Drr::new(weights.clone())),
+            Box::new(qbm_sched::VirtualClock::new(weights.clone())),
+        ];
+        let mut evs: Vec<(u64, u32)> = arrivals.iter().map(|&(f, t)| (t, f)).collect();
+        evs.sort();
+        for mut s in mk {
+            let mut seen = std::collections::HashSet::new();
+            for (seq, &(t, f)) in evs.iter().enumerate() {
+                s.enqueue(Time(t), PacketRef {
+                    flow: FlowId(f),
+                    len: 500,
+                    arrival: Time(t),
+                    seq: seq as u64,
+                    green: true,
+                });
+            }
+            prop_assert_eq!(s.len(), evs.len());
+            while let Some(p) = s.dequeue(Time(1_000_000_000)) {
+                prop_assert!(seen.insert(p.seq), "duplicate packet {}", p.seq);
+            }
+            prop_assert_eq!(seen.len(), evs.len());
+            prop_assert!(s.is_empty());
+        }
+    }
+}

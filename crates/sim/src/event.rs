@@ -1,0 +1,213 @@
+//! Deterministic time-ordered event queue.
+//!
+//! Ordering is `(time, priority, insertion sequence)`: departures sort
+//! before arrivals at the same instant (a departing packet frees buffer
+//! space for a simultaneous arrival, matching the fluid model's
+//! semantics), and insertion order breaks remaining ties so runs are
+//! reproducible regardless of heap internals.
+
+use qbm_core::flow::FlowId;
+use qbm_core::units::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What happens at an event instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The link finishes transmitting the in-flight packet.
+    Departure,
+    /// `flow`'s source emits its next packet (the router pulls the
+    /// following emission and schedules the next `Arrival`).
+    Arrival(FlowId),
+}
+
+impl Event {
+    /// Same-instant ordering class: departures first.
+    fn priority(self) -> u8 {
+        match self {
+            Event::Departure => 0,
+            Event::Arrival(_) => 1,
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Entry {
+    time: Time,
+    prio: u8,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.prio, self.seq).cmp(&(other.time, other.prio, other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulator's event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedule `event` at `time`.
+    pub fn push(&mut self, time: Time, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            time,
+            prio: event.priority(),
+            seq,
+            event,
+        }));
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbm_core::units::Dur;
+
+    #[test]
+    fn time_order() {
+        let mut q = EventQueue::new();
+        let t = |ms| Time::ZERO + Dur::from_millis(ms);
+        q.push(t(5), Event::Arrival(FlowId(0)));
+        q.push(t(1), Event::Arrival(FlowId(1)));
+        q.push(t(3), Event::Departure);
+        assert_eq!(q.pop().unwrap().0, t(1));
+        assert_eq!(q.pop().unwrap().0, t(3));
+        assert_eq!(q.pop().unwrap().0, t(5));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn departures_before_arrivals_at_same_instant() {
+        let mut q = EventQueue::new();
+        q.push(Time::ZERO, Event::Arrival(FlowId(0)));
+        q.push(Time::ZERO, Event::Departure);
+        assert_eq!(q.pop().unwrap().1, Event::Departure);
+        assert_eq!(q.pop().unwrap().1, Event::Arrival(FlowId(0)));
+    }
+
+    #[test]
+    fn insertion_order_breaks_full_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..10u32 {
+            q.push(Time::ZERO, Event::Arrival(FlowId(i)));
+        }
+        for i in 0..10u32 {
+            match q.pop().unwrap().1 {
+                Event::Arrival(f) => assert_eq!(f, FlowId(i)),
+                _ => panic!("unexpected event"),
+            }
+        }
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_secs(2), Event::Departure);
+        q.push(Time::from_secs(1), Event::Departure);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Time::from_secs(1)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pops come out sorted by (time, priority, insertion order)
+        /// for any interleaving of pushes and pops.
+        #[test]
+        fn pops_are_totally_ordered(
+            ops in proptest::collection::vec((0u64..1000, 0u8..3), 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            let mut pushed = 0usize;
+            let mut popped = Vec::new();
+            for (t, kind) in ops {
+                match kind {
+                    0 | 1 => {
+                        let ev = if kind == 0 {
+                            Event::Departure
+                        } else {
+                            Event::Arrival(FlowId((t % 7) as u32))
+                        };
+                        q.push(Time(t), ev);
+                        pushed += 1;
+                    }
+                    _ => {
+                        if let Some(e) = q.pop() {
+                            popped.push(e);
+                        }
+                    }
+                }
+            }
+            while let Some(e) = q.pop() {
+                popped.push(e);
+            }
+            prop_assert_eq!(popped.len(), pushed);
+            // Within each drain phase times are non-decreasing; a pop
+            // interleaved with later (earlier-time) pushes may restart
+            // lower, so check only the final drain — reconstruct it:
+            // after the loop the last `q.len()` removals came from one
+            // drain, which by heap property is fully sorted. Simplest
+            // robust check: re-push everything and drain once.
+            let mut q2 = EventQueue::new();
+            for (t, ev) in &popped {
+                q2.push(*t, *ev);
+            }
+            let mut last: Option<(Time, u8)> = None;
+            while let Some((t, ev)) = q2.pop() {
+                let prio = match ev {
+                    Event::Departure => 0u8,
+                    Event::Arrival(_) => 1u8,
+                };
+                if let Some((lt, lp)) = last {
+                    prop_assert!((lt, lp) <= (t, prio), "order violated");
+                }
+                last = Some((t, prio));
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # qbm-sim
+//!
+//! Deterministic discrete-event simulator for the SIGCOMM '98
+//! buffer-management paper. One output link, a buffer-management policy
+//! in front of it, a scheduler behind it, and the paper's traffic —
+//! everything needed to regenerate Figures 1–13.
+//!
+//! Design (smoltcp-flavoured, per the networking guides): synchronous,
+//! event-driven, zero `unsafe`, no async runtime — simulation is
+//! CPU-bound, so an ordinary run loop beats an executor. Determinism is
+//! load-bearing: integer-nanosecond clock, seeded per-flow ChaCha
+//! streams, and a stable event tie-break mean a `(config, seed)` pair
+//! reproduces byte-identical results on any machine.
+//!
+//! * [`event`] — the time-ordered event queue;
+//! * [`router`] — policy × scheduler × link composition;
+//! * [`stats`] — per-flow counters, warmup trimming, throughput/loss
+//!   accessors;
+//! * [`experiment`] — `(config, seeds)` → multi-run summaries with the
+//!   paper's 5-run 95 % confidence intervals;
+//! * [`scenarios`] — the §3.2 schemes, §3.3 sharing setups and §4.2
+//!   hybrid cases as ready-made configurations;
+//! * [`tandem`] — feed-forward multi-hop lines (extension beyond the
+//!   paper's single link), showing the guarantees compose.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod experiment;
+pub mod router;
+pub mod scenarios;
+pub mod stats;
+pub mod tandem;
+
+pub use experiment::{ExperimentConfig, MultiRun, PolicySpec, Summary};
+pub use router::Router;
+pub use stats::{FlowStats, SimResult};

@@ -1,0 +1,341 @@
+//! The simulated router: admission policy × scheduler × output link.
+//!
+//! The event loop is the whole simulator:
+//!
+//! 1. **Arrival(flow)** — the policy admits or drops the packet; an
+//!    admitted packet goes to the scheduler, and the link starts
+//!    transmitting if idle. The flow's next emission is pulled from its
+//!    source and scheduled.
+//! 2. **Departure** — the in-flight packet completes: the policy
+//!    releases its buffer bytes, stats record the delivery, and the
+//!    scheduler (if backlogged) hands over the next packet.
+//!
+//! Ties process departures first (see [`crate::event`]), matching the
+//! fluid-model convention that a departing bit frees space for a
+//! simultaneous arrival.
+
+use crate::event::{Event, EventQueue};
+use crate::stats::{SimResult, StatsCollector};
+use qbm_core::flow::{FlowId, FlowSpec};
+use qbm_core::policy::{BufferPolicy, Verdict};
+use qbm_core::token_bucket::TokenBucket;
+use qbm_core::units::{Rate, Time};
+use qbm_sched::{PacketRef, Scheduler};
+use qbm_traffic::{Emission, Source};
+
+/// A single-output-link router under simulation.
+pub struct Router {
+    link_rate: Rate,
+    policy: Box<dyn BufferPolicy>,
+    scheduler: Box<dyn Scheduler>,
+    sources: Vec<Box<dyn Source>>,
+    /// Packet currently on the wire.
+    in_flight: Option<PacketRef>,
+    /// Global arrival sequence counter (scheduler tie-break).
+    seq: u64,
+    /// Optional per-flow conformance meters (Remark 1 green/red
+    /// marking). Meters observe only — they never influence admission.
+    meters: Option<Vec<TokenBucket>>,
+}
+
+impl Router {
+    /// Assemble a router. `sources[i]` feeds `FlowId(i)`.
+    pub fn new(
+        link_rate: Rate,
+        policy: Box<dyn BufferPolicy>,
+        scheduler: Box<dyn Scheduler>,
+        sources: Vec<Box<dyn Source>>,
+    ) -> Router {
+        assert!(link_rate.bps() > 0, "zero link rate");
+        assert!(!sources.is_empty(), "no sources");
+        Router {
+            link_rate,
+            policy,
+            scheduler,
+            sources,
+            in_flight: None,
+            seq: 0,
+            meters: None,
+        }
+    }
+
+    /// Attach `(σ, ρ)` conformance meters (one per flow, from the
+    /// specs' declared envelopes). Arriving packets are marked *green*
+    /// when they fit the envelope, *red* otherwise — the coloring of
+    /// the paper's Remark 1. Marking is observational: admission
+    /// decisions are unchanged; statistics gain the green counters.
+    pub fn with_meters(mut self, specs: &[FlowSpec]) -> Router {
+        assert_eq!(specs.len(), self.sources.len(), "one meter per flow");
+        self.meters = Some(
+            specs
+                .iter()
+                .map(|s| TokenBucket::new(s.bucket_bytes, s.token_rate))
+                .collect(),
+        );
+        self
+    }
+
+    /// Run until `end`, measuring from `warmup` on. Returns the
+    /// per-flow statistics for the window `[warmup, end)`.
+    pub fn run(self, warmup: Time, end: Time, seed: u64) -> SimResult {
+        self.run_inner(warmup, end, seed, false).0
+    }
+
+    /// Like [`Router::run`], additionally recording every departure as
+    /// a per-flow emission trace (completion instants) — the feed for
+    /// the next hop of a [`crate::tandem`] line. Recording covers the
+    /// whole run, not just the measurement window, so downstream hops
+    /// see the full traffic.
+    pub fn run_recording(
+        self,
+        warmup: Time,
+        end: Time,
+        seed: u64,
+    ) -> (SimResult, Vec<Vec<Emission>>) {
+        let (res, traces) = self.run_inner(warmup, end, seed, true);
+        (res, traces.expect("recording requested"))
+    }
+
+    fn run_inner(
+        mut self,
+        warmup: Time,
+        end: Time,
+        seed: u64,
+        record: bool,
+    ) -> (SimResult, Option<Vec<Vec<Emission>>>) {
+        let n = self.sources.len();
+        let mut stats = StatsCollector::new(n, warmup, end, seed);
+        let mut events = EventQueue::new();
+        let mut traces: Option<Vec<Vec<Emission>>> =
+            record.then(|| vec![Vec::new(); n]);
+
+        // Prime one pending emission per source.
+        let mut pending: Vec<Option<u32>> = vec![None; n];
+        #[allow(clippy::needless_range_loop)] // sources and pending in lockstep
+        for i in 0..n {
+            if let Some(e) = self.sources[i].next_emission() {
+                pending[i] = Some(e.len);
+                events.push(e.time, Event::Arrival(FlowId(i as u32)));
+            }
+        }
+
+        while let Some((now, ev)) = events.pop() {
+            if now >= end {
+                break;
+            }
+            match ev {
+                Event::Arrival(flow) => {
+                    let len = pending[flow.index()].expect("arrival without pending emission");
+                    // Remark-1 coloring: a packet is green iff it fits
+                    // the flow's declared envelope at this instant
+                    // (consuming meter tokens only when it does).
+                    let green = match self.meters.as_mut() {
+                        Some(m) => m[flow.index()].try_consume(now, len as u64),
+                        None => true,
+                    };
+                    stats.on_color(now, flow, len, green);
+                    match self.policy.admit(flow, len) {
+                        Verdict::Admit => {
+                            stats.on_arrival(now, flow, len, None);
+                            let pkt = PacketRef {
+                                flow,
+                                len,
+                                arrival: now,
+                                seq: self.seq,
+                                green,
+                            };
+                            self.seq += 1;
+                            self.scheduler.enqueue(now, pkt);
+                            if self.in_flight.is_none() {
+                                self.start_transmission(now, &mut events);
+                            }
+                        }
+                        Verdict::Drop(reason) => {
+                            stats.on_arrival(now, flow, len, Some(reason));
+                        }
+                    }
+                    // Pull the flow's next emission.
+                    pending[flow.index()] = None;
+                    if let Some(e) = self.sources[flow.index()].next_emission() {
+                        debug_assert!(e.time >= now, "source emitted into the past");
+                        pending[flow.index()] = Some(e.len);
+                        events.push(e.time, Event::Arrival(flow));
+                    }
+                }
+                Event::Departure => {
+                    let pkt = self.in_flight.take().expect("departure with idle link");
+                    self.policy.release(pkt.flow, pkt.len);
+                    stats.on_departure_colored(now, pkt.flow, pkt.len, pkt.arrival, pkt.green);
+                    if let Some(tr) = traces.as_mut() {
+                        tr[pkt.flow.index()].push(Emission {
+                            time: now,
+                            len: pkt.len,
+                        });
+                    }
+                    if !self.scheduler.is_empty() {
+                        self.start_transmission(now, &mut events);
+                    }
+                }
+            }
+        }
+        (stats.finish(), traces)
+    }
+
+    fn start_transmission(&mut self, now: Time, events: &mut EventQueue) {
+        debug_assert!(self.in_flight.is_none());
+        if let Some(pkt) = self.scheduler.dequeue(now) {
+            let done = now + self.link_rate.transmission_time(pkt.len as u64);
+            self.in_flight = Some(pkt);
+            events.push(done, Event::Departure);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbm_core::flow::FlowSpec;
+    use qbm_core::policy::{PolicyKind, SharedBuffer};
+    use qbm_core::units::Dur;
+    use qbm_sched::Fifo;
+    use qbm_traffic::{CbrSource, Emission, TraceSource};
+
+    const LINK: Rate = Rate::from_bps(48_000_000);
+
+    fn cbr_router(rates_mbps: &[f64], buffer: u64) -> Router {
+        let sources: Vec<Box<dyn Source>> = rates_mbps
+            .iter()
+            .map(|&r| {
+                Box::new(CbrSource::new(Rate::from_mbps(r), 500, Time::ZERO)) as Box<dyn Source>
+            })
+            .collect();
+        Router::new(
+            LINK,
+            Box::new(SharedBuffer::new(buffer, rates_mbps.len())),
+            Box::new(Fifo::new()),
+            sources,
+        )
+    }
+
+    #[test]
+    fn underloaded_link_delivers_everything() {
+        // 10 + 10 Mb/s into 48 Mb/s: zero loss, throughput = offered.
+        let r = cbr_router(&[10.0, 10.0], 1 << 20);
+        let res = r.run(Time::from_secs(1), Time::from_secs(11), 0);
+        for f in &res.flows {
+            assert_eq!(f.dropped_pkts, 0);
+        }
+        let thr = res.aggregate_throughput_bps();
+        assert!((thr - 20e6).abs() / 20e6 < 0.01, "throughput {thr}");
+    }
+
+    #[test]
+    fn overloaded_link_saturates_at_capacity() {
+        // 40 + 40 Mb/s into 48 Mb/s with a small buffer: deliveries cap
+        // at the link rate, the rest drops.
+        let r = cbr_router(&[40.0, 40.0], 50_000);
+        let res = r.run(Time::from_secs(1), Time::from_secs(11), 0);
+        let thr = res.aggregate_throughput_bps();
+        assert!((thr - 48e6).abs() / 48e6 < 0.01, "throughput {thr}");
+        let lost: u64 = res.flows.iter().map(|f| f.dropped_pkts).sum();
+        assert!(lost > 0);
+    }
+
+    #[test]
+    fn conservation_offered_equals_dropped_plus_delivered_plus_queued() {
+        let r = cbr_router(&[30.0, 30.0], 100_000);
+        let res = r.run(Time::ZERO + Dur::from_millis(1), Time::from_secs(5), 0);
+        for f in &res.flows {
+            // Queued remainder bounded by buffer: offered − dropped −
+            // delivered packets ≤ buffer/500 + 1 in flight.
+            let queued = f.offered_pkts - f.dropped_pkts - f.delivered_pkts;
+            assert!(queued <= 100_000 / 500 + 1, "queued {queued}");
+        }
+    }
+
+    #[test]
+    fn fifo_delay_bounded_by_buffer_drain_time() {
+        let r = cbr_router(&[40.0, 40.0], 50_000);
+        let res = r.run(Time::from_secs(1), Time::from_secs(6), 0);
+        // Worst-case delay = (buffer + one packet) at link rate.
+        let bound = LINK.transmission_time(50_000 + 500).as_nanos();
+        for f in &res.flows {
+            assert!(
+                f.delay_max_ns <= bound,
+                "delay {} above FIFO bound {}",
+                f.delay_max_ns,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seedless_sources() {
+        let run = || {
+            cbr_router(&[20.0, 35.0], 80_000)
+                .run(Time::from_secs(1), Time::from_secs(4), 7)
+                .flows
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trace_source_packets_flow_through() {
+        // Two hand-written packets; verify exact delivery accounting.
+        let trace = TraceSource::new(vec![
+            Emission {
+                time: Time::ZERO,
+                len: 500,
+            },
+            Emission {
+                time: Time::ZERO + Dur::from_millis(1),
+                len: 500,
+            },
+        ]);
+        let r = Router::new(
+            LINK,
+            Box::new(SharedBuffer::new(10_000, 1)),
+            Box::new(Fifo::new()),
+            vec![Box::new(trace)],
+        );
+        let res = r.run(Time::ZERO, Time::from_secs(1), 0);
+        assert_eq!(res.flows[0].delivered_pkts, 2);
+        assert_eq!(res.flows[0].offered_pkts, 2);
+        // First packet: 500 B at 48 Mb/s = 83.333 µs delay.
+        assert_eq!(res.flows[0].delay_max_ns, 83_333);
+    }
+
+    #[test]
+    fn threshold_policy_protects_in_integration() {
+        // A conformant 2 Mb/s CBR against a 46 Mb/s blast through a
+        // threshold policy: the conformant flow must not lose anything.
+        use qbm_core::flow::Conformance;
+        let specs = vec![
+            FlowSpec::builder(FlowId(0))
+                .token_rate(Rate::from_mbps(2.0))
+                .bucket(1000)
+                .class(Conformance::Conformant)
+                .build(),
+            FlowSpec::builder(FlowId(1))
+                .token_rate(Rate::from_mbps(2.0))
+                .bucket(1000)
+                .class(Conformance::Aggressive)
+                .build(),
+        ];
+        let buffer = 200_000;
+        let policy = PolicyKind::Threshold.build(buffer, LINK, &specs);
+        let sources: Vec<Box<dyn Source>> = vec![
+            Box::new(CbrSource::new(Rate::from_mbps(2.0), 500, Time::ZERO)),
+            Box::new(CbrSource::new(Rate::from_mbps(46.0), 500, Time::ZERO)),
+        ];
+        let r = Router::new(LINK, policy, Box::new(Fifo::new()), sources);
+        let res = r.run(Time::from_secs(2), Time::from_secs(12), 0);
+        assert_eq!(
+            res.flows[0].dropped_pkts, 0,
+            "conformant flow lost packets despite Prop-2 thresholds"
+        );
+        // And it gets its full 2 Mb/s through.
+        let thr = res.flow_throughput_bps(FlowId(0));
+        assert!((thr - 2e6).abs() / 2e6 < 0.02, "throughput {thr}");
+    }
+}

@@ -1,0 +1,335 @@
+//! The paper's experiment scenarios, ready to run.
+//!
+//! * §3.2 (Figures 1–3): four schemes — {FIFO, WFQ} × {no management,
+//!   thresholds} — swept over total buffer 0.5–5 MBytes on the Table 1
+//!   workload;
+//! * §3.3 (Figures 4–6): {FIFO, WFQ} × holes/headroom sharing,
+//!   H = 2 MBytes, same sweep; Figure 7 sweeps H at B = 1 MByte;
+//! * §4.2 (Figures 8–13): the 3-queue hybrid on Table 1 (Case 1) and
+//!   Table 2 (Case 2), with Prop-3 rate assignment and per-queue
+//!   thresholds `σⱼ + ρⱼ·Bᵢ/Rᵢ`.
+
+use crate::experiment::{ExperimentConfig, PolicySpec};
+use qbm_core::analysis::hybrid::{
+    optimal_alphas, per_queue_buffer_eq18, rate_assignment_eq16, Grouping,
+};
+use qbm_core::flow::FlowSpec;
+use qbm_core::policy::PolicyKind;
+use qbm_core::units::{ByteSize, Dur, Rate};
+use qbm_sched::SchedKind;
+
+/// The paper's link rate: 48 Mb/s ("a little over T3 capacity").
+pub const LINK_RATE: Rate = Rate::from_bps(48_000_000);
+
+/// §3.3 default headroom: H = 2 MBytes.
+pub fn default_headroom() -> u64 {
+    ByteSize::from_mib(2).bytes()
+}
+
+/// A named (scheduler, policy) pair — one curve in a figure.
+#[derive(Debug, Clone)]
+pub struct Scheme {
+    /// Legend label, e.g. `"fifo+thresh"`.
+    pub label: String,
+    /// Scheduler.
+    pub sched: SchedKind,
+    /// Admission policy.
+    pub policy: PolicySpec,
+    /// When set, sweeps use this buffer size regardless of the sweep
+    /// variable (Figure 7 sweeps the headroom at a fixed 1 MiB buffer).
+    pub buffer_override: Option<u64>,
+}
+
+impl Scheme {
+    fn new(label: &str, sched: SchedKind, policy: PolicySpec) -> Scheme {
+        Scheme {
+            label: label.to_string(),
+            sched,
+            policy,
+            buffer_override: None,
+        }
+    }
+}
+
+/// The four §3.2 schemes of Figures 1–3.
+pub fn section3_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::new(
+            "fifo+none",
+            SchedKind::Fifo,
+            PolicySpec::Kind(PolicyKind::None),
+        ),
+        Scheme::new(
+            "wfq+none",
+            SchedKind::Wfq,
+            PolicySpec::Kind(PolicyKind::None),
+        ),
+        Scheme::new(
+            "fifo+thresh",
+            SchedKind::Fifo,
+            PolicySpec::Kind(PolicyKind::Threshold),
+        ),
+        Scheme::new(
+            "wfq+thresh",
+            SchedKind::Wfq,
+            PolicySpec::Kind(PolicyKind::Threshold),
+        ),
+    ]
+}
+
+/// The §3.3 sharing schemes of Figures 4–6 (plus the no-management
+/// baselines the paper recalls for the utilization comparison).
+pub fn sharing_schemes(headroom_bytes: u64) -> Vec<Scheme> {
+    vec![
+        Scheme::new(
+            "fifo+none",
+            SchedKind::Fifo,
+            PolicySpec::Kind(PolicyKind::None),
+        ),
+        Scheme::new(
+            "wfq+none",
+            SchedKind::Wfq,
+            PolicySpec::Kind(PolicyKind::None),
+        ),
+        Scheme::new(
+            "fifo+sharing",
+            SchedKind::Fifo,
+            PolicySpec::Kind(PolicyKind::Sharing { headroom_bytes }),
+        ),
+        Scheme::new(
+            "wfq+sharing",
+            SchedKind::Wfq,
+            PolicySpec::Kind(PolicyKind::Sharing { headroom_bytes }),
+        ),
+    ]
+}
+
+/// The figures' buffer sweep: 0.5–5 MBytes.
+pub fn buffer_sweep() -> Vec<u64> {
+    [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0]
+        .iter()
+        .map(|&m| ByteSize::from_mib_f64(m).bytes())
+        .collect()
+}
+
+/// Figure 7's headroom sweep. The paper fixes B = 1 MByte; our
+/// implementation already achieves zero conformant loss there, so the
+/// repo's fig7 runs at [`fig7_buffer`] (256 KBytes), where the
+/// headroom's protective effect is measurable — same shape, shifted
+/// operating point (see EXPERIMENTS.md).
+pub fn headroom_sweep() -> Vec<u64> {
+    [0u64, 16, 32, 64, 128, 192, 256]
+        .iter()
+        .map(|&k| ByteSize::from_kib(k).bytes())
+        .collect()
+}
+
+/// The buffer size Figure 7 is evaluated at (see [`headroom_sweep`]).
+pub fn fig7_buffer() -> u64 {
+    ByteSize::from_kib(256).bytes()
+}
+
+/// Case 1 grouping (§4.2): Table 1 flows {0,1,2}, {3,4,5}, {6,7,8}.
+pub fn case1_grouping() -> Grouping {
+    Grouping::new(vec![0, 0, 0, 1, 1, 1, 2, 2, 2], 3)
+}
+
+/// Case 2 grouping (§4.2): Table 2 flows {0–9}, {10–19}, {20–29}.
+pub fn case2_grouping() -> Grouping {
+    let mut a = vec![0usize; 30];
+    for (f, q) in a.iter_mut().enumerate() {
+        *q = f / 10;
+    }
+    Grouping::new(a, 3)
+}
+
+/// Everything derived for a hybrid configuration — exposed so examples
+/// and the bench harness can print the planning table.
+#[derive(Debug, Clone)]
+pub struct HybridPlan {
+    /// Flow → queue assignment.
+    pub grouping: Grouping,
+    /// Eq. 14 optimal excess split.
+    pub alphas: Vec<f64>,
+    /// Eq. 16 per-queue service rates, b/s.
+    pub queue_rates_bps: Vec<u64>,
+    /// Eq. 18 minimum per-queue buffers, bytes.
+    pub queue_min_buffers: Vec<f64>,
+    /// Actual per-queue buffer shares after partitioning `B`, bytes.
+    pub queue_buffers: Vec<u64>,
+    /// Per-flow thresholds `σⱼ + ρⱼ·Bᵢ/Rᵢ`, bytes.
+    pub flow_thresholds: Vec<u64>,
+}
+
+/// Plan the §4.2 hybrid: Prop-3 rates, proportional buffer partition,
+/// per-queue flow thresholds (see §4.2's Case 1 description).
+pub fn plan_hybrid(specs: &[FlowSpec], grouping: &Grouping, buffer_bytes: u64) -> HybridPlan {
+    let profiles = grouping.profiles(specs);
+    let alphas = optimal_alphas(&profiles);
+    let r = LINK_RATE.bps() as f64;
+    let rates = rate_assignment_eq16(r, &profiles, &alphas);
+    let rho: f64 = profiles.iter().map(|g| g.rho_bps).sum();
+    let s_total: f64 = profiles.iter().map(|g| g.s_term()).sum();
+    let min_buffers: Vec<f64> = profiles
+        .iter()
+        .map(|g| per_queue_buffer_eq18(g, s_total, r - rho))
+        .collect();
+    let min_total: f64 = min_buffers.iter().sum();
+    // Partition B in proportion to the minimum requirements.
+    let queue_buffers: Vec<u64> = min_buffers
+        .iter()
+        .map(|m| (buffer_bytes as f64 * m / min_total).round() as u64)
+        .collect();
+    // Flow j in queue i: σⱼ + ρⱼ·Bᵢ/Rᵢ.
+    let flow_thresholds: Vec<u64> = specs
+        .iter()
+        .map(|spec| {
+            let q = grouping.assignment[spec.id.index()];
+            let t = spec.bucket_bytes as f64
+                + spec.token_rate.bps() as f64 * queue_buffers[q] as f64 / rates[q];
+            t.round() as u64
+        })
+        .collect();
+    HybridPlan {
+        grouping: grouping.clone(),
+        alphas,
+        queue_rates_bps: rates.iter().map(|&x| x.round() as u64).collect(),
+        queue_min_buffers: min_buffers,
+        queue_buffers,
+        flow_thresholds,
+    }
+}
+
+/// The §4.2 schemes of Figures 8–13: the hybrid against per-flow WFQ
+/// and single FIFO, all with buffer sharing.
+pub fn hybrid_schemes(
+    specs: &[FlowSpec],
+    grouping: &Grouping,
+    buffer_bytes: u64,
+    headroom_bytes: u64,
+) -> Vec<Scheme> {
+    let plan = plan_hybrid(specs, grouping, buffer_bytes);
+    vec![
+        Scheme::new(
+            "fifo+sharing",
+            SchedKind::Fifo,
+            PolicySpec::Kind(PolicyKind::Sharing { headroom_bytes }),
+        ),
+        Scheme::new(
+            "wfq+sharing",
+            SchedKind::Wfq,
+            PolicySpec::Kind(PolicyKind::Sharing { headroom_bytes }),
+        ),
+        Scheme::new(
+            "hybrid+sharing",
+            SchedKind::Hybrid {
+                assignment: plan.grouping.assignment.clone(),
+                queue_rates_bps: plan.queue_rates_bps.clone(),
+            },
+            PolicySpec::ExplicitSharing {
+                reserved: plan.flow_thresholds.clone(),
+                headroom_bytes,
+            },
+        ),
+    ]
+}
+
+/// Assemble a full experiment for one scheme × buffer point with the
+/// repo's standard measurement protocol (2 s warmup, 22 s total — long
+/// enough for every flow's ON-OFF process to cycle hundreds of times).
+pub fn paper_experiment(specs: &[FlowSpec], scheme: &Scheme, buffer_bytes: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        link_rate: LINK_RATE,
+        buffer_bytes,
+        specs: specs.to_vec(),
+        sched: scheme.sched.clone(),
+        policy: scheme.policy.clone(),
+        warmup: Dur::from_secs(2),
+        duration: Dur::from_secs(22),
+        sojourns: qbm_traffic::Sojourns::Exponential,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbm_traffic::{table1, table2};
+
+    #[test]
+    fn scheme_lists_cover_the_figures() {
+        let s3 = section3_schemes();
+        assert_eq!(s3.len(), 4);
+        assert!(s3.iter().any(|s| s.label == "fifo+thresh"));
+        let sh = sharing_schemes(default_headroom());
+        assert!(sh.iter().any(|s| s.label == "wfq+sharing"));
+        assert_eq!(buffer_sweep().len(), 8);
+        assert_eq!(buffer_sweep()[0], ByteSize::from_kib(512).bytes());
+    }
+
+    #[test]
+    fn case_groupings_are_valid() {
+        let g1 = case1_grouping();
+        assert_eq!(g1.members()[2], vec![6, 7, 8]);
+        let g2 = case2_grouping();
+        assert_eq!(g2.members()[1], (10..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hybrid_plan_case1_consistency() {
+        let specs = table1();
+        let plan = plan_hybrid(&specs, &case1_grouping(), ByteSize::from_mib(2).bytes());
+        // Rates cover reservations and sum to the link rate.
+        let total: u64 = plan.queue_rates_bps.iter().sum();
+        assert!((total as i64 - LINK_RATE.bps() as i64).abs() <= 3);
+        let profiles = case1_grouping().profiles(&specs);
+        for (r, g) in plan.queue_rates_bps.iter().zip(&profiles) {
+            assert!(*r as f64 > g.rho_bps);
+        }
+        // Buffer partition exhausts B (rounding ±k bytes).
+        let b_sum: u64 = plan.queue_buffers.iter().sum();
+        assert!((b_sum as i64 - ByteSize::from_mib(2).bytes() as i64).abs() <= 3);
+        // Each flow's threshold ≥ its burst.
+        for (spec, &t) in specs.iter().zip(&plan.flow_thresholds) {
+            assert!(t >= spec.bucket_bytes);
+        }
+        // α for the bursty aggressive group (low ρ̂, σ̂ comparable)
+        // differs from the conformant groups.
+        assert!((plan.alphas.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_plan_case2_runs() {
+        let specs = table2();
+        let plan = plan_hybrid(&specs, &case2_grouping(), ByteSize::from_mib(3).bytes());
+        assert_eq!(plan.flow_thresholds.len(), 30);
+        assert_eq!(plan.queue_rates_bps.len(), 3);
+    }
+
+    #[test]
+    fn hybrid_schemes_build_and_run_briefly() {
+        let specs = table1();
+        let schemes = hybrid_schemes(
+            &specs,
+            &case1_grouping(),
+            ByteSize::from_mib(1).bytes(),
+            ByteSize::from_kib(256).bytes(),
+        );
+        assert_eq!(schemes.len(), 3);
+        // Smoke-run the hybrid scheme for half a simulated second.
+        let mut cfg = paper_experiment(&specs, &schemes[2], ByteSize::from_mib(1).bytes());
+        cfg.warmup = Dur::from_millis(100);
+        cfg.duration = Dur::from_millis(600);
+        let res = cfg.run_once(1);
+        let delivered: u64 = res.flows.iter().map(|f| f.delivered_pkts).sum();
+        assert!(delivered > 100, "hybrid delivered only {delivered} packets");
+    }
+
+    #[test]
+    fn paper_experiment_defaults() {
+        let specs = table1();
+        let cfg = paper_experiment(&specs, &section3_schemes()[0], 1 << 20);
+        assert_eq!(cfg.duration, Dur::from_secs(22));
+        assert_eq!(cfg.link_rate, LINK_RATE);
+        assert_eq!(cfg.specs.len(), 9);
+    }
+}

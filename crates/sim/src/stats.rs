@@ -1,0 +1,393 @@
+//! Per-flow statistics with warmup trimming.
+//!
+//! Counters only accumulate inside the measurement window
+//! `[warmup, end)`; the paper averages five runs and reports 95 %
+//! confidence intervals, which [`crate::experiment::Summary`] computes
+//! on top of these per-run numbers.
+
+use qbm_core::flow::{Conformance, FlowId, FlowSpec};
+use qbm_core::policy::DropReason;
+use qbm_core::units::{Dur, Time};
+use serde::{Deserialize, Serialize};
+
+/// Counters for a single flow over the measurement window.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Bytes offered to the router (pre-admission).
+    pub offered_bytes: u64,
+    /// Packets offered.
+    pub offered_pkts: u64,
+    /// Bytes dropped by the admission policy.
+    pub dropped_bytes: u64,
+    /// Packets dropped.
+    pub dropped_pkts: u64,
+    /// Drops by reason (same order as [`DropReason`] discriminants).
+    pub drops_buffer_full: u64,
+    /// Drops because the flow exceeded its fixed threshold.
+    pub drops_over_threshold: u64,
+    /// Drops because the shared holes pool could not cover the excess.
+    pub drops_no_shared_space: u64,
+    /// Bytes fully transmitted.
+    pub delivered_bytes: u64,
+    /// Packets fully transmitted.
+    pub delivered_pkts: u64,
+    /// Sum of per-packet delays (arrival → transmission complete), ns.
+    pub delay_sum_ns: u128,
+    /// Maximum packet delay, ns.
+    pub delay_max_ns: u64,
+    /// Log₂-bucketed delay histogram: `delay_hist[k]` counts delivered
+    /// packets with delay in `[2^k, 2^(k+1))` ns (k = 0 also covers
+    /// 0–1 ns). Drives the percentile accessors.
+    pub delay_hist: Vec<u64>,
+    /// Remark-1 coloring (only populated when the router has meters):
+    /// bytes that arrived within the flow's declared envelope.
+    pub green_offered_bytes: u64,
+    /// Green packets offered.
+    pub green_offered_pkts: u64,
+    /// Bytes delivered that were marked green at arrival.
+    pub green_delivered_bytes: u64,
+}
+
+impl FlowStats {
+    /// Loss ratio in packets (0 when nothing was offered).
+    pub fn loss_ratio(&self) -> f64 {
+        if self.offered_pkts == 0 {
+            0.0
+        } else {
+            self.dropped_pkts as f64 / self.offered_pkts as f64
+        }
+    }
+
+    /// Mean delivered-packet delay.
+    pub fn mean_delay(&self) -> Dur {
+        if self.delivered_pkts == 0 {
+            Dur::ZERO
+        } else {
+            Dur((self.delay_sum_ns / self.delivered_pkts as u128) as u64)
+        }
+    }
+
+    /// Approximate delay percentile from the log₂ histogram: the upper
+    /// edge of the bucket containing the q-quantile (q ∈ [0, 1]), i.e.
+    /// within a factor of 2 of the true value. `Dur::ZERO` when no
+    /// packet was delivered.
+    pub fn delay_percentile(&self, q: f64) -> Dur {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let total: u64 = self.delay_hist.iter().sum();
+        if total == 0 {
+            return Dur::ZERO;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (k, &c) in self.delay_hist.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Bucket upper edge, capped at the exact maximum so the
+                // estimate never exceeds an observed delay.
+                return Dur((1u64 << (k + 1).min(63)).min(self.delay_max_ns));
+            }
+        }
+        Dur(self.delay_max_ns)
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Per-flow counters, indexed by `FlowId`.
+    pub flows: Vec<FlowStats>,
+    /// Measurement window length.
+    pub window: Dur,
+    /// Seed the run used.
+    pub seed: u64,
+}
+
+impl SimResult {
+    pub(crate) fn new(n_flows: usize, window: Dur, seed: u64) -> SimResult {
+        SimResult {
+            flows: vec![FlowStats::default(); n_flows],
+            window,
+            seed,
+        }
+    }
+
+    /// Delivered rate of one flow over the window, bits/s.
+    pub fn flow_throughput_bps(&self, flow: FlowId) -> f64 {
+        self.flows[flow.index()].delivered_bytes as f64 * 8.0 / self.window.as_secs_f64()
+    }
+
+    /// Total delivered rate over the window, bits/s.
+    pub fn aggregate_throughput_bps(&self) -> f64 {
+        let bytes: u64 = self.flows.iter().map(|f| f.delivered_bytes).sum();
+        bytes as f64 * 8.0 / self.window.as_secs_f64()
+    }
+
+    /// Aggregate packet-loss ratio over flows of a conformance class
+    /// (e.g. the paper's "loss for conformant flows" figures).
+    pub fn class_loss_ratio(&self, specs: &[FlowSpec], class: Conformance) -> f64 {
+        let (mut off, mut drop) = (0u64, 0u64);
+        for s in specs.iter().filter(|s| s.class == class) {
+            off += self.flows[s.id.index()].offered_pkts;
+            drop += self.flows[s.id.index()].dropped_pkts;
+        }
+        if off == 0 {
+            0.0
+        } else {
+            drop as f64 / off as f64
+        }
+    }
+
+    /// Aggregate throughput of a conformance class, bits/s.
+    pub fn class_throughput_bps(&self, specs: &[FlowSpec], class: Conformance) -> f64 {
+        specs
+            .iter()
+            .filter(|s| s.class == class)
+            .map(|s| self.flow_throughput_bps(s.id))
+            .sum()
+    }
+}
+
+/// Mutable collector the router writes into during a run.
+#[derive(Debug)]
+pub struct StatsCollector {
+    result: SimResult,
+    warmup_end: Time,
+    run_end: Time,
+}
+
+impl StatsCollector {
+    /// Collect into a window `[warmup_end, run_end)`.
+    pub fn new(n_flows: usize, warmup_end: Time, run_end: Time, seed: u64) -> StatsCollector {
+        assert!(run_end > warmup_end, "empty measurement window");
+        StatsCollector {
+            result: SimResult::new(n_flows, run_end.since(warmup_end), seed),
+            warmup_end,
+            run_end,
+        }
+    }
+
+    fn in_window(&self, t: Time) -> bool {
+        t >= self.warmup_end && t < self.run_end
+    }
+
+    /// Record an offered packet and its verdict.
+    pub fn on_arrival(&mut self, now: Time, flow: FlowId, len: u32, dropped: Option<DropReason>) {
+        if !self.in_window(now) {
+            return;
+        }
+        let f = &mut self.result.flows[flow.index()];
+        f.offered_bytes += len as u64;
+        f.offered_pkts += 1;
+        if let Some(reason) = dropped {
+            f.dropped_bytes += len as u64;
+            f.dropped_pkts += 1;
+            match reason {
+                DropReason::BufferFull => f.drops_buffer_full += 1,
+                DropReason::OverThreshold => f.drops_over_threshold += 1,
+                DropReason::NoSharedSpace => f.drops_no_shared_space += 1,
+            }
+        }
+    }
+
+    /// Record a completed transmission.
+    pub fn on_departure(&mut self, now: Time, flow: FlowId, len: u32, arrival: Time) {
+        self.on_departure_colored(now, flow, len, arrival, true);
+    }
+
+    /// Record a completed transmission with its Remark-1 color.
+    pub fn on_departure_colored(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        len: u32,
+        arrival: Time,
+        green: bool,
+    ) {
+        if !self.in_window(now) {
+            return;
+        }
+        let f = &mut self.result.flows[flow.index()];
+        f.delivered_bytes += len as u64;
+        f.delivered_pkts += 1;
+        if green {
+            f.green_delivered_bytes += len as u64;
+        }
+        let d = now.since(arrival).as_nanos();
+        f.delay_sum_ns += d as u128;
+        f.delay_max_ns = f.delay_max_ns.max(d);
+        if f.delay_hist.is_empty() {
+            f.delay_hist = vec![0; 64];
+        }
+        let bucket = (64 - d.max(1).leading_zeros()).saturating_sub(1) as usize;
+        f.delay_hist[bucket.min(63)] += 1;
+    }
+
+    /// Record a packet's Remark-1 color at arrival (before the
+    /// admission verdict; green = fit the declared envelope).
+    pub fn on_color(&mut self, now: Time, flow: FlowId, len: u32, green: bool) {
+        if !self.in_window(now) || !green {
+            return;
+        }
+        let f = &mut self.result.flows[flow.index()];
+        f.green_offered_bytes += len as u64;
+        f.green_offered_pkts += 1;
+    }
+
+    /// Finish the run.
+    pub fn finish(self) -> SimResult {
+        self.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbm_core::units::Rate;
+
+    fn spec(i: u32, class: Conformance) -> FlowSpec {
+        FlowSpec::builder(FlowId(i))
+            .token_rate(Rate::from_mbps(1.0))
+            .bucket(1000)
+            .class(class)
+            .build()
+    }
+
+    #[test]
+    fn warmup_events_ignored() {
+        let w = Time::from_secs(5);
+        let e = Time::from_secs(10);
+        let mut c = StatsCollector::new(1, w, e, 0);
+        c.on_arrival(Time::from_secs(1), FlowId(0), 500, None);
+        c.on_departure(Time::from_secs(2), FlowId(0), 500, Time::from_secs(1));
+        c.on_arrival(Time::from_secs(6), FlowId(0), 500, None);
+        c.on_departure(Time::from_secs(7), FlowId(0), 500, Time::from_secs(6));
+        // Past the end is also ignored.
+        c.on_arrival(Time::from_secs(11), FlowId(0), 500, None);
+        let r = c.finish();
+        assert_eq!(r.flows[0].offered_pkts, 1);
+        assert_eq!(r.flows[0].delivered_pkts, 1);
+    }
+
+    #[test]
+    fn throughput_over_window() {
+        let mut c = StatsCollector::new(1, Time::ZERO, Time::from_secs(10), 0);
+        for s in 0..10 {
+            c.on_departure(
+                Time::from_secs_f64(s as f64 + 0.5),
+                FlowId(0),
+                125_000, // 1 Mbit
+                Time::from_secs(s),
+            );
+        }
+        let r = c.finish();
+        assert!((r.flow_throughput_bps(FlowId(0)) - 1e6).abs() < 1.0);
+        assert!((r.aggregate_throughput_bps() - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn drop_reasons_tallied() {
+        let mut c = StatsCollector::new(1, Time::ZERO, Time::from_secs(1), 0);
+        c.on_arrival(Time::ZERO, FlowId(0), 500, Some(DropReason::BufferFull));
+        c.on_arrival(Time::ZERO, FlowId(0), 500, Some(DropReason::OverThreshold));
+        c.on_arrival(Time::ZERO, FlowId(0), 500, Some(DropReason::NoSharedSpace));
+        c.on_arrival(Time::ZERO, FlowId(0), 500, None);
+        let r = c.finish();
+        let f = &r.flows[0];
+        assert_eq!(f.drops_buffer_full, 1);
+        assert_eq!(f.drops_over_threshold, 1);
+        assert_eq!(f.drops_no_shared_space, 1);
+        assert_eq!(f.dropped_pkts, 3);
+        assert!((f.loss_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_metrics_filter_by_class() {
+        let specs = vec![
+            spec(0, Conformance::Conformant),
+            spec(1, Conformance::Aggressive),
+        ];
+        let mut c = StatsCollector::new(2, Time::ZERO, Time::from_secs(1), 0);
+        c.on_arrival(Time::ZERO, FlowId(0), 500, None);
+        c.on_arrival(
+            Time::ZERO + Dur::from_millis(1),
+            FlowId(1),
+            500,
+            Some(DropReason::OverThreshold),
+        );
+        c.on_departure(
+            Time::ZERO + Dur::from_millis(2),
+            FlowId(0),
+            500,
+            Time::ZERO,
+        );
+        let r = c.finish();
+        assert_eq!(r.class_loss_ratio(&specs, Conformance::Conformant), 0.0);
+        assert_eq!(r.class_loss_ratio(&specs, Conformance::Aggressive), 1.0);
+        assert!(r.class_throughput_bps(&specs, Conformance::Conformant) > 0.0);
+        assert_eq!(r.class_throughput_bps(&specs, Conformance::Aggressive), 0.0);
+        // No moderate flows: loss ratio degenerates to zero.
+        assert_eq!(
+            r.class_loss_ratio(&specs, Conformance::ModeratelyNonConformant),
+            0.0
+        );
+    }
+
+    #[test]
+    fn delay_percentiles_from_histogram() {
+        let mut c = StatsCollector::new(1, Time::ZERO, Time::from_secs(10), 0);
+        // 90 packets at ~1 ms, 10 packets at ~64 ms.
+        for i in 0..90 {
+            c.on_departure(
+                Time::from_secs_f64(0.1 + i as f64 * 0.01),
+                FlowId(0),
+                500,
+                Time::from_secs_f64(0.1 + i as f64 * 0.01 - 0.001),
+            );
+        }
+        for i in 0..10 {
+            c.on_departure(
+                Time::from_secs_f64(2.0 + i as f64 * 0.01),
+                FlowId(0),
+                500,
+                Time::from_secs_f64(2.0 + i as f64 * 0.01 - 0.064),
+            );
+        }
+        let r = c.finish();
+        let f = &r.flows[0];
+        // p50 within a factor of 2 of 1 ms; p99 within a factor of 2
+        // of 64 ms (log2 bucket edges).
+        let p50 = f.delay_percentile(0.5).as_secs_f64();
+        let p99 = f.delay_percentile(0.99).as_secs_f64();
+        assert!((0.001..=0.0025).contains(&p50), "p50 {p50}");
+        assert!((0.064..=0.15).contains(&p99), "p99 {p99}");
+        assert!(f.delay_percentile(0.0) <= f.delay_percentile(1.0));
+        // Empty stats: zero.
+        assert_eq!(FlowStats::default().delay_percentile(0.9), Dur::ZERO);
+    }
+
+    #[test]
+    fn delay_accounting() {
+        let mut c = StatsCollector::new(1, Time::ZERO, Time::from_secs(1), 0);
+        c.on_departure(
+            Time::ZERO + Dur::from_millis(3),
+            FlowId(0),
+            500,
+            Time::ZERO,
+        );
+        c.on_departure(
+            Time::ZERO + Dur::from_millis(9),
+            FlowId(0),
+            500,
+            Time::ZERO + Dur::from_millis(4),
+        );
+        let r = c.finish();
+        assert_eq!(r.flows[0].mean_delay(), Dur::from_millis(4));
+        assert_eq!(r.flows[0].delay_max_ns, 5_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty measurement window")]
+    fn degenerate_window_rejected() {
+        let _ = StatsCollector::new(1, Time::from_secs(1), Time::from_secs(1), 0);
+    }
+}

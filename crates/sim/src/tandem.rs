@@ -1,0 +1,174 @@
+//! Multi-hop (tandem) lines — a repo extension beyond the paper's
+//! single-link evaluation.
+//!
+//! The paper analyzes one multiplexing point; a natural question for a
+//! deployment is whether threshold-based guarantees *compose* along a
+//! path. This module chains routers feed-forward: hop `i+1`'s sources
+//! replay hop `i`'s recorded departure traces (exact store-and-forward
+//! semantics for a line topology, since a feed-forward hop cannot
+//! influence its upstream).
+//!
+//! The composition facts the tests establish:
+//! * a same-rate downstream hop adds no loss — FIFO output is already
+//!   serialized at the link rate, so hop 2's queue never exceeds one
+//!   packet per simultaneous upstream;
+//! * at a slower downstream bottleneck, per-hop thresholds keep
+//!   protecting conformant flows, provided each hop passes its own
+//!   Eq. 9 admission check with the *downstream* rates.
+
+use crate::experiment::PolicySpec;
+use crate::router::Router;
+use crate::stats::SimResult;
+use qbm_core::flow::FlowSpec;
+use qbm_core::units::{Rate, Time};
+use qbm_sched::SchedKind;
+use qbm_traffic::{build_source, Source, TraceSource};
+
+/// One hop of a tandem line.
+#[derive(Debug, Clone)]
+pub struct Hop {
+    /// Output link rate of this hop.
+    pub link_rate: Rate,
+    /// Buffer at this hop, bytes.
+    pub buffer_bytes: u64,
+    /// Scheduler at this hop.
+    pub sched: SchedKind,
+    /// Admission policy at this hop.
+    pub policy: PolicySpec,
+}
+
+/// Run a feed-forward line of `hops`. Hop 0 is fed by the standard
+/// per-spec sources (seeded with `seed`); each later hop replays the
+/// previous hop's departures. Returns one [`SimResult`] per hop,
+/// all measured over `[warmup, end)`.
+pub fn run_line(
+    hops: &[Hop],
+    specs: &[FlowSpec],
+    seed: u64,
+    warmup: Time,
+    end: Time,
+) -> Vec<SimResult> {
+    assert!(!hops.is_empty(), "empty line");
+    let mut results = Vec::with_capacity(hops.len());
+    let mut feed: Option<Vec<Vec<qbm_traffic::Emission>>> = None;
+    for (i, hop) in hops.iter().enumerate() {
+        let sources: Vec<Box<dyn Source>> = match feed.take() {
+            None => specs.iter().map(|s| build_source(s, seed)).collect(),
+            Some(traces) => traces
+                .into_iter()
+                .map(|t| Box::new(TraceSource::new(t)) as Box<dyn Source>)
+                .collect(),
+        };
+        let policy = hop.policy.build(hop.buffer_bytes, hop.link_rate, specs);
+        let sched = hop.sched.build(hop.link_rate, specs);
+        let router = Router::new(hop.link_rate, policy, sched, sources);
+        if i + 1 < hops.len() {
+            let (res, traces) = router.run_recording(warmup, end, seed);
+            results.push(res);
+            feed = Some(traces);
+        } else {
+            results.push(router.run(warmup, end, seed));
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbm_core::flow::Conformance;
+    use qbm_core::policy::PolicyKind;
+    use qbm_core::units::ByteSize;
+    use qbm_traffic::table1;
+
+    const LINK: Rate = Rate::from_bps(48_000_000);
+
+    fn hop(rate: Rate, buffer: u64, policy: PolicyKind) -> Hop {
+        Hop {
+            link_rate: rate,
+            buffer_bytes: buffer,
+            sched: SchedKind::Fifo,
+            policy: PolicySpec::Kind(policy),
+        }
+    }
+
+    #[test]
+    fn same_rate_second_hop_adds_no_loss() {
+        let specs = table1();
+        let b = ByteSize::from_mib(2).bytes();
+        let hops = vec![
+            hop(LINK, b, PolicyKind::Threshold),
+            // Tiny buffer suffices downstream: arrivals are already
+            // serialized at exactly the link rate.
+            hop(LINK, ByteSize::from_kib(8).bytes(), PolicyKind::None),
+        ];
+        let res = run_line(&hops, &specs, 1, Time::from_secs(1), Time::from_secs(6));
+        assert_eq!(res.len(), 2);
+        let hop2_drops: u64 = res[1].flows.iter().map(|f| f.dropped_pkts).sum();
+        assert_eq!(hop2_drops, 0, "same-rate downstream hop dropped packets");
+        // Conservation across hops: hop 2 delivers what hop 1 delivered
+        // (minus at most the in-flight/windowing edge packets).
+        let d1: u64 = res[0].flows.iter().map(|f| f.delivered_pkts).sum();
+        let d2: u64 = res[1].flows.iter().map(|f| f.delivered_pkts).sum();
+        assert!(
+            (d1 as i64 - d2 as i64).abs() <= specs.len() as i64 * 2,
+            "hop deliveries diverged: {d1} vs {d2}"
+        );
+    }
+
+    #[test]
+    fn slower_bottleneck_still_protects_conformant_flows() {
+        let specs = table1();
+        // Hop 2 runs at 40 Mb/s — above the 32.8 Mb/s reservation but
+        // below hop 1's 48 Mb/s, so excess traffic must be shed there.
+        let slow = Rate::from_mbps(40.0);
+        let needed2 =
+            qbm_core::admission::fifo_required_buffer(slow, &specs).ceil() as u64;
+        let hops = vec![
+            hop(LINK, ByteSize::from_mib(2).bytes(), PolicyKind::Threshold),
+            hop(slow, needed2, PolicyKind::Threshold),
+        ];
+        let res = run_line(&hops, &specs, 2, Time::from_secs(1), Time::from_secs(8));
+        // Conformant flows: lossless at both hops.
+        for r in &res {
+            assert_eq!(r.class_loss_ratio(&specs, Conformance::Conformant), 0.0);
+        }
+        // The bottleneck did shed aggressive excess.
+        let aggr_drops: u64 = specs
+            .iter()
+            .filter(|s| s.class == Conformance::Aggressive)
+            .map(|s| res[1].flows[s.id.index()].dropped_pkts)
+            .sum();
+        assert!(aggr_drops > 0, "bottleneck shed nothing");
+        // End-to-end conformant throughput still meets reservations
+        // (within source variance over the short window).
+        for s in specs.iter().filter(|s| s.class.is_conformant()) {
+            let thr = res[1].flow_throughput_bps(s.id);
+            assert!(
+                thr > 0.8 * s.token_rate.bps() as f64,
+                "{}: end-to-end {thr} below reservation",
+                s.id
+            );
+        }
+    }
+
+    #[test]
+    fn line_is_deterministic() {
+        let specs = table1();
+        let hops = vec![
+            hop(LINK, 1 << 20, PolicyKind::Threshold),
+            hop(Rate::from_mbps(40.0), 1 << 20, PolicyKind::Threshold),
+        ];
+        let a = run_line(&hops, &specs, 9, Time::from_secs(1), Time::from_secs(3));
+        let b = run_line(&hops, &specs, 9, Time::from_secs(1), Time::from_secs(3));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.flows, y.flows);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty line")]
+    fn empty_line_rejected() {
+        let _ = run_line(&[], &table1(), 0, Time::ZERO, Time::from_secs(1));
+    }
+}

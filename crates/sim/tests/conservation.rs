@@ -1,0 +1,139 @@
+//! Property-based conservation and bound checks on the full simulator.
+
+use proptest::prelude::*;
+use qbm_core::flow::{FlowId, FlowSpec};
+use qbm_core::policy::PolicyKind;
+use qbm_core::units::{Dur, Rate};
+use qbm_sched::SchedKind;
+use qbm_sim::{ExperimentConfig, PolicySpec};
+use qbm_traffic::Sojourns;
+
+const LINK: Rate = Rate::from_bps(48_000_000);
+
+fn random_specs(rates_mbps: &[f64], bursts_kib: &[u64]) -> Vec<FlowSpec> {
+    let n = rates_mbps.len().min(bursts_kib.len());
+    (0..n)
+        .map(|i| {
+            FlowSpec::builder(FlowId(i as u32))
+                .peak(Rate::from_mbps(40.0))
+                .avg(Rate::from_mbps(rates_mbps[i]))
+                .bucket(bursts_kib[i] * 1024)
+                .token_rate(Rate::from_mbps((rates_mbps[i] * 0.5).max(0.1)))
+                .mean_burst(bursts_kib[i] * 1024)
+                .build()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Packet conservation: offered = delivered + dropped + queued for
+    /// every flow, every policy, every scheduler.
+    #[test]
+    fn offered_equals_delivered_plus_dropped_plus_queued(
+        rates in proptest::collection::vec(1.0f64..12.0, 2..6),
+        bursts in proptest::collection::vec(10u64..200, 2..6),
+        buffer_kib in 64u64..2048,
+        policy_idx in 0usize..4,
+        sched_idx in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let specs = random_specs(&rates, &bursts);
+        let policy = match policy_idx {
+            0 => PolicyKind::None,
+            1 => PolicyKind::Threshold,
+            2 => PolicyKind::Sharing { headroom_bytes: buffer_kib * 256 },
+            _ => PolicyKind::DynamicThreshold { alpha_num: 1, alpha_den: 1 },
+        };
+        let sched = match sched_idx {
+            0 => SchedKind::Fifo,
+            1 => SchedKind::Wfq,
+            _ => SchedKind::Drr,
+        };
+        let buffer = buffer_kib * 1024;
+        let cfg = ExperimentConfig {
+            link_rate: LINK,
+            buffer_bytes: buffer,
+            specs: specs.clone(),
+            sched,
+            policy: PolicySpec::Kind(policy),
+            warmup: Dur::ZERO, // full-horizon accounting for conservation
+            duration: Dur::from_secs(2),
+            sojourns: Sojourns::Exponential,
+        };
+        let res = cfg.run_once(seed);
+        let max_queued_pkts = buffer / 500 + 1; // + 1 in flight
+        for (i, f) in res.flows.iter().enumerate() {
+            let queued = f.offered_pkts - f.dropped_pkts - f.delivered_pkts;
+            prop_assert!(
+                queued <= max_queued_pkts,
+                "flow {i}: {queued} unaccounted packets (buffer {buffer})"
+            );
+            prop_assert_eq!(f.offered_bytes, f.offered_pkts * 500);
+        }
+    }
+
+    /// The FIFO delay bound holds for every delivered packet: no delay
+    /// can exceed (buffer + one packet) at link rate.
+    #[test]
+    fn fifo_delay_bound_holds(
+        rates in proptest::collection::vec(1.0f64..15.0, 2..5),
+        bursts in proptest::collection::vec(10u64..200, 2..5),
+        buffer_kib in 32u64..1024,
+        seed in 0u64..500,
+    ) {
+        let specs = random_specs(&rates, &bursts);
+        let buffer = buffer_kib * 1024;
+        let cfg = ExperimentConfig {
+            link_rate: LINK,
+            buffer_bytes: buffer,
+            specs,
+            sched: SchedKind::Fifo,
+            policy: PolicySpec::Kind(PolicyKind::None),
+            warmup: Dur::ZERO,
+            duration: Dur::from_secs(2),
+            sojourns: Sojourns::Exponential,
+        };
+        let res = cfg.run_once(seed);
+        let bound = LINK.transmission_time(buffer + 500).as_nanos();
+        for (i, f) in res.flows.iter().enumerate() {
+            prop_assert!(
+                f.delay_max_ns <= bound,
+                "flow {i}: delay {} ns above FIFO bound {} ns",
+                f.delay_max_ns, bound
+            );
+        }
+    }
+
+    /// Throughput never exceeds the link rate (no accounting
+    /// double-count), for any scheduler and policy.
+    #[test]
+    fn aggregate_throughput_bounded_by_link(
+        rates in proptest::collection::vec(1.0f64..20.0, 2..6),
+        bursts in proptest::collection::vec(10u64..300, 2..6),
+        sched_idx in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        let specs = random_specs(&rates, &bursts);
+        let sched = match sched_idx {
+            0 => SchedKind::Fifo,
+            1 => SchedKind::Wfq,
+            2 => SchedKind::Drr,
+            _ => SchedKind::VirtualClock,
+        };
+        let cfg = ExperimentConfig {
+            link_rate: LINK,
+            buffer_bytes: 512 * 1024,
+            specs,
+            sched,
+            policy: PolicySpec::Kind(PolicyKind::None),
+            warmup: Dur::from_millis(200),
+            duration: Dur::from_secs(2),
+            sojourns: Sojourns::Exponential,
+        };
+        let res = cfg.run_once(seed);
+        // One in-flight packet of slack at the window edge.
+        prop_assert!(res.aggregate_throughput_bps() <= 48e6 * 1.001);
+    }
+}

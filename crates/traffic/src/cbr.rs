@@ -1,0 +1,124 @@
+//! Constant-bit-rate (and greedy) sources.
+//!
+//! The k-th packet of a CBR source is emitted at the exact instant the
+//! cumulative bit count `k · len · 8` becomes available at the source
+//! rate — computed from the *cumulative* total each time, so a
+//! billion-packet run has zero accumulated rounding drift.
+
+use crate::source::{Emission, Source};
+use qbm_core::units::{Rate, Time};
+
+/// A drift-free constant-bit-rate source.
+#[derive(Debug, Clone)]
+pub struct CbrSource {
+    rate: Rate,
+    pkt_len: u32,
+    /// Packets emitted so far.
+    count: u64,
+    /// Emission base time (first packet goes out at `base`).
+    base: Time,
+}
+
+impl CbrSource {
+    /// A CBR source of `rate` emitting `pkt_len`-byte packets, the
+    /// first at `start`.
+    pub fn new(rate: Rate, pkt_len: u32, start: Time) -> CbrSource {
+        assert!(rate.bps() > 0, "CBR source needs a positive rate");
+        assert!(pkt_len > 0, "packet length must be positive");
+        CbrSource {
+            rate,
+            pkt_len,
+            count: 0,
+            base: start,
+        }
+    }
+
+    /// The "greedy flow" of the paper's Example 1 at packet level: a CBR
+    /// source running at `factor`× the link rate, so it always has
+    /// traffic available to keep its buffer share pinned full.
+    pub fn greedy(link_rate: Rate, pkt_len: u32, factor: u64) -> CbrSource {
+        assert!(factor >= 1);
+        CbrSource::new(Rate::from_bps(link_rate.bps() * factor), pkt_len, Time::ZERO)
+    }
+}
+
+impl Source for CbrSource {
+    fn next_emission(&mut self) -> Option<Emission> {
+        // Offset of packet k: time for k·len·8 cumulative bits.
+        let bits = self.count * self.pkt_len as u64 * 8;
+        let off = self
+            .rate
+            .time_to_send_bits(bits)
+            .expect("positive rate checked at construction");
+        self.count += 1;
+        Some(Emission {
+            time: self.base + off,
+            len: self.pkt_len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{collect_emissions, empirical_rate_bps};
+    use qbm_core::units::Dur;
+
+    #[test]
+    fn exact_spacing_no_drift() {
+        // 2 Mb/s, 500 B packets -> 2 ms nominal spacing; after a
+        // million packets the cumulative time is exact.
+        let mut s = CbrSource::new(Rate::from_mbps(2.0), 500, Time::ZERO);
+        let mut last = Emission {
+            time: Time::ZERO,
+            len: 0,
+        };
+        for _ in 0..1_000_000 {
+            last = s.next_emission().unwrap();
+        }
+        // Packet index 999_999 at offset 999_999 · 4000 bits / 2e6 b/s
+        // = 1999.998 s exactly.
+        assert_eq!(last.time, Time::from_secs_f64(1999.998));
+    }
+
+    #[test]
+    fn first_packet_at_start() {
+        let start = Time::from_secs(3);
+        let mut s = CbrSource::new(Rate::from_mbps(1.0), 500, start);
+        assert_eq!(s.next_emission().unwrap().time, start);
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let mut s = CbrSource::new(Rate::from_mbps(8.0), 500, Time::ZERO);
+        let em = collect_emissions(&mut s, 10_000);
+        let r = empirical_rate_bps(&em);
+        // The span misses one packet-time; accept 0.1 % error.
+        assert!((r - 8e6).abs() / 8e6 < 1e-3);
+    }
+
+    #[test]
+    fn greedy_is_faster_than_link() {
+        let link = Rate::from_mbps(48.0);
+        let mut g = CbrSource::greedy(link, 500, 2);
+        let em = collect_emissions(&mut g, 1000);
+        let gap = em[1].time.since(em[0].time);
+        assert!(gap < link.transmission_time(500));
+        assert_eq!(gap, Rate::from_mbps(96.0).transmission_time(500));
+    }
+
+    #[test]
+    fn odd_rate_rounding_stays_within_one_ns() {
+        // A rate that doesn't divide evenly: 3 Mb/s, 500 B -> 4000/3e6 s
+        // = 1333.33…µs. Consecutive gaps must alternate 1333333/1333334
+        // ns and average exactly.
+        let mut s = CbrSource::new(Rate::from_mbps(3.0), 500, Time::ZERO);
+        let em = collect_emissions(&mut s, 3001);
+        for w in em.windows(2) {
+            let g = w[1].time.since(w[0].time);
+            assert!(g >= Dur(1_333_333) && g <= Dur(1_333_334), "gap {g}");
+        }
+        // Packet 3000 at exactly 3000·4000/3e6 s = 4 s.
+        assert_eq!(em[3000].time, Time::from_secs(4));
+    }
+}

@@ -1,0 +1,87 @@
+//! Poisson packet source (exponential inter-arrivals).
+//!
+//! Not used by the paper's own figures, but a standard cross-check
+//! workload: smoother than ON-OFF at the same mean rate, so policies
+//! that only misbehave under burstiness show a clean contrast.
+
+use crate::source::{Emission, Source};
+use qbm_core::units::{Dur, Rate, Time};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A Poisson-arrival source of fixed-size packets.
+#[derive(Debug, Clone)]
+pub struct PoissonSource {
+    /// Mean inter-arrival time.
+    mean_gap: Dur,
+    pkt_len: u32,
+    next: Time,
+    rng: ChaCha8Rng,
+}
+
+impl PoissonSource {
+    /// A source with long-run rate `avg` emitting `pkt_len`-byte packets.
+    pub fn new(avg: Rate, pkt_len: u32, seed: u64) -> PoissonSource {
+        assert!(avg.bps() > 0, "rate must be positive");
+        assert!(pkt_len > 0, "packet length must be positive");
+        let mean_gap = avg.transmission_time(pkt_len as u64);
+        PoissonSource {
+            mean_gap,
+            pkt_len,
+            next: Time::ZERO,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Source for PoissonSource {
+    fn next_emission(&mut self) -> Option<Emission> {
+        let e = Emission {
+            time: self.next,
+            len: self.pkt_len,
+        };
+        let u: f64 = self.rng.random();
+        let gap = Dur::from_secs_f64(-(1.0 - u).ln() * self.mean_gap.as_secs_f64());
+        self.next += gap;
+        Some(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{collect_emissions, empirical_rate_bps};
+
+    #[test]
+    fn long_run_rate_matches() {
+        let mut s = PoissonSource::new(Rate::from_mbps(4.0), 500, 11);
+        let em = collect_emissions(&mut s, 100_000);
+        let r = empirical_rate_bps(&em);
+        assert!((r - 4e6).abs() / 4e6 < 0.02, "rate {r}");
+    }
+
+    #[test]
+    fn gaps_have_exponential_cv() {
+        // Coefficient of variation of exponential gaps is 1.
+        let mut s = PoissonSource::new(Rate::from_mbps(4.0), 500, 13);
+        let em = collect_emissions(&mut s, 50_000);
+        let gaps: Vec<f64> = em
+            .windows(2)
+            .map(|w| w[1].time.since(w[0].time).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let mk = |seed| {
+            let mut s = PoissonSource::new(Rate::from_mbps(1.0), 500, seed);
+            collect_emissions(&mut s, 50)
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+    }
+}

@@ -1,0 +1,106 @@
+//! Hybrid-architecture planner (§4): given a flow mix and a number of
+//! queues, compute the Proposition-3 rate split, per-queue buffers
+//! (Eq. 18), total requirement (Eq. 19), and the buffer saved versus a
+//! single FIFO queue (Eq. 17) — for the paper's hand grouping and for
+//! the DP-optimized grouping.
+//!
+//! ```text
+//! cargo run --release --example hybrid_planner [k]
+//! ```
+
+use qos_buffer_mgmt::core::analysis::hybrid::{
+    buffer_savings_eq17, hybrid_buffer_eq19, optimal_alphas, rate_assignment_eq16,
+    single_fifo_buffer_eq13, Grouping,
+};
+use qos_buffer_mgmt::core::units::ByteSize;
+use qos_buffer_mgmt::sim::scenarios::{case2_grouping, plan_hybrid, LINK_RATE};
+use qos_buffer_mgmt::traffic::table2;
+
+fn main() {
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    let specs = table2();
+    let r = LINK_RATE.bps() as f64;
+    let sigma: f64 = specs.iter().map(|s| s.bucket_bytes as f64).sum();
+    let rho: f64 = specs.iter().map(|s| s.token_rate.bps() as f64).sum();
+
+    println!("Table 2: 30 flows, Σσ = {:.0} KiB, Σρ = {:.1} Mb/s on a 48 Mb/s link", sigma / 1024.0, rho / 1e6);
+    println!(
+        "single FIFO queue needs B = Rσ/(R−ρ) = {:.0} KiB (Eq. 13)\n",
+        single_fifo_buffer_eq13(r, sigma, rho) / 1024.0
+    );
+
+    for (name, grouping) in [
+        ("paper grouping {0-9}{10-19}{20-29}", case2_grouping()),
+        (
+            "DP-optimized grouping (σ/ρ-sorted)",
+            Grouping::optimize_contiguous(&specs, k),
+        ),
+    ] {
+        if grouping.k != k && name.starts_with("paper") && k != 3 {
+            continue; // the paper grouping is only defined for k = 3
+        }
+        let groups = grouping.profiles(&specs);
+        let alphas = optimal_alphas(&groups);
+        let rates = rate_assignment_eq16(r, &groups, &alphas);
+        println!("== {name} (k = {}) ==", grouping.k);
+        println!(
+            "{:>6} {:>7} {:>8} {:>11} {:>11} {:>12}",
+            "queue", "flows", "alpha", "rho^ Mb/s", "R_i Mb/s", "B_i KiB(18)"
+        );
+        let s_total: f64 = groups.iter().map(|g| g.s_term()).sum();
+        for (q, g) in groups.iter().enumerate() {
+            let b18 = g.sigma_bytes + s_total * g.s_term() / (r - rho);
+            println!(
+                "{:>6} {:>7} {:>8.4} {:>11.2} {:>11.2} {:>12.1}",
+                q,
+                g.n_flows,
+                alphas[q],
+                g.rho_bps / 1e6,
+                rates[q] / 1e6,
+                b18 / 1024.0
+            );
+        }
+        let b_hyb = hybrid_buffer_eq19(r, &groups);
+        let saved = buffer_savings_eq17(r, &groups);
+        println!(
+            "total B_hybrid = {:.0} KiB (Eq. 19); saved vs single FIFO: {:.0} KiB (Eq. 17)\n",
+            b_hyb / 1024.0,
+            saved / 1024.0
+        );
+    }
+
+    // How many queues does a given buffer budget require?
+    println!("queues needed vs buffer budget (Eq. 11 with optimal rates, DP grouping):");
+    for frac in [1.0, 0.95, 0.9, 0.88] {
+        let budget = single_fifo_buffer_eq13(r, sigma, rho) * frac;
+        match qos_buffer_mgmt::core::analysis::hybrid::min_queues_for_budget(&specs, r, budget) {
+            Some(k) => println!("  budget {:>7.0} KiB -> k = {k}", budget / 1024.0),
+            None => println!("  budget {:>7.0} KiB -> infeasible (below Σσ)", budget / 1024.0),
+        }
+    }
+    println!();
+
+    // And the concrete runtime plan used by the simulator for a 2 MiB buffer.
+    let plan = plan_hybrid(&specs, &case2_grouping(), ByteSize::from_mib(2).bytes());
+    println!("runtime plan for B = 2 MiB (paper grouping):");
+    println!("  queue rates (Mb/s): {:?}", plan
+        .queue_rates_bps
+        .iter()
+        .map(|r| (*r as f64 / 1e6 * 100.0).round() / 100.0)
+        .collect::<Vec<_>>());
+    println!("  queue buffers (KiB): {:?}", plan
+        .queue_buffers
+        .iter()
+        .map(|b| b / 1024)
+        .collect::<Vec<_>>());
+    println!(
+        "  flow thresholds (KiB, first 10): {:?}",
+        plan.flow_thresholds[..10]
+            .iter()
+            .map(|t| t / 1024)
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,72 @@
+//! Buffer sharing and excess-bandwidth fairness (§3.3): compare how
+//! FIFO with fixed thresholds, FIFO with holes/headroom sharing, and
+//! per-flow WFQ split the *excess* bandwidth among the non-conformant
+//! Table-1 flows (flows 6 and 8 differ 5× in reserved rate).
+//!
+//! ```text
+//! cargo run --release --example sharing_fairness
+//! ```
+
+use qos_buffer_mgmt::core::flow::{Conformance, FlowId};
+use qos_buffer_mgmt::core::policy::PolicyKind;
+use qos_buffer_mgmt::core::units::{ByteSize, Dur};
+use qos_buffer_mgmt::sched::SchedKind;
+use qos_buffer_mgmt::sim::scenarios::LINK_RATE;
+use qos_buffer_mgmt::sim::{ExperimentConfig, PolicySpec};
+use qos_buffer_mgmt::traffic::table1;
+
+fn main() {
+    let specs = table1();
+    let b = ByteSize::from_mib(4).bytes();
+    let h = ByteSize::from_mib(2).bytes();
+    let schemes: Vec<(&str, SchedKind, PolicySpec)> = vec![
+        (
+            "fifo+thresh ",
+            SchedKind::Fifo,
+            PolicySpec::Kind(PolicyKind::Threshold),
+        ),
+        (
+            "fifo+sharing",
+            SchedKind::Fifo,
+            PolicySpec::Kind(PolicyKind::Sharing { headroom_bytes: h }),
+        ),
+        (
+            "wfq+sharing ",
+            SchedKind::Wfq,
+            PolicySpec::Kind(PolicyKind::Sharing { headroom_bytes: h }),
+        ),
+    ];
+
+    println!("Table 1 on a 48 Mb/s link, B = 4 MiB, H = 2 MiB, 5 seeds\n");
+    println!(
+        "{:<13} {:>8} {:>9} {:>9} {:>14} {:>10}",
+        "scheme", "util %", "f6 Mb/s", "f8 Mb/s", "excess ratio*", "conf loss%"
+    );
+    for (label, sched, policy) in schemes {
+        let cfg = ExperimentConfig {
+            link_rate: LINK_RATE,
+            buffer_bytes: b,
+            specs: specs.clone(),
+            sched,
+            policy,
+            warmup: Dur::from_secs(2),
+            duration: Dur::from_secs(22),
+        sojourns: Default::default(),
+        };
+        let mr = cfg.run_many(1, 5);
+        let util = mr.summarize(|r| r.aggregate_throughput_bps() / 48e6 * 100.0);
+        let f6 = mr.summarize(|r| r.flow_throughput_bps(FlowId(6)) / 1e6);
+        let f8 = mr.summarize(|r| r.flow_throughput_bps(FlowId(8)) / 1e6);
+        let loss =
+            mr.summarize(|r| r.class_loss_ratio(&specs, Conformance::Conformant) * 100.0);
+        // Excess over the reserved floor (0.4 and 2.0 Mb/s): WFQ's
+        // proportional split predicts a ratio of 2.0/0.4 = 5.
+        let ratio = (f8.mean - 2.0) / (f6.mean - 0.4).max(1e-9);
+        println!(
+            "{:<13} {:>8.2} {:>9.2} {:>9.2} {:>14.2} {:>10.3}",
+            label, util.mean, f6.mean, f8.mean, ratio, loss.mean
+        );
+    }
+    println!("\n* excess ratio = (f8 − 2.0)/(f6 − 0.4); reserved-rate-proportional split = 5.0");
+    println!("The paper's claim: FIFO+sharing mimics WFQ's split, which fixed partitioning does not.");
+}

@@ -1,0 +1,31 @@
+//! # qos-buffer-mgmt
+//!
+//! Umbrella crate for the reproduction of *Scalable QoS Provision
+//! Through Buffer Management* (Guérin, Kamat, Peris, Rajan — SIGCOMM
+//! 1998). Re-exports the workspace crates under one roof:
+//!
+//! * [`core`] — buffer-management policies, admission control, and the
+//!   paper's closed-form analysis (`qbm-core`);
+//! * [`traffic`] — ON-OFF sources, regulators, and the Table 1/2
+//!   workloads (`qbm-traffic`);
+//! * [`sched`] — FIFO, WFQ, DRR and the hybrid scheduler (`qbm-sched`);
+//! * [`sim`] — the discrete-event simulator and the paper's experiment
+//!   scenarios (`qbm-sim`);
+//! * [`fluid`] — the fluid-model validator for the §2 proofs
+//!   (`qbm-fluid`).
+//!
+//! See `examples/` for runnable entry points and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment index.
+
+#![warn(missing_docs)]
+
+pub use qbm_core as core;
+pub use qbm_fluid as fluid;
+pub use qbm_sched as sched;
+pub use qbm_sim as sim;
+pub use qbm_traffic as traffic;
+
+/// One-stop prelude for examples and downstream users.
+pub mod prelude {
+    pub use qbm_core::prelude::*;
+}

@@ -1,0 +1,94 @@
+//! The delay bounds of §1, verified at packet level: the analytic
+//! guarantees from `qbm_core::analysis::delay` must dominate every
+//! simulated packet delay.
+
+use qos_buffer_mgmt::core::analysis::delay::{fifo_delay_bound, wfq_delay_bound};
+use qos_buffer_mgmt::core::flow::Conformance;
+use qos_buffer_mgmt::core::policy::PolicyKind;
+use qos_buffer_mgmt::core::units::{ByteSize, Dur};
+use qos_buffer_mgmt::sched::SchedKind;
+use qos_buffer_mgmt::sim::{ExperimentConfig, PolicySpec};
+use qos_buffer_mgmt::traffic::table1;
+
+fn run(sched: SchedKind, buffer: u64, seed: u64) -> qos_buffer_mgmt::sim::SimResult {
+    let cfg = ExperimentConfig {
+        link_rate: qos_buffer_mgmt::sim::scenarios::LINK_RATE,
+        buffer_bytes: buffer,
+        specs: table1(),
+        sched,
+        policy: PolicySpec::Kind(PolicyKind::Threshold),
+        warmup: Dur::from_secs(1),
+        duration: Dur::from_secs(11),
+        sojourns: Default::default(),
+    };
+    cfg.run_once(seed)
+}
+
+/// FIFO: every packet of every flow obeys the buffer-drain bound.
+#[test]
+fn fifo_delays_below_buffer_drain_bound() {
+    let b = ByteSize::from_mib(1).bytes();
+    let bound = fifo_delay_bound(b, qos_buffer_mgmt::sim::scenarios::LINK_RATE, 500);
+    for seed in 1..=3 {
+        let res = run(SchedKind::Fifo, b, seed);
+        for (i, f) in res.flows.iter().enumerate() {
+            assert!(
+                f.delay_max_ns <= bound.as_nanos(),
+                "seed {seed} flow {i}: {} ns above FIFO bound {} ns",
+                f.delay_max_ns,
+                bound.as_nanos()
+            );
+        }
+    }
+}
+
+/// WFQ: every *conformant* (shaped) flow obeys its Parekh–Gallager
+/// bound `σ/ρ + L/ρ + L/R` — the per-flow guarantee the paper trades
+/// away. (Non-conformant flows have no bound: their arrivals exceed
+/// the envelope the theorem assumes.)
+#[test]
+fn wfq_conformant_delays_below_parekh_gallager_bound() {
+    let specs = table1();
+    let b = ByteSize::from_mib(2).bytes();
+    for seed in 1..=3 {
+        let res = run(SchedKind::Wfq, b, seed);
+        for s in specs.iter().filter(|s| s.class == Conformance::Conformant) {
+            let bound = wfq_delay_bound(s, qos_buffer_mgmt::sim::scenarios::LINK_RATE, 500)
+                .expect("reserved flow has a bound");
+            let got = res.flows[s.id.index()].delay_max_ns;
+            assert!(
+                got <= bound.as_nanos(),
+                "seed {seed} {}: max delay {} ns above PG bound {} ns",
+                s.id,
+                got,
+                bound.as_nanos()
+            );
+        }
+    }
+}
+
+/// The same holds under WF²Q+ (its delay bound is WFQ's) and EDF with
+/// the PG budgets — the three sorting schedulers are interchangeable on
+/// the guarantee, which is why the paper treats "WFQ" as the
+/// representative of the class.
+#[test]
+fn wf2q_and_edf_meet_the_same_bounds() {
+    let specs = table1();
+    let b = ByteSize::from_mib(2).bytes();
+    for sched in [SchedKind::Wf2q, SchedKind::Edf] {
+        let res = run(sched.clone(), b, 2);
+        for s in specs.iter().filter(|s| s.class == Conformance::Conformant) {
+            let bound = wfq_delay_bound(s, qos_buffer_mgmt::sim::scenarios::LINK_RATE, 500)
+                .unwrap();
+            let got = res.flows[s.id.index()].delay_max_ns;
+            assert!(
+                got <= bound.as_nanos(),
+                "{}: {} max delay {} ns above bound {} ns",
+                sched.label(),
+                s.id,
+                got,
+                bound.as_nanos()
+            );
+        }
+    }
+}
