@@ -38,23 +38,19 @@ fn bench_policies(c: &mut Criterion) {
         ] {
             let mut policy = kind.build(buffer, link, &specs);
             g.throughput(Throughput::Elements(1));
-            g.bench_with_input(
-                BenchmarkId::new(kind.label(), n),
-                &n,
-                |b, &n| {
-                    let mut i = 0u32;
-                    b.iter(|| {
-                        let flow = FlowId(i % n as u32);
-                        i = i.wrapping_add(1);
-                        // Admit + immediate release: steady-state cost,
-                        // state returns to empty so the loop never
-                        // saturates the buffer.
-                        if policy.admit(black_box(flow), 500).admitted() {
-                            policy.release(flow, 500);
-                        }
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |b, &n| {
+                let mut i = 0u32;
+                b.iter(|| {
+                    let flow = FlowId(i % n as u32);
+                    i = i.wrapping_add(1);
+                    // Admit + immediate release: steady-state cost,
+                    // state returns to empty so the loop never
+                    // saturates the buffer.
+                    if policy.admit(black_box(flow), 500).admitted() {
+                        policy.release(flow, 500);
+                    }
+                });
+            });
         }
     }
     g.finish();

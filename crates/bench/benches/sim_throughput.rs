@@ -17,17 +17,13 @@ fn bench_sim(c: &mut Criterion) {
         cfg.warmup = Dur::from_millis(100);
         cfg.duration = Dur::from_millis(1100); // 1 simulated second measured
         g.throughput(Throughput::Elements(1));
-        g.bench_with_input(
-            BenchmarkId::new("table1", &scheme.label),
-            &cfg,
-            |b, cfg| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    black_box(cfg.run_once(seed))
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("table1", &scheme.label), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(cfg.run_once(seed))
+            });
+        });
     }
     g.finish();
 }

@@ -2,7 +2,7 @@
 //! Provision Through Buffer Management* (SIGCOMM 1998).
 //!
 //! ```text
-//! cargo run -p qbm-bench --release --bin paper -- <id> [--quick]
+//! cargo run -p qbm-bench --release --bin paper -- <id> [--quick] [--threads N]
 //!
 //! ids:
 //!   table1 table2            workload definitions
@@ -19,7 +19,9 @@
 //!
 //! Output goes to stdout and `results/<id>.txt` (+ `.json` for
 //! simulation figures). `--quick` (or `QBM_PROFILE=quick`) runs a
-//! reduced protocol for smoke testing.
+//! reduced protocol for smoke testing; `--threads N` (or `QBM_THREADS`)
+//! sets the campaign worker pool — any value produces identical
+//! numbers, it only changes wall-clock time.
 
 use qbm_bench::figures;
 use qbm_bench::{Figure, RunProfile};
@@ -28,21 +30,39 @@ use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
+    let mut quick = false;
+    let mut threads: Option<usize> = None;
+    let mut ids: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                threads = it.next().and_then(|v| v.parse().ok());
+                if threads.is_none() {
+                    eprintln!("--threads needs a numeric argument");
+                    std::process::exit(2);
+                }
+            }
+            a if a.starts_with("--") => {
+                eprintln!("unknown flag: {a}");
+                std::process::exit(2);
+            }
+            id => ids.push(id),
+        }
+    }
     if ids.is_empty() {
-        eprintln!("usage: paper <id>... [--quick]   (try: paper all)");
+        eprintln!("usage: paper <id>... [--quick] [--threads N]   (try: paper all)");
         std::process::exit(2);
     }
-    let profile = if quick {
+    let mut profile = if quick {
         RunProfile::quick()
     } else {
         RunProfile::from_env()
     };
+    if let Some(t) = threads {
+        profile.threads = t;
+    }
 
     for id in ids {
         run_id(id, &profile);

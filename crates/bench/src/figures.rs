@@ -15,11 +15,10 @@ use qbm_core::flow::{Conformance, FlowId, FlowSpec};
 use qbm_core::policy::{compute_thresholds, PolicyKind, ThresholdOptions};
 use qbm_core::units::{ByteSize, Dur};
 use qbm_sim::scenarios::{
-    buffer_sweep, case1_grouping, case2_grouping, default_headroom, headroom_sweep,
-    hybrid_schemes, paper_experiment, plan_hybrid, section3_schemes, sharing_schemes, Scheme,
-    LINK_RATE,
+    buffer_sweep, case1_grouping, case2_grouping, default_headroom, headroom_sweep, hybrid_schemes,
+    paper_experiment, plan_hybrid, section3_schemes, sharing_schemes, Scheme, LINK_RATE,
 };
-use qbm_sim::{ExperimentConfig, MultiRun, PolicySpec, SimResult};
+use qbm_sim::{Campaign, ExperimentConfig, MultiRun, PolicySpec, SeedMode, SimResult};
 
 /// Simulated link capacity in Mb/s (for utilization percentages).
 const LINK_MBPS: f64 = 48.0;
@@ -41,7 +40,11 @@ fn apply_profile(cfg: &mut ExperimentConfig, profile: &RunProfile) {
     cfg.duration = Dur::from_secs(profile.duration_s);
 }
 
-/// Run `scheme_fn(x)` for every x, collecting the full grid.
+/// Run `scheme_fn(x)` for every x, collecting the full grid. All
+/// `xs.len() × schemes × seeds` cells run as one [`Campaign`], sharded
+/// across the profile's worker threads; [`SeedMode::BaseOffset`] with
+/// base seed 1 reproduces the historical per-point `run_many(1, seeds)`
+/// numbers exactly.
 pub fn run_grid(
     specs: &[FlowSpec],
     xs: &[u64],
@@ -49,14 +52,27 @@ pub fn run_grid(
     scheme_fn: impl Fn(u64) -> Vec<Scheme>,
 ) -> Grid {
     let labels: Vec<String> = scheme_fn(xs[0]).iter().map(|s| s.label.clone()).collect();
-    let mut runs: Vec<Vec<MultiRun>> = vec![Vec::new(); labels.len()];
+    // Flatten the grid into campaign points, x-major.
+    let mut points = Vec::with_capacity(xs.len() * labels.len());
     for &x in xs {
         let schemes = scheme_fn(x);
         assert_eq!(schemes.len(), labels.len(), "scheme set changed across x");
-        for (si, scheme) in schemes.iter().enumerate() {
+        for scheme in &schemes {
             let mut cfg = paper_experiment(specs, scheme, scheme_buffer(scheme, x));
             apply_profile(&mut cfg, profile);
-            runs[si].push(cfg.run_many(1, profile.seeds));
+            points.push(cfg);
+        }
+    }
+    let mut campaign = Campaign::new(&points);
+    campaign.replications = profile.seeds;
+    campaign.campaign_seed = 1;
+    campaign.seed_mode = SeedMode::BaseOffset;
+    campaign.threads = profile.threads;
+    let mut results = campaign.run().into_iter();
+    let mut runs: Vec<Vec<MultiRun>> = vec![Vec::new(); labels.len()];
+    for _ in xs {
+        for per_scheme in runs.iter_mut() {
+            per_scheme.push(results.next().expect("one MultiRun per point"));
         }
     }
     Grid {
@@ -84,7 +100,8 @@ fn series_from(
 ) -> Series {
     Series {
         label: label.to_string(),
-        points: grid.xs
+        points: grid
+            .xs
             .iter()
             .zip(&grid.runs[scheme_idx])
             .map(|(&x, mr)| (x_of(x), mr.summarize(&metric)))
@@ -155,8 +172,7 @@ pub fn section3_figures(profile: &RunProfile) -> Vec<Figure> {
     }
     figs.push(Figure {
         id: "fig3".into(),
-        title: "Throughput for non-conformant flows with threshold based buffer management"
-            .into(),
+        title: "Throughput for non-conformant flows with threshold based buffer management".into(),
         x_label: "total buffer (MiB)".into(),
         y_label: "flow throughput (Mb/s)".into(),
         series,
@@ -323,7 +339,11 @@ pub fn hybrid_figures(profile: &RunProfile, case2: bool) -> Vec<Figure> {
         id: format!("fig{}", base + 1),
         title: format!(
             "Hybrid System, {case}: Loss for conformant{} flows with Buffer Sharing",
-            if case2 { " and moderately conformant" } else { "" }
+            if case2 {
+                " and moderately conformant"
+            } else {
+                ""
+            }
         ),
         x_label: "total buffer (MiB)".into(),
         y_label: "packet loss (%)".into(),
@@ -413,9 +433,9 @@ pub fn frontier_figure() -> Figure {
             .map(|&u| {
                 (
                     u,
-                    qbm_sim::experiment::summarize_samples(&[qbm_core::admission::buffer_inflation(
-                        u,
-                    )]),
+                    qbm_sim::experiment::summarize_samples(&[
+                        qbm_core::admission::buffer_inflation(u),
+                    ]),
                 )
             })
             .collect(),
@@ -606,7 +626,7 @@ pub fn ablate_queues(profile: &RunProfile) -> Figure {
             .unwrap();
         let mut cfg = paper_experiment(&specs, &scheme, b);
         apply_profile(&mut cfg, profile);
-        let mr = cfg.run_many(1, profile.seeds);
+        let mr = cfg.run_many_threaded(1, profile.seeds, profile.threads);
         series[0].points.push((
             k as f64,
             mr.summarize(|r| r.class_loss_ratio(&specs, Conformance::Conformant) * 100.0),
@@ -872,7 +892,14 @@ pub fn delays_text(profile: &RunProfile) -> String {
     ));
     out.push_str(&format!(
         "{:>5} {:>13} {:>12} {:>11} {:>11} {:>11} {:>11} {:>11}\n",
-        "flow", "wfq bound ms", "fifo mean", "fifo p99", "fifo max", "wfq mean", "wfq p99", "wfq max"
+        "flow",
+        "wfq bound ms",
+        "fifo mean",
+        "fifo p99",
+        "fifo max",
+        "wfq mean",
+        "wfq p99",
+        "wfq max"
     ));
     for s in &specs {
         let wb = wfq_delay_bound(s, LINK_RATE, 500)
@@ -922,7 +949,7 @@ pub fn ablate_burstiness(profile: &RunProfile) -> Vec<Figure> {
             let mut cfg = paper_experiment(&specs, &scheme, b);
             apply_profile(&mut cfg, profile);
             cfg.sojourns = soj;
-            runs.push(cfg.run_many(1, profile.seeds));
+            runs.push(cfg.run_many_threaded(1, profile.seeds, profile.threads));
         }
         grids.push((label.to_string(), runs));
     }
@@ -1058,7 +1085,7 @@ pub fn ablate_scale(profile: &RunProfile) -> Figure {
         let mut cfg = paper_experiment(&specs, &scheme, b);
         apply_profile(&mut cfg, profile);
         let t0 = std::time::Instant::now();
-        let mr = cfg.run_many(1, profile.seeds.min(3));
+        let mr = cfg.run_many_threaded(1, profile.seeds.min(3), profile.threads);
         let wall = t0.elapsed().as_secs_f64() * 1e3
             / (profile.seeds.min(3) as f64 * profile.duration_s as f64);
         let n = specs.len() as f64;
@@ -1067,10 +1094,9 @@ pub fn ablate_scale(profile: &RunProfile) -> Figure {
             mr.summarize(|r| r.class_loss_ratio(&specs, Conformance::Conformant) * 100.0),
         ));
         series[1].points.push((n, mr.summarize(util_pct)));
-        series[2].points.push((
-            n,
-            qbm_sim::experiment::summarize_samples(&[wall]),
-        ));
+        series[2]
+            .points
+            .push((n, qbm_sim::experiment::summarize_samples(&[wall])));
     }
     let mut notes = protocol_notes(profile);
     notes.push("same aggregate mix (68 % reserved) split across 9·k flows; B = 2 MiB".into());
@@ -1093,6 +1119,7 @@ mod tests {
             seeds: 1,
             warmup_s: 0,
             duration_s: 1,
+            threads: 0,
         }
     }
 
@@ -1149,7 +1176,10 @@ mod tests {
         // One-second single-seed pass over two buffer sizes: the grid
         // machinery, labels, and metric extraction all work end-to-end.
         let specs = qbm_traffic::table1();
-        let xs = [ByteSize::from_kib(512).bytes(), ByteSize::from_mib(1).bytes()];
+        let xs = [
+            ByteSize::from_kib(512).bytes(),
+            ByteSize::from_mib(1).bytes(),
+        ];
         let grid = run_grid(&specs, &xs, &fast(), |_| section3_schemes());
         assert_eq!(grid.labels.len(), 4);
         assert_eq!(grid.runs[0].len(), 2);

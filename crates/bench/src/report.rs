@@ -1,12 +1,11 @@
 //! Figure/series data model and text rendering.
 
 use qbm_sim::Summary;
-use serde::{Deserialize, Serialize};
 
 /// Measurement protocol knobs. The paper's protocol is
 /// [`RunProfile::full`] (5 seeds, 20 s measured); [`RunProfile::quick`]
 /// is for smoke tests and CI.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunProfile {
     /// Independent replications per point.
     pub seeds: usize,
@@ -14,6 +13,9 @@ pub struct RunProfile {
     pub warmup_s: u64,
     /// Total simulated seconds (window = duration − warmup).
     pub duration_s: u64,
+    /// Campaign worker threads (`0` = one per core). Affects wall-clock
+    /// time only — results are bit-identical for any value.
+    pub threads: usize,
 }
 
 impl RunProfile {
@@ -23,6 +25,7 @@ impl RunProfile {
             seeds: 5,
             warmup_s: 2,
             duration_s: 22,
+            threads: 0,
         }
     }
 
@@ -32,21 +35,29 @@ impl RunProfile {
             seeds: 2,
             warmup_s: 1,
             duration_s: 4,
+            threads: 0,
         }
     }
 
     /// Select via the `QBM_PROFILE` environment variable
-    /// (`quick`/`full`, default full).
+    /// (`quick`/`full`, default full); `QBM_THREADS` caps the worker
+    /// pool (default: one per core).
     pub fn from_env() -> RunProfile {
-        match std::env::var("QBM_PROFILE").as_deref() {
+        let mut profile = match std::env::var("QBM_PROFILE").as_deref() {
             Ok("quick") => RunProfile::quick(),
             _ => RunProfile::full(),
+        };
+        if let Ok(t) = std::env::var("QBM_THREADS") {
+            if let Ok(t) = t.parse() {
+                profile.threads = t;
+            }
         }
+        profile
     }
 }
 
 /// One curve: a label and `(x, mean ± ci)` points.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -55,7 +66,7 @@ pub struct Series {
 }
 
 /// One regenerated figure or table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Identifier, e.g. `"fig1"`.
     pub id: String,
@@ -105,11 +116,7 @@ impl Figure {
         for &x in &xs {
             out.push_str(&format!("{x:>10.3}"));
             for s in &self.series {
-                match s
-                    .points
-                    .iter()
-                    .find(|(px, _)| (px - x).abs() < 1e-12)
-                {
+                match s.points.iter().find(|(px, _)| (px - x).abs() < 1e-12) {
                     Some((_, sum)) => {
                         out.push_str(&format!(
                             "{:>w$}",
@@ -211,13 +218,31 @@ mod tests {
                 Series {
                     label: "fifo+none".into(),
                     points: vec![
-                        (0.5, Summary { mean: 90.1, ci95: 0.5 }),
-                        (1.0, Summary { mean: 92.0, ci95: 0.4 }),
+                        (
+                            0.5,
+                            Summary {
+                                mean: 90.1,
+                                ci95: 0.5,
+                            },
+                        ),
+                        (
+                            1.0,
+                            Summary {
+                                mean: 92.0,
+                                ci95: 0.4,
+                            },
+                        ),
                     ],
                 },
                 Series {
                     label: "wfq+thresh".into(),
-                    points: vec![(0.5, Summary { mean: 64.0, ci95: 0.6 })],
+                    points: vec![(
+                        0.5,
+                        Summary {
+                            mean: 64.0,
+                            ci95: 0.6,
+                        },
+                    )],
                 },
             ],
             notes: vec!["5 seeds".into()],

@@ -6,6 +6,10 @@
 //! qbm plan  <scenario.qbm | table1 | table2> [k]   §4 hybrid plan (default k = 3)
 //! qbm sweep <scenario.qbm | table1 | table2>   utilization/loss over buffer sizes
 //! ```
+//!
+//! `--threads N` (anywhere on the line) shards the replications of
+//! `run` and `sweep` across N worker threads; results are identical
+//! for any N (default: one per core).
 
 use qbm_cli::report::{admission_report, simulation_report};
 use qbm_cli::Scenario;
@@ -16,7 +20,8 @@ use qbm_core::analysis::hybrid::{
 use qbm_core::units::{ByteSize, Dur, Rate};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (threads, args) = split_threads_flag(&raw);
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => usage(),
@@ -30,10 +35,12 @@ fn main() {
         "run" => {
             print!("{}", admission_report(&scenario));
             println!();
-            let multi = scenario.to_config().run_many(1, scenario.seeds);
+            let multi = scenario
+                .to_config()
+                .run_many_threaded(1, scenario.seeds, threads);
             print!("{}", simulation_report(&scenario, &multi));
         }
-        "sweep" => sweep(&scenario),
+        "sweep" => sweep(&scenario, threads),
         "plan" => {
             let k: usize = rest
                 .get(1)
@@ -51,15 +58,37 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  qbm run   <scenario.qbm|table1|table2>\n  qbm check <scenario.qbm|table1|table2>\n  qbm plan  <scenario.qbm|table1|table2> [k]\n  qbm sweep <scenario.qbm|table1|table2>"
+        "usage:\n  qbm run   <scenario.qbm|table1|table2> [--threads N]\n  qbm check <scenario.qbm|table1|table2>\n  qbm plan  <scenario.qbm|table1|table2> [k]\n  qbm sweep <scenario.qbm|table1|table2> [--threads N]"
     );
     std::process::exit(2)
+}
+
+/// Extract `--threads N` (0 = one worker per core when absent) and
+/// return the remaining positional arguments.
+fn split_threads_flag(args: &[String]) -> (usize, Vec<String>) {
+    let mut threads = 0;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => threads = t,
+                None => {
+                    eprintln!("--threads needs a numeric argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    (threads, rest)
 }
 
 /// Sweep the buffer from half to 4x the scenario's size: the fastest
 /// way to see where the configuration sits on the paper's
 /// buffer/utilization trade-off curve.
-fn sweep(s: &Scenario) {
+fn sweep(s: &Scenario, threads: usize) {
     use qbm_core::flow::Conformance;
     println!(
         "{:>12} {:>10} {:>12} {:>12}",
@@ -68,12 +97,10 @@ fn sweep(s: &Scenario) {
     for mult in [0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0] {
         let mut cfg = s.to_config();
         cfg.buffer_bytes = (s.buffer_bytes as f64 * mult).round() as u64;
-        let multi = cfg.run_many(1, s.seeds);
-        let util = multi.summarize(|r| {
-            r.aggregate_throughput_bps() / s.link.bps() as f64 * 100.0
-        });
-        let loss = multi
-            .summarize(|r| r.class_loss_ratio(&s.flows, Conformance::Conformant) * 100.0);
+        let multi = cfg.run_many_threaded(1, s.seeds, threads);
+        let util = multi.summarize(|r| r.aggregate_throughput_bps() / s.link.bps() as f64 * 100.0);
+        let loss =
+            multi.summarize(|r| r.class_loss_ratio(&s.flows, Conformance::Conformant) * 100.0);
         let agg = multi.summarize(|r| r.aggregate_throughput_bps() / 1e6);
         println!(
             "{:>12} {:>10.2} {:>12.3} {:>12.2}",

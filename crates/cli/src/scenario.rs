@@ -232,15 +232,12 @@ impl Scenario {
             flows.extend(d.build(&mut next_id, at)?);
         }
         let link = link.ok_or(ScenarioError::Incomplete("missing `link = <rate>`"))?;
-        let buffer =
-            buffer.ok_or(ScenarioError::Incomplete("missing `buffer = <size>`"))?;
+        let buffer = buffer.ok_or(ScenarioError::Incomplete("missing `buffer = <size>`"))?;
         if flows.is_empty() {
             return Err(ScenarioError::Incomplete("no [flow] sections"));
         }
         if duration <= warmup {
-            return Err(ScenarioError::Incomplete(
-                "duration must exceed warmup",
-            ));
+            return Err(ScenarioError::Incomplete("duration must exceed warmup"));
         }
         Ok(Scenario {
             link,
@@ -438,7 +435,15 @@ class = aggressive
             );
             assert!(Scenario::parse(&text).is_ok(), "sched {sched}");
         }
-        for policy in ["none", "threshold", "dyn-thresh", "red", "fred", "pbs", "sharing:1MiB"] {
+        for policy in [
+            "none",
+            "threshold",
+            "dyn-thresh",
+            "red",
+            "fred",
+            "pbs",
+            "sharing:1MiB",
+        ] {
             let text = format!(
                 "link=10Mbps\nbuffer=1MiB\npolicy={policy}\n[flow]\nrate=1Mbps\nbucket=10KiB\n"
             );

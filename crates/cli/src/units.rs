@@ -26,9 +26,7 @@ impl std::fmt::Display for UnitError {
 impl std::error::Error for UnitError {}
 
 fn split_suffix(s: &str) -> (&str, &str) {
-    let idx = s
-        .find(|c: char| c.is_ascii_alphabetic())
-        .unwrap_or(s.len());
+    let idx = s.find(|c: char| c.is_ascii_alphabetic()).unwrap_or(s.len());
     (s[..idx].trim(), s[idx..].trim())
 }
 

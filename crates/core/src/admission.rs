@@ -17,10 +17,9 @@
 use crate::error::ConfigError;
 use crate::flow::FlowSpec;
 use crate::units::Rate;
-use serde::{Deserialize, Serialize};
 
 /// The output link a flow set is admitted onto.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
     /// Link service rate `R`.
     pub rate: Rate,
@@ -50,7 +49,7 @@ impl LinkConfig {
 }
 
 /// Which discipline's schedulability region to test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Discipline {
     /// Per-flow WFQ with fully partitioned buffers (Eqs. 5–6).
     Wfq,
@@ -59,7 +58,7 @@ pub enum Discipline {
 }
 
 /// Result of an admission test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AdmissionOutcome {
     /// Both constraints met.
     Accepted,
@@ -114,7 +113,11 @@ pub fn buffer_inflation(u: f64) -> f64 {
 }
 
 /// One-shot schedulability test for a whole flow set.
-pub fn admissible(link: LinkConfig, discipline: Discipline, specs: &[FlowSpec]) -> AdmissionOutcome {
+pub fn admissible(
+    link: LinkConfig,
+    discipline: Discipline,
+    specs: &[FlowSpec],
+) -> AdmissionOutcome {
     let r = link.rate.bps() as f64;
     if total_rho_bps(specs) > r {
         return AdmissionOutcome::RejectedBandwidth;

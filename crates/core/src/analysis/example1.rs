@@ -18,10 +18,8 @@
 //! conformant flow *asymptotically* receives its guaranteed rate without
 //! ever losing a bit — the necessity half of the threshold rule.
 
-use serde::{Deserialize, Serialize};
-
 /// One interval `(tᵢ₋₁, tᵢ)` of the Example 1 dynamics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     /// Interval index `i ≥ 1`.
     pub i: usize,

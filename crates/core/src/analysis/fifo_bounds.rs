@@ -110,6 +110,9 @@ mod tests {
         let b1 = token_bucket_threshold(b, R, rho1, sigma1);
         let b2 = b - b1;
         let bound = sigma1 + m_hat(b2, R, rho1);
-        assert!(bound <= b1 + 1e-6, "proof bound {bound} exceeds threshold {b1}");
+        assert!(
+            bound <= b1 + 1e-6,
+            "proof bound {bound} exceeds threshold {b1}"
+        );
     }
 }

@@ -24,10 +24,9 @@
 //! validate the heuristic.
 
 use crate::flow::FlowSpec;
-use serde::{Deserialize, Serialize};
 
 /// Aggregate `(σ̂, ρ̂)` profile of one queue's flow group.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroupProfile {
     /// Combined burst σ̂ᵢ, bytes.
     pub sigma_bytes: f64,
@@ -71,7 +70,10 @@ pub fn optimal_alphas(groups: &[GroupProfile]) -> Vec<f64> {
 pub fn rate_assignment_eq16(r_bps: f64, groups: &[GroupProfile], alphas: &[f64]) -> Vec<f64> {
     assert_eq!(groups.len(), alphas.len());
     let rho: f64 = groups.iter().map(|g| g.rho_bps).sum();
-    assert!(rho < r_bps, "groups oversubscribe the link: {rho} >= {r_bps}");
+    assert!(
+        rho < r_bps,
+        "groups oversubscribe the link: {rho} >= {r_bps}"
+    );
     let excess = r_bps - rho;
     groups
         .iter()
@@ -128,7 +130,7 @@ pub fn buffer_savings_eq17(r_bps: f64, groups: &[GroupProfile]) -> f64 {
 }
 
 /// An assignment of flows to `k` queues.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grouping {
     /// `assignment[f]` = queue index of flow `f`.
     pub assignment: Vec<usize>,
@@ -265,11 +267,7 @@ impl Grouping {
                     assignment: a.clone(),
                     k,
                 };
-                let s: f64 = g
-                    .profiles(specs)
-                    .iter()
-                    .map(|p| p.s_term())
-                    .sum();
+                let s: f64 = g.profiles(specs).iter().map(|p| p.s_term()).sum();
                 if best.as_ref().is_none_or(|(bs, _)| s < *bs) {
                     best = Some((s, a.clone()));
                 }

@@ -26,6 +26,5 @@ pub use fifo_bounds::{
 };
 pub use hybrid::{
     buffer_savings_eq17, hybrid_buffer_eq19, min_queues_for_budget, optimal_alphas,
-    per_queue_buffer_eq18, rate_assignment_eq16, single_fifo_buffer_eq13, GroupProfile,
-    Grouping,
+    per_queue_buffer_eq18, rate_assignment_eq16, single_fifo_buffer_eq13, GroupProfile, Grouping,
 };

@@ -9,10 +9,9 @@
 //! matching run-time state machine.
 
 use crate::units::{Dur, Rate};
-use serde::{Deserialize, Serialize};
 
 /// A leaky-bucket traffic envelope with optional peak-rate cap.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Envelope {
     /// Burst size σ, bytes.
     pub sigma_bytes: u64,
@@ -137,7 +136,7 @@ mod tests {
     #[test]
     fn conforming_trace_accepted_and_violation_caught() {
         let e = Envelope::new(1000, Rate::from_bps(8000)); // 1000 B/s
-        // 1000 B burst at t=0, then 1000 B/s.
+                                                           // 1000 B burst at t=0, then 1000 B/s.
         let good: Vec<(Dur, u64)> = (0..10)
             .map(|s| (Dur::from_secs(s), 1000 + 1000 * s))
             .collect();
@@ -157,7 +156,10 @@ mod tests {
     fn max_backlog_cases() {
         let svc = Rate::from_mbps(10.0);
         // No peak: backlog is the burst.
-        assert_eq!(Envelope::new(5000, Rate::from_mbps(1.0)).max_backlog_bytes(svc), 5000.0);
+        assert_eq!(
+            Envelope::new(5000, Rate::from_mbps(1.0)).max_backlog_bytes(svc),
+            5000.0
+        );
         // Peak below service: no backlog ever.
         assert_eq!(
             Envelope::with_peak(5000, Rate::from_mbps(1.0), Rate::from_mbps(8.0))

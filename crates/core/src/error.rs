@@ -43,10 +43,9 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::ZeroLinkRate => write!(f, "link rate must be positive"),
-            ConfigError::BufferTooSmall { capacity, needed } => write!(
-                f,
-                "buffer of {capacity} B cannot hold a {needed} B packet"
-            ),
+            ConfigError::BufferTooSmall { capacity, needed } => {
+                write!(f, "buffer of {capacity} B cannot hold a {needed} B packet")
+            }
             ConfigError::Oversubscribed {
                 reserved_bps,
                 link_bps,

@@ -7,15 +7,12 @@
 
 use crate::envelope::Envelope;
 use crate::units::Rate;
-use serde::{Deserialize, Serialize};
 
 /// Dense flow index. Flows in a configuration are numbered `0..N`
 /// exactly like the rows of the paper's tables; policies use the index
 /// directly into per-flow state vectors, keeping every admission
 /// decision a constant-time array access.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FlowId(pub u32);
 
 impl FlowId {
@@ -33,7 +30,7 @@ impl core::fmt::Display for FlowId {
 
 /// How a flow's actual traffic relates to its declared profile — the
 /// three behaviours the paper evaluates (§3.2 and §4.2 / Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Conformance {
     /// Shaped by a leaky-bucket regulator; never exceeds the profile
     /// (Table 1 flows 0–5, Table 2 flows 0–9).
@@ -55,7 +52,7 @@ impl Conformance {
 }
 
 /// Full traffic specification for one flow — one row of Table 1/2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowSpec {
     /// Flow index (row number).
     pub id: FlowId,

@@ -67,8 +67,8 @@ pub mod prelude {
     pub use crate::envelope::Envelope;
     pub use crate::flow::{Conformance, FlowId, FlowSpec};
     pub use crate::policy::{
-        AdaptiveSharing, BufferPolicy, BufferSharing, DropReason, DynamicThreshold,
-        FixedThreshold, Red, RedConfig, SharedBuffer, Verdict,
+        AdaptiveSharing, BufferPolicy, BufferSharing, DropReason, DynamicThreshold, FixedThreshold,
+        Red, RedConfig, SharedBuffer, Verdict,
     };
     pub use crate::token_bucket::TokenBucket;
     pub use crate::units::{ByteSize, Dur, Rate, Time};

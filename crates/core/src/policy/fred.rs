@@ -63,7 +63,10 @@ pub struct Fred {
 impl Fred {
     /// Build for `flows` flows over `capacity_bytes`.
     pub fn new(capacity_bytes: u64, flows: usize, cfg: FredConfig) -> Fred {
-        assert!(cfg.min_th_bytes < cfg.max_th_bytes, "min_th must be below max_th");
+        assert!(
+            cfg.min_th_bytes < cfg.max_th_bytes,
+            "min_th must be below max_th"
+        );
         assert!(cfg.max_p > 0.0 && cfg.max_p <= 1.0, "max_p in (0,1]");
         Fred {
             occ: Occupancy::new(capacity_bytes, flows),

@@ -31,7 +31,6 @@ pub use threshold::{compute_thresholds, raw_threshold, FixedThreshold, Threshold
 
 use crate::flow::{FlowId, FlowSpec};
 use crate::units::Rate;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of an admission decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +49,7 @@ impl Verdict {
 }
 
 /// Why a packet was dropped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DropReason {
     /// No free space in the buffer at all.
     BufferFull,
@@ -95,8 +94,41 @@ pub trait BufferPolicy: Send {
     fn name(&self) -> &'static str;
 }
 
+/// Boxed policies forward to their contents, so both `Box<dyn
+/// BufferPolicy>` (existing call sites) and `Box<Concrete>` satisfy the
+/// `P: BufferPolicy` bound of the monomorphized simulator.
+impl<P: BufferPolicy + ?Sized> BufferPolicy for Box<P> {
+    fn admit(&mut self, flow: FlowId, len: u32) -> Verdict {
+        (**self).admit(flow, len)
+    }
+
+    fn release(&mut self, flow: FlowId, len: u32) {
+        (**self).release(flow, len)
+    }
+
+    fn flow_occupancy(&self, flow: FlowId) -> u64 {
+        (**self).flow_occupancy(flow)
+    }
+
+    fn total_occupancy(&self) -> u64 {
+        (**self).total_occupancy()
+    }
+
+    fn capacity(&self) -> u64 {
+        (**self).capacity()
+    }
+
+    fn threshold(&self, flow: FlowId) -> Option<u64> {
+        (**self).threshold(flow)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Declarative policy selector used by experiment configurations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PolicyKind {
     /// No management: shared buffer, drop-on-full.
     None,
@@ -247,7 +279,10 @@ impl Occupancy {
     #[inline]
     pub(crate) fn credit(&mut self, flow: FlowId, len: u32) {
         let q = &mut self.per_flow[flow.index()];
-        assert!(*q >= len as u64, "release of {len} B from {flow} holding {q} B");
+        assert!(
+            *q >= len as u64,
+            "release of {len} B from {flow} holding {q} B"
+        );
         *q -= len as u64;
         self.total -= len as u64;
     }

@@ -48,8 +48,12 @@ impl PartialBufferSharing {
             (0.0..=1.0).contains(&threshold_frac),
             "threshold fraction must be in [0, 1]"
         );
-        let reserved =
-            compute_thresholds(capacity_bytes, link_rate, specs, ThresholdOptions::default());
+        let reserved = compute_thresholds(
+            capacity_bytes,
+            link_rate,
+            specs,
+            ThresholdOptions::default(),
+        );
         PartialBufferSharing {
             occ: Occupancy::new(capacity_bytes, specs.len()),
             global_threshold: (capacity_bytes as f64 * threshold_frac).round() as u64,

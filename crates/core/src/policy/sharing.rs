@@ -53,8 +53,12 @@ impl BufferSharing {
         specs: &[FlowSpec],
         headroom_bytes: u64,
     ) -> BufferSharing {
-        let reserved =
-            compute_thresholds(capacity_bytes, link_rate, specs, ThresholdOptions::default());
+        let reserved = compute_thresholds(
+            capacity_bytes,
+            link_rate,
+            specs,
+            ThresholdOptions::default(),
+        );
         let headroom = headroom_bytes.min(capacity_bytes);
         BufferSharing {
             occ: Occupancy::new(capacity_bytes, specs.len()),
@@ -373,14 +377,20 @@ mod tests {
         let mut p = AdaptiveSharing::new(200_000, LINK, &specs, 10_000);
         let r0 = p.threshold(FlowId(0)).unwrap();
         while p.admit(FlowId(0), 500).admitted() {}
-        assert!(p.flow_occupancy(FlowId(0)) <= r0, "non-adaptive flow borrowed");
+        assert!(
+            p.flow_occupancy(FlowId(0)) <= r0,
+            "non-adaptive flow borrowed"
+        );
         let last = p.admit(FlowId(0), 500);
         assert_eq!(last, Verdict::Drop(DropReason::OverThreshold));
 
         let mut p = AdaptiveSharing::new(200_000, LINK, &specs, 10_000);
         let r1 = p.threshold(FlowId(1)).unwrap();
         while p.admit(FlowId(1), 500).admitted() {}
-        assert!(p.flow_occupancy(FlowId(1)) > r1, "adaptive flow never borrowed");
+        assert!(
+            p.flow_occupancy(FlowId(1)) > r1,
+            "adaptive flow never borrowed"
+        );
         assert_eq!(
             p.admit(FlowId(1), 500),
             Verdict::Drop(DropReason::NoSharedSpace)

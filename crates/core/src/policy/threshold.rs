@@ -228,7 +228,10 @@ mod tests {
         while p.admit(FlowId(0), 500).admitted() {
             got += 500;
         }
-        assert!(got + 500 > t0.min(b - stuffed), "flow 0 starved: {got} of {t0}");
+        assert!(
+            got + 500 > t0.min(b - stuffed),
+            "flow 0 starved: {got} of {t0}"
+        );
     }
 
     #[test]

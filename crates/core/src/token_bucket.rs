@@ -206,10 +206,7 @@ mod tests {
         assert_eq!(tb.time_until_conformant(Time::ZERO, 1), None);
         // But a still-full zero-rate bucket does conform (pure burst).
         let mut tb2 = TokenBucket::new(500, Rate::ZERO);
-        assert_eq!(
-            tb2.time_until_conformant(Time::ZERO, 500),
-            Some(Dur::ZERO)
-        );
+        assert_eq!(tb2.time_until_conformant(Time::ZERO, 500), Some(Dur::ZERO));
     }
 
     #[test]

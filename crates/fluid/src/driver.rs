@@ -49,8 +49,7 @@ impl FluidFlow for GreedyFluid {
         // service drained this flow alone; the threshold clips the
         // excess, keeping occupancy pinned (finite so the drop counters
         // stay meaningful).
-        (mux.threshold(flow) - mux.occupancy(flow)).max(0.0)
-            + mux.service_bytes_per_sec() * dt
+        (mux.threshold(flow) - mux.occupancy(flow)).max(0.0) + mux.service_bytes_per_sec() * dt
     }
 }
 
@@ -195,7 +194,10 @@ mod tests {
             let bound = 20_000.0 + 4e6 / 8.0 * t;
             // 1e-3 B slack absorbs the accumulated f64 summation error
             // over 20k steps.
-            assert!(cum <= bound + 1e-3, "envelope violated at t={t}: {cum} > {bound}");
+            assert!(
+                cum <= bound + 1e-3,
+                "envelope violated at t={t}: {cum} > {bound}"
+            );
         }
     }
 }

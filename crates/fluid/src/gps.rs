@@ -162,9 +162,21 @@ mod tests {
         // reserved rate must be served at ≥ that rate.
         use qbm_core::analysis::hybrid::{optimal_alphas, rate_assignment_eq16, GroupProfile};
         let groups = vec![
-            GroupProfile { sigma_bytes: 150.0 * 1024.0, rho_bps: 6e6, n_flows: 3 },
-            GroupProfile { sigma_bytes: 300.0 * 1024.0, rho_bps: 24e6, n_flows: 3 },
-            GroupProfile { sigma_bytes: 150.0 * 1024.0, rho_bps: 2.8e6, n_flows: 3 },
+            GroupProfile {
+                sigma_bytes: 150.0 * 1024.0,
+                rho_bps: 6e6,
+                n_flows: 3,
+            },
+            GroupProfile {
+                sigma_bytes: 300.0 * 1024.0,
+                rho_bps: 24e6,
+                n_flows: 3,
+            },
+            GroupProfile {
+                sigma_bytes: 150.0 * 1024.0,
+                rho_bps: 2.8e6,
+                n_flows: 3,
+            },
         ];
         let alphas = optimal_alphas(&groups);
         let rates = rate_assignment_eq16(R, &groups, &alphas);

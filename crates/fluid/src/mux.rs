@@ -238,7 +238,9 @@ mod tests {
         // Deterministic pseudo-random offered volumes.
         let mut x: u64 = 12345;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = (x >> 33) as f64 % 200.0;
             let b = (x >> 13) as f64 % 300.0;
             m.step(1e-5, &[a, b]);

@@ -41,7 +41,10 @@ fn prop1_peak_rate_flow_is_lossless_and_converges() {
     let r1 = rate(0);
     let r2 = rate(1);
     assert!((r1 - rho1).abs() / rho1 < 0.02, "flow 1 rate {r1}");
-    assert!((r2 - (R - rho1)).abs() / (R - rho1) < 0.02, "flow 2 rate {r2}");
+    assert!(
+        (r2 - (R - rho1)).abs() / (R - rho1) < 0.02,
+        "flow 2 rate {r2}"
+    );
 
     // Flow 1's occupancy approached its threshold from below.
     assert!(mux.occupancy(0) <= b1 + 1.0);

@@ -166,10 +166,7 @@ mod tests {
         }
         let order = drain(&mut d, LINK, Time::ZERO);
         assert_eq!(order.len(), 7);
-        let pos = order
-            .iter()
-            .position(|(_, p)| p.flow.index() == 0)
-            .unwrap();
+        let pos = order.iter().position(|(_, p)| p.flow.index() == 0).unwrap();
         // Flow 0 sends after banking 3 rounds of quantum: around the
         // third round, i.e. after ~2-3 of flow 1's packets.
         assert!((2..=4).contains(&pos), "pos {pos}");

@@ -95,7 +95,10 @@ mod tests {
             .filter(|(_, p)| p.flow.index() < 2)
             .map(|(_, p)| p.seq)
             .collect();
-        assert!(q0.windows(2).all(|w| w[0] < w[1]), "queue 0 reordered: {q0:?}");
+        assert!(
+            q0.windows(2).all(|w| w[0] < w[1]),
+            "queue 0 reordered: {q0:?}"
+        );
     }
 
     #[test]

@@ -115,10 +115,7 @@ mod tests {
         let t = Time::ZERO + Dur::from_millis(8);
         v.enqueue(t, pkt(1, 500, 8, 100));
         let order = drain(&mut v, LINK, t);
-        let pos = order
-            .iter()
-            .position(|(_, p)| p.flow.index() == 1)
-            .unwrap();
+        let pos = order.iter().position(|(_, p)| p.flow.index() == 1).unwrap();
         // Stamp 12 ms beats flow-0 stamps 16 ms+ (packets 4..): pos ≈ 3.
         assert!((2..5).contains(&pos), "pos {pos}");
     }

@@ -69,7 +69,13 @@ impl Wf2q {
             weights: w,
             total_weight: total,
             queues: vec![VecDeque::new(); n],
-            heads: vec![HeadTags { finish: 0.0, epoch: 0 }; n],
+            heads: vec![
+                HeadTags {
+                    finish: 0.0,
+                    epoch: 0
+                };
+                n
+            ],
             last_finish: vec![0.0; n],
             vtime: 0.0,
             by_start: BinaryHeap::new(),
@@ -262,7 +268,10 @@ mod tests {
             wf2q_run < wfq_run,
             "WF2Q+ run {wf2q_run} not smoother than WFQ {wfq_run}"
         );
-        assert!(wf2q_run <= 2, "WF2Q+ burst {wf2q_run} exceeds one-packet-ahead");
+        assert!(
+            wf2q_run <= 2,
+            "WF2Q+ burst {wf2q_run} exceeds one-packet-ahead"
+        );
     }
 
     #[test]

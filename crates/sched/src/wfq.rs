@@ -150,7 +150,8 @@ impl WfqCore {
         }
         self.gps_heap.push(Reverse((OrdF64(finish), class)));
         self.queues[class].push_back((pkt, finish));
-        self.pkt_heap.push(Reverse((OrdF64(finish), pkt.seq, class)));
+        self.pkt_heap
+            .push(Reverse((OrdF64(finish), pkt.seq, class)));
         self.len += 1;
     }
 
@@ -340,7 +341,10 @@ mod tests {
         // Growth rate doubled after expiry: measure over 100 µs.
         let v1 = core.vtime_at(Time::ZERO + Dur::from_micros(268));
         let slope = (v1 - after) * 1e4; // per second
-        assert!((slope - 48.0).abs() < 1.0, "slope {slope} (expect R/1e6 = 48)");
+        assert!(
+            (slope - 48.0).abs() < 1.0,
+            "slope {slope} (expect R/1e6 = 48)"
+        );
     }
 
     #[test]

@@ -1,18 +1,27 @@
-//! Experiment configuration and the multi-seed runner.
+//! Experiment configuration and the campaign runner.
 //!
 //! The paper: "We averaged the results over 5 simulation runs and found
 //! the 95 % confidence intervals for throughput measurements to be less
 //! than 2 % of the corresponding values." [`MultiRun`] reproduces that
-//! protocol: N independent seeds in parallel, Student-t 95 % confidence
-//! intervals on any scalar metric.
+//! protocol: N independent seeds, Student-t 95 % confidence intervals
+//! on any scalar metric.
+//!
+//! [`Campaign`] is the execution engine underneath: a grid of
+//! *(scenario point × replication)* cells sharded across a scoped
+//! thread pool. Every cell's seed is a pure function of
+//! `(campaign_seed, point_index, replication)`, and cells are written
+//! back into their grid slot by index, so results are **bit-identical
+//! regardless of thread count** — `--threads 1` and `--threads 8`
+//! produce the same bytes.
 
 use crate::router::Router;
-use crate::stats::SimResult;
+use crate::stats::{SimResult, StatsCollector};
 use qbm_core::flow::FlowSpec;
 use qbm_core::policy::{BufferPolicy, BufferSharing, FixedThreshold, PolicyKind};
 use qbm_core::units::{Dur, Rate, Time};
 use qbm_sched::SchedKind;
 use qbm_traffic::{build_source_with_sojourns, Sojourns};
+use rand::SplitMix64;
 
 /// How to build the admission policy — either a standard
 /// [`PolicyKind`], or explicit per-flow shares (used by the §4 hybrid,
@@ -110,20 +119,175 @@ impl ExperimentConfig {
     /// Run `n_seeds` independent replications in parallel (the paper
     /// uses 5). Seeds are `base_seed..base_seed + n_seeds`.
     pub fn run_many(&self, base_seed: u64, n_seeds: usize) -> MultiRun {
-        assert!(n_seeds >= 1);
-        let mut runs: Vec<Option<SimResult>> = (0..n_seeds).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            for (i, slot) in runs.iter_mut().enumerate() {
-                let cfg = &*self;
-                scope.spawn(move |_| {
-                    *slot = Some(cfg.run_once(base_seed + i as u64));
-                });
-            }
-        })
-        .expect("simulation worker panicked");
-        MultiRun {
-            runs: runs.into_iter().map(|r| r.unwrap()).collect(),
+        self.run_many_threaded(base_seed, n_seeds, 0)
+    }
+
+    /// [`ExperimentConfig::run_many`] with an explicit worker-thread
+    /// count (`0` = one per available core). The thread count affects
+    /// wall-clock time only, never the results.
+    pub fn run_many_threaded(&self, base_seed: u64, n_seeds: usize, threads: usize) -> MultiRun {
+        let mut campaign = Campaign::new(std::slice::from_ref(self));
+        campaign.replications = n_seeds;
+        campaign.campaign_seed = base_seed;
+        campaign.seed_mode = SeedMode::BaseOffset;
+        campaign.threads = threads;
+        campaign
+            .run()
+            .pop()
+            .expect("one point in, one MultiRun out")
+    }
+}
+
+/// How a [`Campaign`] derives each cell's simulation seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedMode {
+    /// `seed = campaign_seed + replication`, ignoring the point index —
+    /// the historical `run_many` scheme, kept so the paper-figure
+    /// pipeline reproduces its original numbers. Replications of
+    /// *different* points share seeds (common random numbers).
+    BaseOffset,
+    /// `seed = hash(campaign_seed, point_index, replication)` through a
+    /// SplitMix64 chain — every cell of the grid gets a statistically
+    /// independent stream. The default for new campaigns.
+    Hashed,
+}
+
+/// Derive a cell seed by chaining each coordinate through a SplitMix64
+/// finalization round. Pure and order-sensitive in its inputs, so every
+/// `(campaign_seed, point, replication)` triple maps to a well-mixed,
+/// reproducible seed.
+pub fn derive_cell_seed(campaign_seed: u64, point: u64, replication: u64) -> u64 {
+    let mut h = SplitMix64::new(campaign_seed).next_u64();
+    h = SplitMix64::new(h ^ point).next_u64();
+    SplitMix64::new(h ^ replication).next_u64()
+}
+
+/// A deterministic, parallel experiment sweep: every scenario point
+/// runs `replications` times, each cell seeded by [`SeedMode`], with
+/// the `points × replications` grid sharded across `threads` scoped
+/// workers. Workers claim cells by index stride and write results back
+/// into per-cell slots, so the outcome is byte-identical for any thread
+/// count.
+#[derive(Debug, Clone)]
+pub struct Campaign<'a> {
+    /// The scenario grid, one configuration per point.
+    pub points: &'a [ExperimentConfig],
+    /// Independent replications per point (the paper uses 5).
+    pub replications: usize,
+    /// Root seed of the whole campaign.
+    pub campaign_seed: u64,
+    /// Cell-seed derivation scheme.
+    pub seed_mode: SeedMode,
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+}
+
+impl<'a> Campaign<'a> {
+    /// A campaign over `points` with the default protocol: 1
+    /// replication, seed 0, [`SeedMode::Hashed`], one worker per core.
+    pub fn new(points: &'a [ExperimentConfig]) -> Campaign<'a> {
+        Campaign {
+            points,
+            replications: 1,
+            campaign_seed: 0,
+            seed_mode: SeedMode::Hashed,
+            threads: 0,
         }
+    }
+
+    /// The seed cell `(point, replication)` runs with.
+    pub fn cell_seed(&self, point: usize, replication: usize) -> u64 {
+        match self.seed_mode {
+            SeedMode::BaseOffset => self.campaign_seed + replication as u64,
+            SeedMode::Hashed => {
+                derive_cell_seed(self.campaign_seed, point as u64, replication as u64)
+            }
+        }
+    }
+
+    /// Run the whole grid; returns one [`MultiRun`] per point, with
+    /// replications in order.
+    pub fn run(&self) -> Vec<MultiRun> {
+        assert!(self.replications >= 1, "campaign without replications");
+        assert!(!self.points.is_empty(), "campaign without points");
+        let cells = self.points.len() * self.replications;
+        let workers = self.worker_count(cells);
+
+        let mut slots: Vec<Option<SimResult>> = (0..cells).map(|_| None).collect();
+        if workers <= 1 {
+            for (idx, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(self.run_cell(idx));
+            }
+        } else {
+            // Shard by index stride; each worker returns (index, result)
+            // pairs that are scattered back into the grid, so neither
+            // scheduling nor completion order can reorder results.
+            let buckets: Vec<Vec<(usize, SimResult)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let me: &Campaign<'a> = self;
+                        scope.spawn(move || {
+                            (w..cells)
+                                .step_by(workers)
+                                .map(|idx| (idx, me.run_cell(idx)))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("simulation worker panicked"))
+                    .collect()
+            });
+            for (idx, res) in buckets.into_iter().flatten() {
+                slots[idx] = Some(res);
+            }
+        }
+
+        let mut slots = slots.into_iter();
+        (0..self.points.len())
+            .map(|_| MultiRun {
+                runs: (&mut slots)
+                    .take(self.replications)
+                    .map(|r| r.expect("cell never ran"))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Run the grid and fold each point's replications into a single
+    /// [`SimResult`] via [`StatsCollector::merge`]. The merged results
+    /// carry the campaign seed and are byte-identical for any thread
+    /// count.
+    pub fn run_merged(&self) -> Vec<SimResult> {
+        self.run()
+            .into_iter()
+            .map(|multi| {
+                let n_flows = multi.runs[0].flows.len();
+                let mut acc = StatsCollector::merger(n_flows, self.campaign_seed);
+                for run in &multi.runs {
+                    acc.merge(run);
+                }
+                acc.finish()
+            })
+            .collect()
+    }
+
+    fn run_cell(&self, idx: usize) -> SimResult {
+        let point = idx / self.replications;
+        let replication = idx % self.replications;
+        self.points[point].run_once(self.cell_seed(point, replication))
+    }
+
+    fn worker_count(&self, cells: usize) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        requested.min(cells).max(1)
     }
 }
 
@@ -135,7 +299,7 @@ pub struct MultiRun {
 }
 
 /// Mean and half-width of a 95 % confidence interval.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Sample mean.
     pub mean: f64,
@@ -179,10 +343,7 @@ pub fn summarize_samples(xs: &[f64]) -> Summary {
     let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
     let se = (var / n as f64).sqrt();
     let t = T95.get(n - 2).copied().unwrap_or(1.96);
-    Summary {
-        mean,
-        ci95: t * se,
-    }
+    Summary { mean, ci95: t * se }
 }
 
 #[cfg(test)]
@@ -267,6 +428,68 @@ mod tests {
         // Offered load well above flow 0's reservation but link is
         // uncongested on average (2 + 16 = 18 < 48): decent delivery.
         assert!(thr.mean < 48e6);
+    }
+
+    #[test]
+    fn cell_seed_modes() {
+        let points = [tiny_config()];
+        let mut c = Campaign::new(&points);
+        c.campaign_seed = 42;
+        c.replications = 3;
+        // Hashed (default): pure function of all three coordinates, and
+        // distinct across both axes.
+        assert_eq!(c.cell_seed(0, 1), derive_cell_seed(42, 0, 1));
+        assert_ne!(c.cell_seed(0, 1), c.cell_seed(0, 2));
+        assert_ne!(c.cell_seed(0, 1), c.cell_seed(1, 1));
+        // BaseOffset: the legacy run_many scheme — point-independent.
+        c.seed_mode = SeedMode::BaseOffset;
+        assert_eq!(c.cell_seed(0, 2), 44);
+        assert_eq!(c.cell_seed(7, 2), 44);
+    }
+
+    #[test]
+    fn campaign_matches_sequential_execution() {
+        let mut cfg2 = tiny_config();
+        cfg2.buffer_bytes = 250_000;
+        let points = [tiny_config(), cfg2];
+        let mut c = Campaign::new(&points);
+        c.replications = 2;
+        c.campaign_seed = 3;
+        c.threads = 4;
+        let grid = c.run();
+        assert_eq!(grid.len(), 2);
+        for (p, multi) in grid.iter().enumerate() {
+            assert_eq!(multi.runs.len(), 2);
+            for (r, run) in multi.runs.iter().enumerate() {
+                let solo = points[p].run_once(c.cell_seed(p, r));
+                assert_eq!(run, &solo, "cell ({p}, {r}) diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn run_merged_folds_replications() {
+        let points = [tiny_config()];
+        let mut c = Campaign::new(&points);
+        c.replications = 3;
+        c.campaign_seed = 11;
+        let merged = c.run_merged().pop().unwrap();
+        let multi = c.run().pop().unwrap();
+        let offered: u64 = multi.runs.iter().map(|r| r.flows[0].offered_pkts).sum();
+        assert_eq!(merged.flows[0].offered_pkts, offered);
+        let window: Dur = multi
+            .runs
+            .iter()
+            .map(|r| r.window)
+            .fold(Dur::ZERO, |a, w| a + w);
+        assert_eq!(merged.window, window);
+        assert_eq!(merged.seed, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "campaign without points")]
+    fn empty_campaign_rejected() {
+        let _ = Campaign::new(&[]).run();
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! * [`stats`] — per-flow counters, warmup trimming, throughput/loss
 //!   accessors;
 //! * [`experiment`] — `(config, seeds)` → multi-run summaries with the
-//!   paper's 5-run 95 % confidence intervals;
+//!   paper's 5-run 95 % confidence intervals, plus the [`Campaign`]
+//!   runner that shards a (point × replication) grid across a scoped
+//!   thread pool with bit-identical results for any thread count;
 //! * [`scenarios`] — the §3.2 schemes, §3.3 sharing setups and §4.2
 //!   hybrid cases as ready-made configurations;
 //! * [`tandem`] — feed-forward multi-hop lines (extension beyond the
@@ -32,6 +34,6 @@ pub mod scenarios;
 pub mod stats;
 pub mod tandem;
 
-pub use experiment::{ExperimentConfig, MultiRun, PolicySpec, Summary};
+pub use experiment::{Campaign, ExperimentConfig, MultiRun, PolicySpec, SeedMode, Summary};
 pub use router::Router;
 pub use stats::{FlowStats, SimResult};

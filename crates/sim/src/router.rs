@@ -24,10 +24,19 @@ use qbm_sched::{PacketRef, Scheduler};
 use qbm_traffic::{Emission, Source};
 
 /// A single-output-link router under simulation.
-pub struct Router {
+///
+/// Generic over the admission policy and scheduler so concrete types
+/// monomorphize to static dispatch; the defaults are trait objects, and
+/// the blanket `impl … for Box<…>` in `qbm-core`/`qbm-sched` keeps every
+/// pre-existing `Box<dyn …>` call site compiling unchanged.
+pub struct Router<P = Box<dyn BufferPolicy>, S = Box<dyn Scheduler>>
+where
+    P: BufferPolicy,
+    S: Scheduler,
+{
     link_rate: Rate,
-    policy: Box<dyn BufferPolicy>,
-    scheduler: Box<dyn Scheduler>,
+    policy: P,
+    scheduler: S,
     sources: Vec<Box<dyn Source>>,
     /// Packet currently on the wire.
     in_flight: Option<PacketRef>,
@@ -38,14 +47,18 @@ pub struct Router {
     meters: Option<Vec<TokenBucket>>,
 }
 
-impl Router {
+impl<P, S> Router<P, S>
+where
+    P: BufferPolicy,
+    S: Scheduler,
+{
     /// Assemble a router. `sources[i]` feeds `FlowId(i)`.
     pub fn new(
         link_rate: Rate,
-        policy: Box<dyn BufferPolicy>,
-        scheduler: Box<dyn Scheduler>,
+        policy: P,
+        scheduler: S,
         sources: Vec<Box<dyn Source>>,
-    ) -> Router {
+    ) -> Router<P, S> {
         assert!(link_rate.bps() > 0, "zero link rate");
         assert!(!sources.is_empty(), "no sources");
         Router {
@@ -64,7 +77,7 @@ impl Router {
     /// when they fit the envelope, *red* otherwise — the coloring of
     /// the paper's Remark 1. Marking is observational: admission
     /// decisions are unchanged; statistics gain the green counters.
-    pub fn with_meters(mut self, specs: &[FlowSpec]) -> Router {
+    pub fn with_meters(mut self, specs: &[FlowSpec]) -> Router<P, S> {
         assert_eq!(specs.len(), self.sources.len(), "one meter per flow");
         self.meters = Some(
             specs
@@ -106,8 +119,7 @@ impl Router {
         let n = self.sources.len();
         let mut stats = StatsCollector::new(n, warmup, end, seed);
         let mut events = EventQueue::new();
-        let mut traces: Option<Vec<Vec<Emission>>> =
-            record.then(|| vec![Vec::new(); n]);
+        let mut traces: Option<Vec<Vec<Emission>>> = record.then(|| vec![Vec::new(); n]);
 
         // Prime one pending emission per source.
         let mut pending: Vec<Option<u32>> = vec![None; n];

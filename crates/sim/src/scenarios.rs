@@ -237,7 +237,11 @@ pub fn hybrid_schemes(
 /// Assemble a full experiment for one scheme × buffer point with the
 /// repo's standard measurement protocol (2 s warmup, 22 s total — long
 /// enough for every flow's ON-OFF process to cycle hundreds of times).
-pub fn paper_experiment(specs: &[FlowSpec], scheme: &Scheme, buffer_bytes: u64) -> ExperimentConfig {
+pub fn paper_experiment(
+    specs: &[FlowSpec],
+    scheme: &Scheme,
+    buffer_bytes: u64,
+) -> ExperimentConfig {
     ExperimentConfig {
         link_rate: LINK_RATE,
         buffer_bytes,

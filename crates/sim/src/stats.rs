@@ -8,10 +8,9 @@
 use qbm_core::flow::{Conformance, FlowId, FlowSpec};
 use qbm_core::policy::DropReason;
 use qbm_core::units::{Dur, Time};
-use serde::{Deserialize, Serialize};
 
 /// Counters for a single flow over the measurement window.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FlowStats {
     /// Bytes offered to the router (pre-admission).
     pub offered_bytes: u64,
@@ -67,6 +66,34 @@ impl FlowStats {
         }
     }
 
+    /// Fold another flow's counters into this one (the per-flow leg of
+    /// [`StatsCollector::merge`]): counters and histograms add, the
+    /// delay maximum takes the max. Commutative and associative.
+    pub fn merge(&mut self, other: &FlowStats) {
+        self.offered_bytes += other.offered_bytes;
+        self.offered_pkts += other.offered_pkts;
+        self.dropped_bytes += other.dropped_bytes;
+        self.dropped_pkts += other.dropped_pkts;
+        self.drops_buffer_full += other.drops_buffer_full;
+        self.drops_over_threshold += other.drops_over_threshold;
+        self.drops_no_shared_space += other.drops_no_shared_space;
+        self.delivered_bytes += other.delivered_bytes;
+        self.delivered_pkts += other.delivered_pkts;
+        self.delay_sum_ns += other.delay_sum_ns;
+        self.delay_max_ns = self.delay_max_ns.max(other.delay_max_ns);
+        if !other.delay_hist.is_empty() {
+            if self.delay_hist.is_empty() {
+                self.delay_hist = vec![0; other.delay_hist.len()];
+            }
+            for (a, b) in self.delay_hist.iter_mut().zip(&other.delay_hist) {
+                *a += b;
+            }
+        }
+        self.green_offered_bytes += other.green_offered_bytes;
+        self.green_offered_pkts += other.green_offered_pkts;
+        self.green_delivered_bytes += other.green_delivered_bytes;
+    }
+
     /// Approximate delay percentile from the log₂ histogram: the upper
     /// edge of the bucket containing the q-quantile (q ∈ [0, 1]), i.e.
     /// within a factor of 2 of the true value. `Dur::ZERO` when no
@@ -92,7 +119,7 @@ impl FlowStats {
 }
 
 /// Result of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Per-flow counters, indexed by `FlowId`.
     pub flows: Vec<FlowStats>,
@@ -237,6 +264,36 @@ impl StatsCollector {
     pub fn finish(self) -> SimResult {
         self.result
     }
+
+    /// A collector that starts as the merge identity — zero counters,
+    /// zero window — for folding completed runs with
+    /// [`StatsCollector::merge`].
+    pub fn merger(n_flows: usize, seed: u64) -> StatsCollector {
+        StatsCollector {
+            result: SimResult::new(n_flows, Dur::ZERO, seed),
+            warmup_end: Time::ZERO,
+            run_end: Time::ZERO,
+        }
+    }
+
+    /// Fold a completed run into this collector. Counters add, delay
+    /// maxima take the max, histograms add element-wise, and windows
+    /// add (the merged result spans the concatenation of the runs'
+    /// measurement windows, so throughput accessors report the mean
+    /// rate across replications). The fold is commutative and
+    /// associative: any merge order over the same set of runs yields an
+    /// identical result.
+    pub fn merge(&mut self, other: &SimResult) {
+        assert_eq!(
+            self.result.flows.len(),
+            other.flows.len(),
+            "merging results with different flow counts"
+        );
+        self.result.window += other.window;
+        for (into, from) in self.result.flows.iter_mut().zip(&other.flows) {
+            into.merge(from);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -314,12 +371,7 @@ mod tests {
             500,
             Some(DropReason::OverThreshold),
         );
-        c.on_departure(
-            Time::ZERO + Dur::from_millis(2),
-            FlowId(0),
-            500,
-            Time::ZERO,
-        );
+        c.on_departure(Time::ZERO + Dur::from_millis(2), FlowId(0), 500, Time::ZERO);
         let r = c.finish();
         assert_eq!(r.class_loss_ratio(&specs, Conformance::Conformant), 0.0);
         assert_eq!(r.class_loss_ratio(&specs, Conformance::Aggressive), 1.0);
@@ -368,12 +420,7 @@ mod tests {
     #[test]
     fn delay_accounting() {
         let mut c = StatsCollector::new(1, Time::ZERO, Time::from_secs(1), 0);
-        c.on_departure(
-            Time::ZERO + Dur::from_millis(3),
-            FlowId(0),
-            500,
-            Time::ZERO,
-        );
+        c.on_departure(Time::ZERO + Dur::from_millis(3), FlowId(0), 500, Time::ZERO);
         c.on_departure(
             Time::ZERO + Dur::from_millis(9),
             FlowId(0),
@@ -389,5 +436,94 @@ mod tests {
     #[should_panic(expected = "empty measurement window")]
     fn degenerate_window_rejected() {
         let _ = StatsCollector::new(1, Time::from_secs(1), Time::from_secs(1), 0);
+    }
+
+    /// A synthetic run with per-flow counters derived from `tag`, so
+    /// different tags give distinguishable results.
+    fn synthetic_run(n_flows: usize, tag: u64) -> SimResult {
+        let mut r = SimResult::new(n_flows, Dur::from_secs(2), tag);
+        for (i, f) in r.flows.iter_mut().enumerate() {
+            let k = tag * 100 + i as u64;
+            f.offered_pkts = 10 + k;
+            f.offered_bytes = (10 + k) * 500;
+            f.dropped_pkts = k % 7;
+            f.dropped_bytes = (k % 7) * 500;
+            f.drops_buffer_full = k % 3;
+            f.drops_over_threshold = k % 4;
+            f.delivered_pkts = f.offered_pkts - f.dropped_pkts;
+            f.delivered_bytes = f.offered_bytes - f.dropped_bytes;
+            f.delay_sum_ns = (k as u128 + 1) * 1_000;
+            f.delay_max_ns = (tag + 1) * 1_000 * (i as u64 + 1);
+            f.delay_hist = vec![k, k + 1, k + 2];
+            f.green_offered_pkts = k % 5;
+        }
+        r
+    }
+
+    fn fold(n_flows: usize, seed: u64, runs: &[SimResult]) -> SimResult {
+        let mut acc = StatsCollector::merger(n_flows, seed);
+        for r in runs {
+            acc.merge(r);
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn merge_identity_is_neutral() {
+        // empty ⊕ x preserves x's counters (seed aside — the merged
+        // result carries the campaign seed, not any one run's).
+        let x = synthetic_run(3, 5);
+        let mut merged = fold(3, x.seed, std::slice::from_ref(&x));
+        merged.seed = x.seed;
+        assert_eq!(merged, x);
+    }
+
+    #[test]
+    fn merge_is_commutative_over_shuffled_orders() {
+        let runs: Vec<SimResult> = (0..5).map(|t| synthetic_run(4, t)).collect();
+        let reference = fold(4, 9, &runs);
+        for order in [[4usize, 2, 0, 3, 1], [1, 0, 3, 2, 4], [3, 4, 1, 0, 2]] {
+            let shuffled: Vec<SimResult> = order.iter().map(|&i| runs[i].clone()).collect();
+            assert_eq!(fold(4, 9, &shuffled), reference, "order {order:?} diverged");
+        }
+    }
+
+    #[test]
+    fn merge_adds_counters_and_windows_and_maxes_delay() {
+        let a = synthetic_run(2, 1);
+        let b = synthetic_run(2, 2);
+        let m = fold(2, 0, &[a.clone(), b.clone()]);
+        assert_eq!(m.window, a.window + b.window);
+        for i in 0..2 {
+            let (fa, fb, fm) = (&a.flows[i], &b.flows[i], &m.flows[i]);
+            assert_eq!(fm.offered_pkts, fa.offered_pkts + fb.offered_pkts);
+            assert_eq!(fm.dropped_bytes, fa.dropped_bytes + fb.dropped_bytes);
+            assert_eq!(fm.delivered_bytes, fa.delivered_bytes + fb.delivered_bytes);
+            assert_eq!(fm.delay_sum_ns, fa.delay_sum_ns + fb.delay_sum_ns);
+            assert_eq!(fm.delay_max_ns, fa.delay_max_ns.max(fb.delay_max_ns));
+            assert_eq!(
+                fm.green_offered_pkts,
+                fa.green_offered_pkts + fb.green_offered_pkts
+            );
+            let hist_sum: Vec<u64> = fa
+                .delay_hist
+                .iter()
+                .zip(&fb.delay_hist)
+                .map(|(x, y)| x + y)
+                .collect();
+            assert_eq!(fm.delay_hist, hist_sum);
+        }
+        // Window addition makes the merged throughput the mean rate:
+        // delivered bytes across both runs over both windows.
+        let expect = (a.flows[0].delivered_bytes + b.flows[0].delivered_bytes) as f64 * 8.0
+            / m.window.as_secs_f64();
+        assert!((m.flow_throughput_bps(FlowId(0)) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different flow counts")]
+    fn merge_rejects_mismatched_flow_counts() {
+        let mut acc = StatsCollector::merger(2, 0);
+        acc.merge(&synthetic_run(3, 0));
     }
 }

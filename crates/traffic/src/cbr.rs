@@ -38,7 +38,11 @@ impl CbrSource {
     /// traffic available to keep its buffer share pinned full.
     pub fn greedy(link_rate: Rate, pkt_len: u32, factor: u64) -> CbrSource {
         assert!(factor >= 1);
-        CbrSource::new(Rate::from_bps(link_rate.bps() * factor), pkt_len, Time::ZERO)
+        CbrSource::new(
+            Rate::from_bps(link_rate.bps() * factor),
+            pkt_len,
+            Time::ZERO,
+        )
     }
 }
 

@@ -28,4 +28,6 @@ pub use poisson::PoissonSource;
 pub use regulator::ShapedSource;
 pub use source::{Emission, Source};
 pub use trace::TraceSource;
-pub use workloads::{build_source, build_source_with_sojourns, table1, table1_scaled, table2, PACKET_BYTES};
+pub use workloads::{
+    build_source, build_source_with_sojourns, table1, table1_scaled, table2, PACKET_BYTES,
+};

@@ -89,7 +89,14 @@ impl OnOffSource {
         pkt_len: u32,
         seed: u64,
     ) -> OnOffSource {
-        OnOffSource::with_sojourns(peak, avg, mean_burst_bytes, pkt_len, seed, Sojourns::Exponential)
+        OnOffSource::with_sojourns(
+            peak,
+            avg,
+            mean_burst_bytes,
+            pkt_len,
+            seed,
+            Sojourns::Exponential,
+        )
     }
 
     /// Like [`OnOffSource::new`] but with an explicit sojourn family
@@ -109,8 +116,7 @@ impl OnOffSource {
         let gap = peak.transmission_time(pkt_len as u64);
         let mean_on = peak.transmission_time(mean_burst_bytes);
         // E[OFF] = E[ON]·(peak − avg)/avg.
-        let off_secs =
-            mean_on.as_secs_f64() * (peak.bps() - avg.bps()) as f64 / avg.bps() as f64;
+        let off_secs = mean_on.as_secs_f64() * (peak.bps() - avg.bps()) as f64 / avg.bps() as f64;
         let mean_off = Dur::from_secs_f64(off_secs);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let first_off = sojourns.sample(&mut rng, mean_off);
@@ -171,13 +177,7 @@ mod tests {
     #[test]
     fn derived_sojourns_match_moments() {
         // Table 1 flow 0: peak 16, avg 2, burst 50 KiB.
-        let s = OnOffSource::new(
-            Rate::from_mbps(16.0),
-            Rate::from_mbps(2.0),
-            51_200,
-            500,
-            1,
-        );
+        let s = OnOffSource::new(Rate::from_mbps(16.0), Rate::from_mbps(2.0), 51_200, 500, 1);
         // E[ON] = 51200·8/16e6 = 25.6 ms.
         assert!((s.mean_on().as_secs_f64() - 0.0256).abs() < 1e-9);
         // E[OFF] = 25.6 ms · (16−2)/2 = 179.2 ms.
@@ -239,8 +239,13 @@ mod tests {
     #[test]
     fn seeds_give_distinct_but_reproducible_traces() {
         let mk = |seed| {
-            let mut s =
-                OnOffSource::new(Rate::from_mbps(16.0), Rate::from_mbps(2.0), 51_200, 500, seed);
+            let mut s = OnOffSource::new(
+                Rate::from_mbps(16.0),
+                Rate::from_mbps(2.0),
+                51_200,
+                500,
+                seed,
+            );
             collect_emissions(&mut s, 100)
         };
         assert_eq!(mk(5), mk(5));
@@ -296,14 +301,7 @@ mod pareto_tests {
         // maximum burst (with overwhelming probability at these sizes).
         let max_burst = |soj| {
             let peak = Rate::from_mbps(16.0);
-            let mut s = OnOffSource::with_sojourns(
-                peak,
-                Rate::from_mbps(2.0),
-                51_200,
-                500,
-                7,
-                soj,
-            );
+            let mut s = OnOffSource::with_sojourns(peak, Rate::from_mbps(2.0), 51_200, 500, 7, soj);
             let em = collect_emissions(&mut s, 200_000);
             let gap = peak.transmission_time(500);
             let mut cur = 0u64;
@@ -332,7 +330,9 @@ mod pareto_tests {
         let mean = Dur::from_millis(10);
         let soj = Sojourns::Pareto { shape: 2.5 }; // finite variance
         let n = 200_000;
-        let sum: f64 = (0..n).map(|_| soj.sample(&mut rng, mean).as_secs_f64()).sum();
+        let sum: f64 = (0..n)
+            .map(|_| soj.sample(&mut rng, mean).as_secs_f64())
+            .sum();
         let emp = sum / n as f64;
         assert!((emp - 0.010).abs() / 0.010 < 0.03, "empirical mean {emp}");
     }

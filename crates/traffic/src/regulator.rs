@@ -87,7 +87,10 @@ mod tests {
         // Sample pairs sparsely to keep the O(n²) check fast.
         let sampled: Vec<(Dur, u64)> = trace.iter().step_by(37).copied().collect();
         let env = Envelope::new(51_200, Rate::from_mbps(2.0));
-        assert!(env.trace_conforms(&sampled, 500), "shaper output violated envelope");
+        assert!(
+            env.trace_conforms(&sampled, 500),
+            "shaper output violated envelope"
+        );
     }
 
     #[test]
@@ -124,13 +127,7 @@ mod tests {
 
     #[test]
     fn order_preserved() {
-        let inner = OnOffSource::new(
-            Rate::from_mbps(40.0),
-            Rate::from_mbps(4.0),
-            256_000,
-            500,
-            5,
-        );
+        let inner = OnOffSource::new(Rate::from_mbps(40.0), Rate::from_mbps(4.0), 256_000, 500, 5);
         let mut shaped = ShapedSource::new(inner, 51_200, Rate::from_kbps(400.0));
         // collect_emissions asserts monotone times internally.
         let em = collect_emissions(&mut shaped, 5_000);

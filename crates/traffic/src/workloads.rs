@@ -299,7 +299,9 @@ pub fn table1_scaled(k: u32) -> Vec<FlowSpec> {
             let id = FlowId(copy * base.len() as u32 + spec.id.0);
             flows.push(
                 FlowSpec::builder(id)
-                    .peak(Rate::from_bps((spec.peak.bps() / k as u64).max(8 * PACKET_BYTES as u64)))
+                    .peak(Rate::from_bps(
+                        (spec.peak.bps() / k as u64).max(8 * PACKET_BYTES as u64),
+                    ))
                     .avg(Rate::from_bps((spec.avg.bps() / k as u64).max(1)))
                     .bucket((spec.bucket_bytes / k as u64).max(floor))
                     .token_rate(Rate::from_bps((spec.token_rate.bps() / k as u64).max(1)))

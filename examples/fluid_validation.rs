@@ -30,8 +30,7 @@ fn prop1() {
         vec![Box::new(SteadyFluid::from_bps(rho1)), Box::new(GreedyFluid)];
     let steps = 600_000;
     let served = qos_buffer_mgmt::fluid::driver::run(&mut mux, &mut flows, DT, steps);
-    let tail_rate =
-        served[steps - 100_000..].iter().map(|s| s[0]).sum::<f64>() * 8.0;
+    let tail_rate = served[steps - 100_000..].iter().map(|s| s[0]).sum::<f64>() * 8.0;
     println!("== Proposition 1 (ρ1 = 12 Mb/s vs greedy, B = 1 MiB) ==");
     println!(
         "  flow 1 drops: {:.1} B of {:.1} MB offered ({:.4}%)",
@@ -50,7 +49,11 @@ fn prop1() {
 fn prop2(sufficient: bool) {
     let rho1 = 24e6;
     let sigma1 = 51_200.0;
-    let b1 = if sufficient { sigma1 + B * rho1 / R } else { B * rho1 / R };
+    let b1 = if sufficient {
+        sigma1 + B * rho1 / R
+    } else {
+        B * rho1 / R
+    };
     let b2 = B - b1;
     let fill_limit = rho1 * b2 / (R - rho1);
     let mut adv = SawtoothBurstFluid::new(sigma1, rho1, 0.97 * fill_limit);
@@ -81,7 +84,11 @@ fn prop2(sufficient: bool) {
         "  max M(t) = {:.0} vs M̂ = {:.0} ({})\n",
         m_max,
         m_cap,
-        if m_max < m_cap * 1.005 { "invariant holds" } else { "exceeded" }
+        if m_max < m_cap * 1.005 {
+            "invariant holds"
+        } else {
+            "exceeded"
+        }
     );
 }
 

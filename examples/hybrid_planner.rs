@@ -26,7 +26,11 @@ fn main() {
     let sigma: f64 = specs.iter().map(|s| s.bucket_bytes as f64).sum();
     let rho: f64 = specs.iter().map(|s| s.token_rate.bps() as f64).sum();
 
-    println!("Table 2: 30 flows, Σσ = {:.0} KiB, Σρ = {:.1} Mb/s on a 48 Mb/s link", sigma / 1024.0, rho / 1e6);
+    println!(
+        "Table 2: 30 flows, Σσ = {:.0} KiB, Σρ = {:.1} Mb/s on a 48 Mb/s link",
+        sigma / 1024.0,
+        rho / 1e6
+    );
     println!(
         "single FIFO queue needs B = Rσ/(R−ρ) = {:.0} KiB (Eq. 13)\n",
         single_fifo_buffer_eq13(r, sigma, rho) / 1024.0
@@ -78,7 +82,10 @@ fn main() {
         let budget = single_fifo_buffer_eq13(r, sigma, rho) * frac;
         match qos_buffer_mgmt::core::analysis::hybrid::min_queues_for_budget(&specs, r, budget) {
             Some(k) => println!("  budget {:>7.0} KiB -> k = {k}", budget / 1024.0),
-            None => println!("  budget {:>7.0} KiB -> infeasible (below Σσ)", budget / 1024.0),
+            None => println!(
+                "  budget {:>7.0} KiB -> infeasible (below Σσ)",
+                budget / 1024.0
+            ),
         }
     }
     println!();
@@ -86,16 +93,20 @@ fn main() {
     // And the concrete runtime plan used by the simulator for a 2 MiB buffer.
     let plan = plan_hybrid(&specs, &case2_grouping(), ByteSize::from_mib(2).bytes());
     println!("runtime plan for B = 2 MiB (paper grouping):");
-    println!("  queue rates (Mb/s): {:?}", plan
-        .queue_rates_bps
-        .iter()
-        .map(|r| (*r as f64 / 1e6 * 100.0).round() / 100.0)
-        .collect::<Vec<_>>());
-    println!("  queue buffers (KiB): {:?}", plan
-        .queue_buffers
-        .iter()
-        .map(|b| b / 1024)
-        .collect::<Vec<_>>());
+    println!(
+        "  queue rates (Mb/s): {:?}",
+        plan.queue_rates_bps
+            .iter()
+            .map(|r| (*r as f64 / 1e6 * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  queue buffers (KiB): {:?}",
+        plan.queue_buffers
+            .iter()
+            .map(|b| b / 1024)
+            .collect::<Vec<_>>()
+    );
     println!(
         "  flow thresholds (KiB, first 10): {:?}",
         plan.flow_thresholds[..10]

@@ -24,10 +24,15 @@ fn main() {
         policy: PolicySpec::Kind(PolicyKind::Threshold),
         warmup: Dur::from_secs(2),
         duration: Dur::from_secs(12),
-    sojourns: Default::default(),
+        sojourns: Default::default(),
     };
 
-    println!("simulating {} flows for {} (warmup {}) ...", cfg.specs.len(), cfg.duration, cfg.warmup);
+    println!(
+        "simulating {} flows for {} (warmup {}) ...",
+        cfg.specs.len(),
+        cfg.duration,
+        cfg.warmup
+    );
     let res = cfg.run_once(1);
 
     println!(

@@ -51,14 +51,13 @@ fn main() {
             policy,
             warmup: Dur::from_secs(2),
             duration: Dur::from_secs(22),
-        sojourns: Default::default(),
+            sojourns: Default::default(),
         };
         let mr = cfg.run_many(1, 5);
         let util = mr.summarize(|r| r.aggregate_throughput_bps() / 48e6 * 100.0);
         let f6 = mr.summarize(|r| r.flow_throughput_bps(FlowId(6)) / 1e6);
         let f8 = mr.summarize(|r| r.flow_throughput_bps(FlowId(8)) / 1e6);
-        let loss =
-            mr.summarize(|r| r.class_loss_ratio(&specs, Conformance::Conformant) * 100.0);
+        let loss = mr.summarize(|r| r.class_loss_ratio(&specs, Conformance::Conformant) * 100.0);
         // Excess over the reserved floor (0.4 and 2.0 Mb/s): WFQ's
         // proportional split predicts a ratio of 2.0/0.4 = 5.
         let ratio = (f8.mean - 2.0) / (f6.mean - 0.4).max(1e-9);
@@ -68,5 +67,7 @@ fn main() {
         );
     }
     println!("\n* excess ratio = (f8 − 2.0)/(f6 − 0.4); reserved-rate-proportional split = 5.0");
-    println!("The paper's claim: FIFO+sharing mimics WFQ's split, which fixed partitioning does not.");
+    println!(
+        "The paper's claim: FIFO+sharing mimics WFQ's split, which fixed partitioning does not."
+    );
 }

@@ -78,8 +78,8 @@ fn wf2q_and_edf_meet_the_same_bounds() {
     for sched in [SchedKind::Wf2q, SchedKind::Edf] {
         let res = run(sched.clone(), b, 2);
         for s in specs.iter().filter(|s| s.class == Conformance::Conformant) {
-            let bound = wfq_delay_bound(s, qos_buffer_mgmt::sim::scenarios::LINK_RATE, 500)
-                .unwrap();
+            let bound =
+                wfq_delay_bound(s, qos_buffer_mgmt::sim::scenarios::LINK_RATE, 500).unwrap();
             let got = res.flows[s.id.index()].delay_max_ns;
             assert!(
                 got <= bound.as_nanos(),

@@ -7,8 +7,8 @@ use qos_buffer_mgmt::core::policy::PolicyKind;
 use qos_buffer_mgmt::core::units::{ByteSize, Dur};
 use qos_buffer_mgmt::sched::SchedKind;
 use qos_buffer_mgmt::sim::scenarios::{case1_grouping, plan_hybrid, LINK_RATE};
-use qos_buffer_mgmt::sim::{ExperimentConfig, PolicySpec};
-use qos_buffer_mgmt::traffic::table1;
+use qos_buffer_mgmt::sim::{Campaign, ExperimentConfig, PolicySpec};
+use qos_buffer_mgmt::traffic::{table1, table2};
 
 fn cfg(sched: SchedKind, policy: PolicySpec) -> ExperimentConfig {
     ExperimentConfig {
@@ -19,7 +19,7 @@ fn cfg(sched: SchedKind, policy: PolicySpec) -> ExperimentConfig {
         policy,
         warmup: Dur::from_secs(1),
         duration: Dur::from_secs(4),
-    sojourns: Default::default(),
+        sojourns: Default::default(),
     }
 }
 
@@ -102,6 +102,43 @@ fn parallel_runner_equals_sequential() {
     for (i, run) in multi.runs.iter().enumerate() {
         let solo = c.run_once(100 + i as u64);
         assert_eq!(run.flows, solo.flows, "parallel seed {} diverged", 100 + i);
+    }
+}
+
+#[test]
+fn campaign_results_are_thread_count_invariant() {
+    // The Table-2 workload (30 flows) over a two-point campaign: the
+    // sharded runner must produce byte-identical per-cell results and
+    // byte-identical merged results whether the grid runs on 1 worker
+    // or 8 — seeds are a pure function of the cell coordinates and
+    // results are scattered back by index.
+    let mut points = Vec::new();
+    for buffer_mib in [1u64, 2] {
+        points.push(ExperimentConfig {
+            link_rate: LINK_RATE,
+            buffer_bytes: ByteSize::from_mib(buffer_mib).bytes(),
+            specs: table2(),
+            sched: SchedKind::Fifo,
+            policy: PolicySpec::Kind(PolicyKind::Threshold),
+            warmup: Dur::from_secs(1),
+            duration: Dur::from_secs(3),
+            sojourns: Default::default(),
+        });
+    }
+    let run_with = |threads: usize| {
+        let mut campaign = Campaign::new(&points);
+        campaign.replications = 3;
+        campaign.campaign_seed = 7;
+        campaign.threads = threads;
+        (campaign.run(), campaign.run_merged())
+    };
+    let (grid1, merged1) = run_with(1);
+    let (grid8, merged8) = run_with(8);
+    assert_eq!(merged1, merged8, "merged results depend on thread count");
+    for (p, (a, b)) in grid1.iter().zip(&grid8).enumerate() {
+        for (r, (x, y)) in a.runs.iter().zip(&b.runs).enumerate() {
+            assert_eq!(x, y, "point {p} replication {r} diverged across threads");
+        }
     }
 }
 

@@ -83,7 +83,7 @@ fn sharing_beats_thresholds_on_utilization() {
             policy,
             warmup: Dur::from_secs(1),
             duration: Dur::from_secs(7),
-        sojourns: Default::default(),
+            sojourns: Default::default(),
         };
         quick(&mut cfg);
         cfg.run_many(1, 3)
@@ -106,7 +106,7 @@ fn sharing_beats_thresholds_on_utilization() {
         policy: PolicySpec::Kind(PolicyKind::Sharing { headroom_bytes: h }),
         warmup: Dur::from_secs(1),
         duration: Dur::from_secs(7),
-    sojourns: Default::default(),
+        sojourns: Default::default(),
     };
     quick(&mut cfg);
     let res = cfg.run_once(2);
@@ -148,12 +148,16 @@ fn conformant_throughput_meets_reservation_under_thresholds() {
         .find(|s| s.label == "fifo+thresh")
         .unwrap();
     let mut cfg = paper_experiment(&specs, &scheme, ByteSize::from_mib(2).bytes());
-    quick(&mut cfg);
+    // The slowest-converging conformant sources (8 Mb/s ON-OFF) need a
+    // window of tens of seconds before their offered rate settles near
+    // the token rate, so this test measures longer than the others.
+    cfg.warmup = Dur::from_secs(1);
+    cfg.duration = Dur::from_secs(31);
     let mr = cfg.run_many(1, 3);
     for s in specs.iter().filter(|s| s.class.is_conformant()) {
         let thr = mr.summarize(|r| r.flow_throughput_bps(s.id));
         // A shaped ON-OFF source offers its token rate on average, so
-        // delivery within 15 % of the reservation over a short window
+        // delivery within 15 % of the reservation over this window
         // demonstrates the guarantee (losses are zero; the slack is
         // source-side variance only).
         let reserved = s.token_rate.bps() as f64;

@@ -27,8 +27,7 @@ const LINK: Rate = Rate::from_bps(48_000_000);
 fn metered_table1_run(buffer: u64, seed: u64) -> qos_buffer_mgmt::sim::SimResult {
     let specs = table1();
     let policy = PolicyKind::Threshold.build(buffer, LINK, &specs);
-    let sources: Vec<Box<dyn Source>> =
-        specs.iter().map(|s| build_source(s, seed)).collect();
+    let sources: Vec<Box<dyn Source>> = specs.iter().map(|s| build_source(s, seed)).collect();
     Router::new(LINK, policy, Box::new(Fifo::new()), sources)
         .with_meters(&specs)
         .run(Time::ZERO, Time::from_secs(10), seed)
@@ -85,7 +84,10 @@ fn coloring_matches_flow_classes() {
 #[test]
 fn aggressive_flows_deliver_more_than_their_conformant_subflow() {
     let res = metered_table1_run(ByteSize::from_mib(2).bytes(), 2);
-    for s in table1().iter().filter(|s| s.class == Conformance::Aggressive) {
+    for s in table1()
+        .iter()
+        .filter(|s| s.class == Conformance::Aggressive)
+    {
         let f = &res.flows[s.id.index()];
         assert!(
             f.delivered_bytes > f.green_offered_bytes,
@@ -103,8 +105,7 @@ fn aggressive_flows_deliver_more_than_their_conformant_subflow() {
 fn unmetered_runs_have_no_green_accounting() {
     let specs: Vec<FlowSpec> = table1();
     let policy = PolicyKind::Threshold.build(1 << 20, LINK, &specs);
-    let sources: Vec<Box<dyn Source>> =
-        specs.iter().map(|s| build_source(s, 1)).collect();
+    let sources: Vec<Box<dyn Source>> = specs.iter().map(|s| build_source(s, 1)).collect();
     let res = Router::new(LINK, policy, Box::new(Fifo::new()), sources).run(
         Time::ZERO,
         Time::from_secs(2),

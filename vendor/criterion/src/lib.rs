@@ -1,0 +1,263 @@
+//! Minimal vendored benchmark harness exposing the subset of the
+//! `criterion` API this workspace's benches use.
+//!
+//! Measurement model: per bench point, one timed warmup call estimates
+//! the per-iteration cost, then as many iterations as fit in a fixed
+//! wall-clock budget (default 200 ms, `QBM_BENCH_BUDGET_MS` overrides)
+//! are timed in one batch and averaged. That trades criterion's
+//! statistical machinery for a bounded, dependency-free harness; the
+//! numbers are stable enough for the relative comparisons the benches
+//! make (per-op cost across schedulers/policies, monomorphized vs
+//! boxed dispatch).
+//!
+//! Results are printed to stdout and kept on the [`Criterion`] value so
+//! a hand-written `main` can export them (see `dispatch_overhead`).
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// One measured bench point.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (`benchmark_group` argument).
+    pub group: String,
+    /// Bench id within the group (`BenchmarkId` rendering).
+    pub id: String,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Iterations measured (excluding the warmup call).
+    pub iters: u64,
+    /// Elements per iteration, when declared via [`Throughput`].
+    pub elements: Option<u64>,
+}
+
+impl BenchResult {
+    /// Throughput in elements/second, when declared.
+    pub fn elems_per_sec(&self) -> Option<f64> {
+        self.elements
+            .map(|n| n as f64 / (self.mean_ns / 1e9))
+            .filter(|r| r.is_finite())
+    }
+}
+
+/// Declared per-iteration work, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The iteration processes this many logical elements.
+    Elements(u64),
+}
+
+/// Identifier for one bench point: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// Compose from a function name and a displayed parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            rendered: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+/// Times one closure; handed to the bench body by `bench_*`.
+pub struct Bencher {
+    budget_ns: u64,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `f`, averaging over as many calls as fit in the budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Timed warmup call: estimates cost and warms caches.
+        let t0 = Instant::now();
+        black_box(f());
+        let est = t0.elapsed().as_nanos().max(1) as u64;
+
+        let n = (self.budget_ns / est).clamp(1, 1_000_000);
+        let t1 = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        let total = t1.elapsed().as_nanos() as f64;
+        self.mean_ns = (total / n as f64).max(f64::MIN_POSITIVE);
+        self.iters = n;
+    }
+}
+
+/// A named group of related bench points.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; this harness sizes runs by
+    /// wall-clock budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration work for subsequent bench points.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let rendered = id.to_string();
+        let mut b = self.criterion.bencher();
+        f(&mut b, input);
+        self.record(rendered, b);
+        self
+    }
+
+    /// Measure `f`, labelled by `id`.
+    pub fn bench_function<D: Display, F>(&mut self, id: D, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let rendered = id.to_string();
+        let mut b = self.criterion.bencher();
+        f(&mut b);
+        self.record(rendered, b);
+        self
+    }
+
+    /// End the group (kept for API compatibility; results were already
+    /// recorded per bench point).
+    pub fn finish(self) {}
+
+    fn record(&mut self, id: String, b: Bencher) {
+        let result = BenchResult {
+            group: self.name.clone(),
+            id,
+            mean_ns: b.mean_ns,
+            iters: b.iters,
+            elements: self.throughput.map(|Throughput::Elements(n)| n),
+        };
+        let line = match result.elems_per_sec() {
+            Some(rate) => format!(
+                "{}/{:<28} time: {:>12.1} ns/iter  thrpt: {:>14.0} elem/s  (n={})",
+                result.group, result.id, result.mean_ns, rate, result.iters
+            ),
+            None => format!(
+                "{}/{:<28} time: {:>12.1} ns/iter  (n={})",
+                result.group, result.id, result.mean_ns, result.iters
+            ),
+        };
+        println!("{line}");
+        self.criterion.results.push(result);
+    }
+}
+
+/// Entry point: owns settings and accumulated results.
+pub struct Criterion {
+    budget_ns: u64,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let budget_ms = std::env::var("QBM_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(200);
+        Criterion {
+            budget_ns: budget_ms.saturating_mul(1_000_000).max(1),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of bench points.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// All results measured so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            budget_ns: self.budget_ns,
+            mean_ns: 0.0,
+            iters: 0,
+        }
+    }
+}
+
+/// Bundle bench functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        std::env::set_var("QBM_BENCH_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(21u64) * 2));
+        g.finish();
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "sum/64");
+        assert!(c.results()[0].mean_ns > 0.0);
+        assert!(c.results()[0].elems_per_sec().unwrap() > 0.0);
+        assert_eq!(c.results()[1].elements, Some(1));
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_slash_param() {
+        assert_eq!(BenchmarkId::new("fifo", 1000).to_string(), "fifo/1000");
+    }
+}

