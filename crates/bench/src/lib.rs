@@ -14,7 +14,8 @@
 //!   behind the paper's scalability argument: O(1) policy admission vs
 //!   O(log N) WFQ scheduling.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod figures;
 pub mod report;

@@ -32,7 +32,8 @@
 //! count = 3                     # replicate this row
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod report;
 pub mod scenario;

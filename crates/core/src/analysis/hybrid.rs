@@ -24,6 +24,7 @@
 //! validate the heuristic.
 
 use crate::flow::FlowSpec;
+use crate::units::approx_eq;
 
 /// Aggregate `(σ̂, ρ̂)` profile of one queue's flow group.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,7 +59,7 @@ impl GroupProfile {
 pub fn optimal_alphas(groups: &[GroupProfile]) -> Vec<f64> {
     assert!(!groups.is_empty());
     let s: f64 = groups.iter().map(|g| g.s_term()).sum();
-    if s == 0.0 {
+    if approx_eq(s, 0.0, f64::EPSILON) {
         return vec![1.0 / groups.len() as f64; groups.len()];
     }
     groups.iter().map(|g| g.s_term() / s).collect()

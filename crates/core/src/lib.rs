@@ -50,7 +50,8 @@
 //! assert!(thr > spec.bucket_bytes as f64);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod admission;
 pub mod analysis;

@@ -223,6 +223,7 @@ impl PolicyKind {
                     capacity_bytes,
                     link_rate,
                     specs,
+                    // qbm-lint: allow(float-cast) — permille knob unpacked once at build time
                     threshold_permille as f64 / 1000.0,
                 ))
             }

@@ -56,6 +56,8 @@ impl PartialBufferSharing {
         );
         PartialBufferSharing {
             occ: Occupancy::new(capacity_bytes, specs.len()),
+            // One-time construction: T = frac·B, rounded to a byte.
+            // qbm-lint: allow(float-cast)
             global_threshold: (capacity_bytes as f64 * threshold_frac).round() as u64,
             reserved,
         }

@@ -113,7 +113,30 @@ impl BufferSharing {
         assert!(self.headroom <= self.headroom_max.min(self.occ.capacity()));
     }
 
+    /// Debug-build conservation check: the free-space split
+    /// `h + v = B − Q` (equivalently holes + headroom + allocated = B)
+    /// and the headroom cap. Run on every admit/release so the sharing
+    /// path cannot silently leak buffer.
+    #[inline]
+    fn debug_check_split(&self) {
+        debug_assert_eq!(
+            self.headroom + self.holes,
+            self.occ.capacity() - self.occ.total(),
+            "free-space split broken: h + v != B - Q"
+        );
+        debug_assert!(
+            self.headroom <= self.headroom_max.min(self.occ.capacity()),
+            "headroom above its cap"
+        );
+    }
+
     fn admit_inner(&mut self, flow: FlowId, len: u32, may_share: bool) -> Verdict {
+        let verdict = self.admit_decide(flow, len, may_share);
+        self.debug_check_split();
+        verdict
+    }
+
+    fn admit_decide(&mut self, flow: FlowId, len: u32, may_share: bool) -> Verdict {
         let len64 = len as u64;
         let q = self.occ.of(flow);
         let reserved = self.reserved[flow.index()];
@@ -151,6 +174,7 @@ impl BufferSharing {
         self.headroom += len as u64;
         self.holes += self.headroom.saturating_sub(self.headroom_max);
         self.headroom = self.headroom.min(self.headroom_max);
+        self.debug_check_split();
     }
 }
 

@@ -236,6 +236,17 @@ impl ByteSize {
     }
 }
 
+/// Tolerant float equality: `|a − b| ≤ eps`.
+///
+/// The workspace bans float `==`/`!=` outright (`qbm-lint`'s
+/// `float-eq` rule): exact float equality next to the exact integer
+/// arithmetic above is almost always a latent accounting bug. Use this
+/// where a genuine sentinel must be tested (e.g. "a sum of
+/// non-negative terms is zero"), with an explicitly chosen `eps`.
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
 impl Add<Dur> for Time {
     type Output = Time;
     fn add(self, d: Dur) -> Time {

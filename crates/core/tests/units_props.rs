@@ -1,0 +1,172 @@
+//! Property-based coverage for the `units.rs` newtypes — the sanctioned
+//! f64 boundary the `qbm-lint` `float-cast` rule funnels everything
+//! through. Round-trips, overflow behaviour, and ordering must hold for
+//! the whole representable range, not just the paper's parameters.
+
+use proptest::prelude::*;
+use qbm_core::units::{approx_eq, ByteSize, Dur, Rate, Time, NS_PER_SEC};
+
+proptest! {
+    /// Second-granularity constructors and the f64 accessors agree.
+    #[test]
+    fn time_secs_round_trip(s in 0u64..500_000_000) {
+        let t = Time::from_secs(s);
+        prop_assert_eq!(t.as_nanos(), s * NS_PER_SEC);
+        prop_assert!(approx_eq(t.as_secs_f64(), s as f64, 1e-6));
+        let back = Time::from_secs_f64(t.as_secs_f64());
+        // f64 has 53 mantissa bits; up to 2^29 s the ns round-trip is
+        // within the quantization of the nearest representable double.
+        let err = back.as_nanos().abs_diff(t.as_nanos());
+        prop_assert!(err <= 128, "round-trip error {err} ns at {s} s");
+    }
+
+    /// `Dur::from_secs_f64` rounds to the nearest nanosecond exactly on
+    /// inputs that are themselves whole nanoseconds.
+    #[test]
+    fn dur_ns_round_trip(ns in 0u64..(1u64 << 52)) {
+        let d = Dur(ns);
+        let back = Dur::from_secs_f64(d.as_secs_f64());
+        let err = back.as_nanos().abs_diff(ns);
+        // One ulp of ns/1e9 at this magnitude is < 1 ns up to 2^52.
+        prop_assert!(err <= 1, "round-trip error {err} ns at {ns}");
+    }
+
+    /// Time ordering is exactly nanosecond ordering, and advancing by a
+    /// non-zero duration strictly increases a (non-saturating) time.
+    #[test]
+    fn time_ordering_matches_nanos(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2, d in 1u64..NS_PER_SEC) {
+        let (ta, tb) = (Time(a), Time(b));
+        prop_assert_eq!(ta.cmp(&tb), a.cmp(&b));
+        prop_assert!(ta + Dur(d) > ta);
+        prop_assert_eq!((ta + Dur(d)).since(ta), Dur(d));
+    }
+
+    /// Saturating add is monotone, never panics, and caps at `Time::MAX`.
+    #[test]
+    fn time_saturating_add_caps(t in 0u64..u64::MAX, d in 0u64..u64::MAX) {
+        let out = Time(t).saturating_add(Dur(d));
+        prop_assert!(out >= Time(t));
+        prop_assert!(out <= Time::MAX);
+        if let Some(exact) = t.checked_add(d) {
+            prop_assert_eq!(out, Time(exact));
+        } else {
+            prop_assert_eq!(out, Time::MAX);
+        }
+    }
+
+    /// Duration arithmetic is exact u64 arithmetic: commutative add,
+    /// add/sub inverse, and multiplication as repeated addition.
+    #[test]
+    fn dur_arithmetic_exact(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40, k in 0u64..1u64 << 10) {
+        prop_assert_eq!(Dur(a) + Dur(b), Dur(b) + Dur(a));
+        prop_assert_eq!((Dur(a) + Dur(b)) - Dur(b), Dur(a));
+        prop_assert_eq!(Dur(a) * k, Dur(a * k));
+        if k > 0 {
+            prop_assert_eq!(Dur(a * k) / k, Dur(a));
+        }
+        prop_assert_eq!(Dur(a).is_zero(), a == 0);
+    }
+
+    /// Rate construction from the paper's Mb/s / Kb/s units is exact at
+    /// their natural resolutions, and `Sum` equals component-wise add.
+    #[test]
+    fn rate_units_round_trip(mbps_milli in 0u64..100_000_000, parts in proptest::collection::vec(0u64..1u64 << 40, 0..8)) {
+        // mbps with three decimals → exact bps (avoids float dust).
+        let r = Rate::from_mbps(mbps_milli as f64 / 1000.0);
+        prop_assert_eq!(r.bps(), mbps_milli * 1000);
+        prop_assert!(approx_eq(r.mbps(), mbps_milli as f64 / 1000.0, 1e-6));
+
+        let total: Rate = parts.iter().map(|&p| Rate::from_bps(p)).sum();
+        prop_assert_eq!(total.bps(), parts.iter().sum::<u64>());
+    }
+
+    /// A rate's fraction of a larger rate stays in [0, 1] and inverts.
+    #[test]
+    fn rate_fraction_bounded(num in 0u64..1u64 << 50, den in 1u64..1u64 << 50) {
+        let f = Rate::from_bps(num.min(den)).fraction_of(Rate::from_bps(den));
+        prop_assert!((0.0..=1.0).contains(&f), "fraction {f}");
+        prop_assert!(approx_eq(f * den as f64, num.min(den) as f64, 1e-3 * den as f64));
+    }
+
+    /// ByteSize units: binary constructors are exact, `bits` is 8×, and
+    /// ordering follows the byte count.
+    #[test]
+    fn byte_size_units_exact(k in 0u64..1u64 << 40, m in 0u64..1u64 << 30) {
+        prop_assert_eq!(ByteSize::from_kib(k).bytes(), k * 1024);
+        prop_assert_eq!(ByteSize::from_mib(m).bytes(), m << 20);
+        let b = ByteSize::from_bytes(k);
+        prop_assert_eq!(b.bits(), k * 8);
+        prop_assert_eq!(b + ByteSize::from_bytes(m), ByteSize::from_bytes(k + m));
+        prop_assert_eq!(ByteSize::from_bytes(k) < ByteSize::from_bytes(m), k < m);
+        prop_assert!(approx_eq(ByteSize::from_kib(k).kib(), k as f64, 1e-6 * (k as f64 + 1.0)));
+    }
+
+    /// Fractional-MiB construction round-trips through `mib()` within
+    /// half a byte of quantization.
+    #[test]
+    fn byte_size_mib_round_trip(bytes in 0u64..1u64 << 45) {
+        let s = ByteSize::from_bytes(bytes);
+        let back = ByteSize::from_mib_f64(s.mib());
+        let err = back.bytes().abs_diff(bytes);
+        prop_assert!(err <= 1, "MiB round-trip error {err} B at {bytes}");
+    }
+
+    /// `transmission_time` composed with `bits_in` is the identity up
+    /// to the clock quantum — across the full (rate, size) grid, not
+    /// just the paper's 48 Mb/s link. Round-to-nearest-ns can deviate
+    /// by at most the bits conveyed in half a nanosecond (plus one for
+    /// the floor in `bits_in`), which is what makes repeated
+    /// transmissions drift-free at any link speed.
+    #[test]
+    fn transmission_round_trip_wide(rate in 1u64..1u64 << 40, bytes in 0u64..1u64 << 30) {
+        let r = Rate::from_bps(rate);
+        let t = r.transmission_time(bytes);
+        let bits = r.bits_in(t);
+        let err = bits.abs_diff(bytes * 8);
+        let half_ns_bits = rate / (2 * NS_PER_SEC) + 1;
+        prop_assert!(err <= half_ns_bits, "rate {rate} bytes {bytes}: err {err} bits");
+    }
+
+    /// `approx_eq` is reflexive, symmetric, and honours its epsilon.
+    #[test]
+    fn approx_eq_contract(a in -1e12f64..1e12, delta in 0f64..1e3, eps in 0f64..1e3) {
+        prop_assert!(approx_eq(a, a, 0.0));
+        prop_assert_eq!(approx_eq(a, a + delta, eps), approx_eq(a + delta, a, eps));
+        if delta <= eps {
+            prop_assert!(approx_eq(a, a + delta, eps + 1e-9));
+        }
+        if delta > 2.0 * eps + 1e-6 {
+            prop_assert!(!approx_eq(a, a + delta, eps));
+        }
+    }
+}
+
+/// Overflow must be loud: checked arithmetic panics instead of wrapping
+/// (a wrapped occupancy counter is exactly the silent buffer-accounting
+/// bug the lint pass exists to prevent).
+#[test]
+#[should_panic(expected = "overflow")]
+fn time_overflow_panics() {
+    let _ = Time::MAX + Dur(1);
+}
+
+/// Underflow is equally loud.
+#[test]
+#[should_panic(expected = "underflow")]
+fn dur_underflow_panics() {
+    let _ = Dur(0) - Dur(1);
+}
+
+/// Rate sums that exceed u64 panic rather than wrap.
+#[test]
+#[should_panic(expected = "overflow")]
+fn rate_sum_overflow_panics() {
+    let _ = Rate::from_bps(u64::MAX) + Rate::from_bps(1);
+}
+
+/// ByteSize addition panics on overflow.
+#[test]
+#[should_panic(expected = "overflow")]
+fn byte_size_overflow_panics() {
+    let _ = ByteSize::from_bytes(u64::MAX) + ByteSize::from_bytes(1);
+}

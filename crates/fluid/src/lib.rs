@@ -23,7 +23,8 @@
 //! 48 Mb/s link (60 bytes of fluid per step) and assert with matching
 //! tolerances.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod driver;
 pub mod gps;

@@ -1,0 +1,504 @@
+//! # qbm-lint
+//!
+//! In-tree static-analysis pass for the buffer-management workspace.
+//! The reproduction's headline property is *bit-for-bit determinism*:
+//! Propositions 1–3 are checked with exact integer-nanosecond
+//! arithmetic, and the parallel campaign runner is only correct because
+//! per-cell seeds are pure and stats merges are commutative. One stray
+//! wall-clock read, entropy-seeded RNG, unordered-container iteration
+//! in a merge path, or raw-`f64` shortcut in a policy silently breaks
+//! that. This crate makes those invariants *enforced* instead of
+//! aspirational.
+//!
+//! The scanner is hand-rolled and dependency-free (no `syn`) so it
+//! builds offline like the rest of the workspace. It is lexical: string
+//! and char-literal contents are blanked and comments stripped before
+//! rules run, and `#[cfg(test)]` items are exempt (invariants guard
+//! shipping library code; see [`rules`] for the rule table).
+//!
+//! Suppression: append `qbm-lint: allow(<rule>)` in a plain `//`
+//! comment on the offending line (or the line just above). Suppressions
+//! are themselves counted and reported, so the allow-surface stays
+//! visible. File-level allowances for the `float-cast` rule live in
+//! [`rules::FLOAT_CAST_ALLOW`] with a recorded justification each.
+//!
+//! Run it three ways:
+//! * `cargo run -p qbm-lint` — the standalone driver binary;
+//! * `cargo test -q` — the workspace-root `lint_gate` test runs the
+//!   same pass, so tier-1 testing catches regressions;
+//! * CI — the `lint` job fails the build on any unsuppressed finding.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod rules;
+pub mod scan;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A single rule violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repository-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (see [`rules`]).
+    pub rule: &'static str,
+    /// What was matched, verbatim enough to locate.
+    pub message: String,
+    /// One-line fix hint.
+    pub hint: &'static str,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} [{}] {}\n    hint: {}",
+            self.file, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// A finding that was silenced — either by an inline
+/// `qbm-lint: allow(...)` pragma or by a file-level allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Repository-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number of the silenced match.
+    pub line: usize,
+    /// The rule that would have fired.
+    pub rule: &'static str,
+    /// `"pragma"` or `"allowlist"`.
+    pub via: &'static str,
+}
+
+/// Outcome of scanning one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Unsuppressed violations.
+    pub findings: Vec<Finding>,
+    /// Silenced matches (still reported in the summary).
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Outcome of a whole-repository pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All unsuppressed violations, ordered by (file, line).
+    pub findings: Vec<Finding>,
+    /// All silenced matches, ordered by (file, line).
+    pub suppressions: Vec<Suppression>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the tree is clean (no unsuppressed findings).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Scan one file's source text under its repository-relative path.
+///
+/// This is the unit the fixture tests drive directly; [`run_repo`] is a
+/// directory walk over it.
+pub fn scan_file(rel: &str, src: &str) -> FileScan {
+    let lines = scan::preprocess(src);
+    // Pragmas on line N silence matches on lines N and N+1.
+    let mut allowed: Vec<Vec<String>> = vec![Vec::new(); lines.len()];
+    for (i, line) in lines.iter().enumerate() {
+        for rule in scan::pragma_rules(&line.comment) {
+            allowed[i].push(rule.clone());
+            if i + 1 < lines.len() {
+                allowed[i + 1].push(rule);
+            }
+        }
+    }
+
+    let mut out = FileScan::default();
+    let emit = |file_scan: &mut FileScan, lineno: usize, rule, message: String, hint| {
+        if allowed[lineno].iter().any(|r| r == rule) {
+            file_scan.suppressions.push(Suppression {
+                file: rel.to_string(),
+                line: lineno + 1,
+                rule,
+                via: "pragma",
+            });
+        } else if let Some((_, _reason)) =
+            rules::float_cast_allowance(rel).filter(|_| rule == rules::FLOAT_CAST)
+        {
+            file_scan.suppressions.push(Suppression {
+                file: rel.to_string(),
+                line: lineno + 1,
+                rule,
+                via: "allowlist",
+            });
+        } else {
+            file_scan.findings.push(Finding {
+                file: rel.to_string(),
+                line: lineno + 1,
+                rule,
+                message,
+                hint,
+            });
+        }
+    };
+
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+
+        if rules::determinism_applies(rel) {
+            for pat in rules::WALL_CLOCK_PATTERNS {
+                if rules::find_word(code, pat) {
+                    emit(
+                        &mut out,
+                        i,
+                        rules::WALL_CLOCK,
+                        format!("`{pat}` in a determinism-critical crate"),
+                        rules::WALL_CLOCK_HINT,
+                    );
+                }
+            }
+            for pat in rules::NONDET_RNG_PATTERNS {
+                if rules::find_word(code, pat) {
+                    emit(
+                        &mut out,
+                        i,
+                        rules::NONDET_RNG,
+                        format!("`{pat}` in a determinism-critical crate"),
+                        rules::NONDET_RNG_HINT,
+                    );
+                }
+            }
+        }
+
+        if rules::unordered_applies(rel) {
+            for pat in ["HashMap", "HashSet"] {
+                if rules::find_word(code, pat) {
+                    emit(
+                        &mut out,
+                        i,
+                        rules::UNORDERED,
+                        format!(
+                            "`{pat}` in qbm-sim (stats/merge paths must iterate in a fixed order)"
+                        ),
+                        rules::UNORDERED_HINT,
+                    );
+                }
+            }
+        }
+
+        for (col, op) in rules::float_eq_matches(code) {
+            emit(
+                &mut out,
+                i,
+                rules::FLOAT_EQ,
+                format!("float `{op}` comparison at column {col}"),
+                rules::FLOAT_EQ_HINT,
+            );
+        }
+
+        if rules::float_cast_applies(rel) {
+            for pat in ["as f64", "as f32"] {
+                if rules::find_word(code, pat) {
+                    emit(
+                        &mut out,
+                        i,
+                        rules::FLOAT_CAST,
+                        format!("`{pat}` outside the sanctioned unit boundary"),
+                        rules::FLOAT_CAST_HINT,
+                    );
+                }
+            }
+        }
+
+        if rules::print_applies(rel) {
+            for pat in ["println!", "eprintln!", "print!", "eprint!", "dbg!"] {
+                if rules::find_word(code, pat) {
+                    emit(
+                        &mut out,
+                        i,
+                        rules::PRINT,
+                        format!("`{pat}` in library code"),
+                        rules::PRINT_HINT,
+                    );
+                }
+            }
+        }
+    }
+
+    if rules::is_crate_root(rel) {
+        for attr in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
+            if !lines.iter().any(|l| l.code.trim() == attr) {
+                emit(
+                    &mut out,
+                    0,
+                    rules::HYGIENE,
+                    format!("crate root is missing `{attr}`"),
+                    rules::HYGIENE_HINT,
+                );
+            }
+        }
+    }
+
+    out
+}
+
+/// Walk `<root>/crates` and `<root>/src`, scan every `.rs` file, and
+/// aggregate the per-file results. `tests/`, `benches/` and `target/`
+/// directories are skipped: the rules guard shipping library code, and
+/// integration tests are all test code by construction.
+pub fn run_repo(root: &Path) -> io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(path)?;
+        let scan = scan_file(&rel, &src);
+        report.findings.extend(scan.findings);
+        report.suppressions.extend(scan.suppressions);
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+        .suppressions
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name == "target" || name == "tests" || name == "benches" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_of(rel: &str, src: &str) -> Vec<&'static str> {
+        scan_file(rel, src)
+            .findings
+            .iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn wall_clock_flagged_in_sim_not_in_bench() {
+        let src = "fn t() { let x = std::time::Instant::now(); }\n";
+        assert_eq!(
+            findings_of("crates/sim/src/event.rs", src),
+            vec![rules::WALL_CLOCK]
+        );
+        assert!(findings_of("crates/bench/src/figures.rs", src).is_empty());
+    }
+
+    #[test]
+    fn entropy_rng_flagged() {
+        let src = "fn t() { let mut r = rand::thread_rng(); }\n";
+        assert_eq!(
+            findings_of("crates/traffic/src/onoff.rs", src),
+            vec![rules::NONDET_RNG]
+        );
+        let src2 = "fn t() { let r = ChaCha8Rng::from_entropy(); }\n";
+        assert_eq!(
+            findings_of("crates/core/src/flow.rs", src2),
+            vec![rules::NONDET_RNG]
+        );
+    }
+
+    #[test]
+    fn pattern_in_string_or_comment_is_ignored() {
+        let src = "fn t() { let s = \"thread_rng is banned\"; } // mentions Instant::now\n";
+        assert!(findings_of("crates/sim/src/event.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unordered_container_flagged_only_in_sim() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            findings_of("crates/sim/src/stats.rs", src),
+            vec![rules::UNORDERED]
+        );
+        assert!(findings_of("crates/core/src/flow.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged_everywhere() {
+        assert_eq!(
+            findings_of(
+                "crates/fluid/src/mux.rs",
+                "fn t(x: f64) -> bool { x == 0.0 }\n"
+            ),
+            vec![rules::FLOAT_EQ]
+        );
+        assert_eq!(
+            findings_of(
+                "crates/cli/src/report.rs",
+                "fn t(x: f64) -> bool { 1.5 != x }\n"
+            ),
+            vec![rules::FLOAT_EQ]
+        );
+        assert_eq!(
+            findings_of(
+                "crates/sim/src/stats.rs",
+                "fn t(x: f64) -> bool { x == f64::EPSILON }\n"
+            ),
+            vec![rules::FLOAT_EQ]
+        );
+    }
+
+    #[test]
+    fn integer_and_field_comparisons_pass() {
+        let src = "fn t(x: u64, p: (u64, u64)) -> bool { x == 0 && p.0 == p.1 && self_0.0 == 3 }\n";
+        assert!(findings_of("crates/core/src/units.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "pub fn ok() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t(x: f64) -> bool { x == 0.0 }\n\
+                   fn clock() { let _ = std::time::Instant::now(); }\n\
+                   }\n";
+        assert!(findings_of("crates/sim/src/event.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_cast_flagged_in_policy_allowlisted_in_red() {
+        let src = "fn t(x: u64) -> f64 { x as f64 }\n";
+        assert_eq!(
+            findings_of("crates/core/src/policy/none.rs", src),
+            vec![rules::FLOAT_CAST]
+        );
+        let red = scan_file("crates/core/src/policy/red.rs", src);
+        assert!(red.findings.is_empty());
+        assert_eq!(red.suppressions.len(), 1);
+        assert_eq!(red.suppressions[0].via, "allowlist");
+        // Outside the audited dirs the cast is free.
+        assert!(findings_of("crates/fluid/src/mux.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_and_is_counted() {
+        let same_line = "fn t(x: f64) -> bool { x == 0.0 } // qbm-lint: allow(float-eq)\n";
+        let s = scan_file("crates/fluid/src/mux.rs", same_line);
+        assert!(s.findings.is_empty());
+        assert_eq!(s.suppressions.len(), 1);
+        assert_eq!(s.suppressions[0].via, "pragma");
+
+        let line_above = "// qbm-lint: allow(float-eq)\n\
+                          fn t(x: f64) -> bool { x == 0.0 }\n";
+        let s2 = scan_file("crates/fluid/src/mux.rs", line_above);
+        assert!(s2.findings.is_empty());
+        assert_eq!(s2.suppressions.len(), 1);
+
+        // A pragma for the wrong rule does not silence the finding.
+        let wrong = "fn t(x: f64) -> bool { x == 0.0 } // qbm-lint: allow(wall-clock)\n";
+        assert_eq!(
+            findings_of("crates/fluid/src/mux.rs", wrong),
+            vec![rules::FLOAT_EQ]
+        );
+    }
+
+    #[test]
+    fn crate_root_hygiene_enforced() {
+        let bare = "//! Docs.\npub fn f() {}\n";
+        let f = findings_of("crates/sim/src/lib.rs", bare);
+        assert_eq!(f, vec![rules::HYGIENE, rules::HYGIENE]);
+        let good = "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}\n";
+        assert!(findings_of("crates/sim/src/lib.rs", good).is_empty());
+        // Non-root files don't need the attributes.
+        assert!(findings_of("crates/sim/src/event.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn print_hygiene_spares_binaries() {
+        let src = "fn t() { println!(\"x\"); }\n";
+        assert_eq!(
+            findings_of("crates/sim/src/stats.rs", src),
+            vec![rules::PRINT]
+        );
+        assert!(findings_of("crates/cli/src/bin/qbm.rs", src).is_empty());
+        assert!(findings_of("crates/lint/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn dbg_macro_flagged() {
+        let src = "fn t(x: u64) -> u64 { dbg!(x) }\n";
+        assert_eq!(
+            findings_of("crates/core/src/flow.rs", src),
+            vec![rules::PRINT]
+        );
+    }
+
+    #[test]
+    fn findings_carry_location_and_hint() {
+        let src = "fn a() {}\nfn t() { let _ = std::time::Instant::now(); }\n";
+        let s = scan_file("crates/sim/src/event.rs", src);
+        assert_eq!(s.findings.len(), 1);
+        let f = &s.findings[0];
+        assert_eq!((f.file.as_str(), f.line), ("crates/sim/src/event.rs", 2));
+        assert!(!f.hint.is_empty());
+        let shown = f.to_string();
+        assert!(shown.contains("crates/sim/src/event.rs:2"));
+        assert!(shown.contains(rules::WALL_CLOCK));
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_scopes_to_that_item() {
+        // The attribute on one fn must not exempt the following fn.
+        let src = "#[cfg(test)]\n\
+                   fn helper(x: f64) -> bool { x == 0.0 }\n\
+                   fn live(x: f64) -> bool { x == 1.0 }\n";
+        let f = scan_file("crates/fluid/src/mux.rs", src).findings;
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_do_not_confuse_the_scanner() {
+        let src = "fn t() -> (char, &'static str) { ('\"', r#\"Instant::now HashMap\"#) }\n";
+        assert!(findings_of("crates/sim/src/stats.rs", src).is_empty());
+    }
+}

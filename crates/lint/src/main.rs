@@ -1,0 +1,84 @@
+//! `qbm-lint` driver binary.
+//!
+//! Usage: `cargo run -p qbm-lint [--verbose] [ROOT]`
+//!
+//! Walks `ROOT` (default: the enclosing workspace root) and prints
+//! every unsuppressed finding as `file:line [rule] message` plus a fix
+//! hint. Exit status: 0 clean, 1 findings, 2 driver error. With
+//! `--verbose`, also lists the suppressions in effect.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut verbose = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!("usage: qbm-lint [--verbose] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "qbm-lint: cannot locate the workspace root (looked for Cargo.toml + crates/)"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match qbm_lint::run_repo(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("qbm-lint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if verbose {
+        for s in &report.suppressions {
+            println!(
+                "{}:{} [{}] suppressed via {}",
+                s.file, s.line, s.rule, s.via
+            );
+        }
+    }
+    println!(
+        "qbm-lint: {} files scanned, {} finding(s), {} suppression(s) in effect",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressions.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk upward from the current directory to the first directory that
+/// looks like the workspace root (has both `Cargo.toml` and `crates/`).
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

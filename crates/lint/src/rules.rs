@@ -1,0 +1,297 @@
+//! Rule definitions: names, hints, path targeting, the `float-cast`
+//! allowlist, and the lexical matchers.
+//!
+//! | rule | scope | invariant |
+//! |---|---|---|
+//! | `wall-clock` | core, sched, sim, traffic, fluid | no `SystemTime` / `Instant::now` — simulated time only |
+//! | `nondet-rng` | core, sched, sim, traffic, fluid | no `thread_rng` / `from_entropy` / `OsRng` — seeds are explicit |
+//! | `unordered-container` | sim | no `HashMap`/`HashSet` — merge paths iterate in fixed order |
+//! | `float-eq` | everywhere | no float `==`/`!=` — use `qbm_core::units::approx_eq` |
+//! | `float-cast` | core::policy, sched | `as f64`/`as f32` only in allowlisted files |
+//! | `crate-hygiene` | crate roots | `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` |
+//! | `print-hygiene` | library sources | no `println!`/`dbg!` — output goes through the report layer |
+
+/// Rule name: wall-clock reads in determinism-critical crates.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// Hint for [`WALL_CLOCK`].
+pub const WALL_CLOCK_HINT: &str =
+    "use the simulated clock (qbm_core::units::Time); wall time breaks bit-for-bit reproducibility";
+/// Matched identifiers for [`WALL_CLOCK`].
+pub const WALL_CLOCK_PATTERNS: &[&str] = &["SystemTime", "Instant::now"];
+
+/// Rule name: entropy-seeded RNG in determinism-critical crates.
+pub const NONDET_RNG: &str = "nondet-rng";
+/// Hint for [`NONDET_RNG`].
+pub const NONDET_RNG_HINT: &str =
+    "derive a ChaCha8Rng from an explicit u64 seed; entropy seeding breaks replayability";
+/// Matched identifiers for [`NONDET_RNG`].
+pub const NONDET_RNG_PATTERNS: &[&str] = &["thread_rng", "from_entropy", "OsRng"];
+
+/// Rule name: unordered containers in the simulator.
+pub const UNORDERED: &str = "unordered-container";
+/// Hint for [`UNORDERED`].
+pub const UNORDERED_HINT: &str =
+    "use BTreeMap/BTreeSet or a sorted Vec; HashMap iteration order varies across runs and merges";
+
+/// Rule name: float equality comparison.
+pub const FLOAT_EQ: &str = "float-eq";
+/// Hint for [`FLOAT_EQ`].
+pub const FLOAT_EQ_HINT: &str =
+    "use qbm_core::units::approx_eq(a, b, eps) or restructure around an integer representation";
+
+/// Rule name: raw float cast in threshold/scheduler arithmetic.
+pub const FLOAT_CAST: &str = "float-cast";
+/// Hint for [`FLOAT_CAST`].
+pub const FLOAT_CAST_HINT: &str =
+    "route the conversion through the units.rs newtypes, or add the file to rules::FLOAT_CAST_ALLOW with a justification";
+
+/// Rule name: crate-root hygiene attributes.
+pub const HYGIENE: &str = "crate-hygiene";
+/// Hint for [`HYGIENE`].
+pub const HYGIENE_HINT: &str =
+    "add `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` to the crate root";
+
+/// Rule name: direct printing from library code.
+pub const PRINT: &str = "print-hygiene";
+/// Hint for [`PRINT`].
+pub const PRINT_HINT: &str = "return data and let the report layer / binaries do the printing";
+
+/// Crates whose library code must be wall-clock- and entropy-free.
+pub const DETERMINISM_CRATES: &[&str] = &["core", "sched", "sim", "traffic", "fluid"];
+
+/// Files allowed to use `as f64`/`as f32` inside the audited
+/// directories, each with the recorded justification. Everything else
+/// must go through the `units.rs` newtypes (`Rate::bps`,
+/// `Dur::as_secs_f64`, …) or carry an inline pragma.
+pub const FLOAT_CAST_ALLOW: &[(&str, &str)] = &[
+    (
+        "crates/core/src/policy/red.rs",
+        "RED's EWMA average and drop probability are float math by definition (Floyd & Jacobson)",
+    ),
+    (
+        "crates/core/src/policy/fred.rs",
+        "FRED inherits RED's float EWMA state and per-flow fair-share estimate",
+    ),
+    (
+        "crates/core/src/policy/threshold.rs",
+        "Prop-1/2 threshold formula is evaluated once at configuration time and rounded to bytes at the boundary; admission itself is pure integer compares",
+    ),
+    (
+        "crates/sched/src/wfq.rs",
+        "WFQ/PGPS virtual time is float arithmetic by construction — it is the paper's O(log N) comparison baseline, not a guarantee path",
+    ),
+    (
+        "crates/sched/src/wf2q.rs",
+        "WF2Q+ shares WFQ's float virtual-time formulation",
+    ),
+    (
+        "crates/sched/src/vclock.rs",
+        "VirtualClock stamps are float virtual time (comparison baseline)",
+    ),
+    (
+        "crates/sched/src/hybrid.rs",
+        "the hybrid's WFQ layer reuses float virtual time; per-queue admission stays integer",
+    ),
+];
+
+/// Returns the allowlist entry covering `rel`, if any.
+pub fn float_cast_allowance(rel: &str) -> Option<(&'static str, &'static str)> {
+    FLOAT_CAST_ALLOW.iter().copied().find(|(p, _)| *p == rel)
+}
+
+/// The crate name of a `crates/<name>/…` path.
+fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/")?.split('/').next()
+}
+
+/// Do the determinism rules apply to this file?
+pub fn determinism_applies(rel: &str) -> bool {
+    crate_of(rel).is_some_and(|c| DETERMINISM_CRATES.contains(&c))
+}
+
+/// Does the unordered-container rule apply to this file?
+pub fn unordered_applies(rel: &str) -> bool {
+    crate_of(rel) == Some("sim")
+}
+
+/// Does the float-cast audit apply to this file?
+pub fn float_cast_applies(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/policy/") || rel.starts_with("crates/sched/src/")
+}
+
+/// Does the print-hygiene rule apply (library sources only — binaries
+/// under `src/bin/` and `src/main.rs` are the sanctioned output edge)?
+pub fn print_applies(rel: &str) -> bool {
+    rel.contains("/src/") && !rel.contains("/src/bin/") && !rel.ends_with("src/main.rs")
+}
+
+/// Is this file a crate root that must carry the hygiene attributes?
+pub fn is_crate_root(rel: &str) -> bool {
+    if rel == "src/lib.rs" {
+        return true;
+    }
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split_once('/'))
+        .is_some_and(|(_, rest)| rest == "src/lib.rs")
+}
+
+/// Substring search with identifier boundaries: the character before
+/// the match and the character after it must not be `[A-Za-z0-9_]`, so
+/// `eprintln!` does not also match `println!` and `HashMaps` does not
+/// match `HashMap`.
+pub fn find_word(code: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(pat) {
+        let start = from + pos;
+        let end = start + pat.len();
+        let pre = code[..start].chars().next_back();
+        let post = code[end..].chars().next();
+        let boundary = |c: Option<char>| c.is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary(pre) && boundary(post) {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Find `==`/`!=` comparisons with a float operand on either side.
+/// Returns `(column, operator)` per match.
+///
+/// Lexical approximation: an operand counts as float when it is a
+/// numeric literal with a fractional part, exponent or `f64`/`f32`
+/// suffix, an `f64::`/`f32::` associated constant, or an `as f64`/`as
+/// f32` cast result. Typed variable–variable comparisons are out of
+/// lexical reach — the rule exists to keep float equality from being
+/// written in the idioms that actually occur.
+pub fn float_eq_matches(code: &str) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let op = match (bytes[i], bytes[i + 1]) {
+            (b'=', b'=') => "==",
+            (b'!', b'=') => "!=",
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        // Skip `<=`, `>=`, `=>`, `===`-like runs and `!=`'s `=` half.
+        let pre_ok = i == 0 || !matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!');
+        let post_ok = bytes.get(i + 2) != Some(&b'=');
+        if pre_ok && post_ok {
+            let left = &code[..i];
+            let right = &code[i + 2..];
+            if is_float_operand(last_token(left)) || is_float_operand(first_token(right)) {
+                out.push((i + 1, op));
+            }
+        }
+        i += 2;
+    }
+    out
+}
+
+/// Last operand-ish token before an operator.
+fn last_token(s: &str) -> &str {
+    let end = s.trim_end();
+    let start = end
+        .rfind(|c: char| c.is_whitespace() || "([{,".contains(c))
+        .map_or(0, |p| p + c_len(end, p));
+    &end[start..]
+}
+
+/// First operand-ish token after an operator.
+fn first_token(s: &str) -> &str {
+    let t = s.trim_start();
+    let end = t
+        .find(|c: char| c.is_whitespace() || ")]},;".contains(c))
+        .unwrap_or(t.len());
+    &t[..end]
+}
+
+fn c_len(s: &str, pos: usize) -> usize {
+    s[pos..].chars().next().map_or(1, |c| c.len_utf8())
+}
+
+/// Is this token a float-typed operand, lexically?
+fn is_float_operand(tok: &str) -> bool {
+    let t = tok.trim_matches(|c: char| "()-!&*".contains(c));
+    if t.contains("f64::") || t.contains("f32::") {
+        return true;
+    }
+    if t == "f64" || t == "f32" {
+        // `x as f64 == y` — the cast result is the operand.
+        return true;
+    }
+    let cs: Vec<char> = t.chars().collect();
+    if cs.is_empty() || !cs[0].is_ascii_digit() {
+        return false;
+    }
+    let mut i = 0;
+    while i < cs.len() && (cs[i].is_ascii_digit() || cs[i] == '_') {
+        i += 1;
+    }
+    if i >= cs.len() {
+        return false; // pure integer
+    }
+    match cs[i] {
+        // `1.5`, `1.` — but not `1.max(…)` (method on an int literal).
+        '.' => cs.get(i + 1).is_none_or(|c| !c.is_alphabetic()),
+        'e' | 'E' => cs
+            .get(i + 1)
+            .is_some_and(|c| c.is_ascii_digit() || *c == '+' || *c == '-'),
+        'f' => {
+            let suf: String = cs[i..].iter().take(3).collect();
+            suf == "f64" || suf == "f32"
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_boundaries_hold() {
+        assert!(find_word("let x = thread_rng();", "thread_rng"));
+        assert!(!find_word("let x = my_thread_rng();", "thread_rng"));
+        assert!(!find_word("eprintln!(\"\")", "println!"));
+        assert!(find_word("eprintln!(\"\")", "eprintln!"));
+        assert!(!find_word("HashMapLike", "HashMap"));
+    }
+
+    #[test]
+    fn float_eq_matcher_catches_common_idioms() {
+        assert_eq!(float_eq_matches("if x == 0.0 {").len(), 1);
+        assert_eq!(float_eq_matches("if 0.0 == x {").len(), 1);
+        assert_eq!(float_eq_matches("x != 1e-9").len(), 1);
+        assert_eq!(float_eq_matches("x == 2f64").len(), 1);
+        assert_eq!(float_eq_matches("x == f64::INFINITY").len(), 1);
+        assert_eq!(float_eq_matches("y as f64 == x").len(), 1);
+    }
+
+    #[test]
+    fn float_eq_matcher_spares_integers_and_ranges() {
+        assert!(float_eq_matches("if x == 0 {").is_empty());
+        assert!(float_eq_matches("a.0 == b.0").is_empty());
+        assert!(float_eq_matches("x <= 0.5 && y >= 1.5").is_empty());
+        assert!(float_eq_matches("let y = x; z => 3").is_empty());
+        assert!(float_eq_matches("assert!(n == len)").is_empty());
+    }
+
+    #[test]
+    fn crate_root_detection() {
+        assert!(is_crate_root("crates/core/src/lib.rs"));
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(!is_crate_root("crates/core/src/policy/mod.rs"));
+        assert!(!is_crate_root("crates/core/src/analysis/lib.rs"));
+    }
+
+    #[test]
+    fn allowlist_lookup_is_exact() {
+        assert!(float_cast_allowance("crates/core/src/policy/red.rs").is_some());
+        assert!(float_cast_allowance("crates/core/src/policy/red_extra.rs").is_none());
+    }
+}

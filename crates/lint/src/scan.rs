@@ -1,0 +1,287 @@
+//! Lexical source model: comment/string stripping, `#[cfg(test)]`
+//! region tracking, and suppression-pragma extraction.
+//!
+//! The scanner is deliberately lexical, not syntactic: rules match on
+//! *cleaned* code text (string and char-literal contents blanked,
+//! comments removed), so a `"thread_rng"` inside a string literal or a
+//! doc comment never trips a rule. Test modules (`#[cfg(test)] mod …`)
+//! are exempt from every rule — the invariants guard shipping library
+//! code, and lint fixtures themselves live in test modules.
+
+/// One physical source line after lexical preprocessing.
+#[derive(Debug, Clone)]
+pub struct SrcLine {
+    /// Code text with string/char contents blanked and comments removed.
+    pub code: String,
+    /// Text of any non-doc `//` comment on the line (pragma carrier).
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum St {
+    Code,
+    /// Inside `//…`; the payload records whether it is a doc comment
+    /// (`///` or `//!`), which cannot carry pragmas.
+    LineComment {
+        doc: bool,
+    },
+    /// Inside nested `/* … */`, with nesting depth.
+    Block(u32),
+    /// Inside a string literal; `hashes` is `Some(n)` for raw strings.
+    Str {
+        hashes: Option<u32>,
+    },
+}
+
+/// Split `src` into [`SrcLine`]s: blank string/char contents, strip
+/// comments into the per-line comment buffer, and mark test regions.
+pub fn preprocess(src: &str) -> Vec<SrcLine> {
+    let cs: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < cs.len() {
+        let c = cs[i];
+        if c == '\n' {
+            if matches!(st, St::LineComment { .. }) {
+                st = St::Code;
+            }
+            lines.push(SrcLine {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                let next = cs.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    let doc = matches!(cs.get(i + 2), Some('/') | Some('!'));
+                    st = St::LineComment { doc };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::Block(1);
+                    code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    st = St::Str { hashes: None };
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && is_raw_string_start(&cs, i) {
+                    // r"…", r#"…"#, br"…" etc.
+                    let mut j = i;
+                    while cs.get(j) == Some(&'b') || cs.get(j) == Some(&'r') {
+                        code.push(cs[j]);
+                        j += 1;
+                    }
+                    let mut n = 0u32;
+                    while cs.get(j) == Some(&'#') {
+                        code.push('#');
+                        n += 1;
+                        j += 1;
+                    }
+                    code.push('"');
+                    st = St::Str { hashes: Some(n) };
+                    i = j + 1;
+                } else if c == '\'' {
+                    i = consume_char_or_lifetime(&cs, i, &mut code);
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            St::LineComment { doc } => {
+                if !doc {
+                    comment.push(c);
+                }
+                i += 1;
+            }
+            St::Block(d) => {
+                let next = cs.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    st = St::Block(d + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    st = if d == 1 { St::Code } else { St::Block(d - 1) };
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            St::Str { hashes } => match hashes {
+                None => {
+                    if c == '\\' {
+                        code.push(' ');
+                        if cs.get(i + 1).is_some() {
+                            code.push(' ');
+                        }
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        st = St::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Some(n) => {
+                    if c == '"' && raw_string_closes(&cs, i, n) {
+                        code.push('"');
+                        for _ in 0..n {
+                            code.push('#');
+                        }
+                        st = St::Code;
+                        i += 1 + n as usize;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            },
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(SrcLine {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Is `cs[i]` the start of a raw (or raw-byte) string literal?
+fn is_raw_string_start(cs: &[char], i: usize) -> bool {
+    // Must not be the tail of an identifier (e.g. `var` in `pvar"`).
+    if i > 0 && (cs[i - 1].is_alphanumeric() || cs[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if cs.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if cs.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while cs.get(j) == Some(&'#') {
+        j += 1;
+    }
+    cs.get(j) == Some(&'"')
+}
+
+/// Does the `"` at `cs[i]` close a raw string with `n` hashes?
+fn raw_string_closes(cs: &[char], i: usize, n: u32) -> bool {
+    (1..=n as usize).all(|k| cs.get(i + k) == Some(&'#'))
+}
+
+/// Consume either a char literal (`'x'`, `'\n'`) blanking its content,
+/// or a lifetime tick (left in place). Returns the next index.
+fn consume_char_or_lifetime(cs: &[char], i: usize, code: &mut String) -> usize {
+    match cs.get(i + 1) {
+        Some('\\') => {
+            // Escaped char literal: scan to the closing quote.
+            code.push('\'');
+            let mut j = i + 1;
+            while j < cs.len() {
+                if cs[j] == '\\' {
+                    code.push(' ');
+                    code.push(' ');
+                    j += 2;
+                } else if cs[j] == '\'' {
+                    code.push('\'');
+                    return j + 1;
+                } else {
+                    code.push(' ');
+                    j += 1;
+                }
+            }
+            j
+        }
+        Some(_) if cs.get(i + 2) == Some(&'\'') => {
+            // Plain one-char literal.
+            code.push('\'');
+            code.push(' ');
+            code.push('\'');
+            i + 3
+        }
+        _ => {
+            // Lifetime (or stray tick): keep and move on.
+            code.push('\'');
+            i + 1
+        }
+    }
+}
+
+/// Mark every line that belongs to a `#[cfg(test)]` item. Brace-depth
+/// tracking over cleaned code: the region opens at the first `{` after
+/// the attribute and closes when depth returns to its pre-item value;
+/// an un-braced item (`#[cfg(test)] use …;`) ends at its `;`.
+fn mark_test_regions(lines: &mut [SrcLine]) {
+    let mut depth: i64 = 0;
+    let mut pending = false; // saw the attribute, waiting for the item's `{`
+    let mut region_floor: Option<i64> = None;
+    for line in lines.iter_mut() {
+        let is_attr = line.code.trim_start().starts_with("#[cfg(test)]");
+        if region_floor.is_none() && is_attr {
+            pending = true;
+        }
+        let mut in_test_here = pending || region_floor.is_some();
+        for ch in line.code.chars() {
+            match ch {
+                '{' => {
+                    if pending {
+                        region_floor = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_floor == Some(depth) {
+                        region_floor = None;
+                        in_test_here = true;
+                    }
+                }
+                ';' if pending && region_floor.is_none() => {
+                    // `#[cfg(test)] use …;` — single-item scope.
+                    pending = false;
+                    in_test_here = true;
+                }
+                _ => {}
+            }
+        }
+        line.in_test = in_test_here || region_floor.is_some();
+    }
+}
+
+/// Parse `qbm-lint: allow(rule-a, rule-b)` pragmas out of a line's
+/// comment text. Returns the listed rule names.
+pub fn pragma_rules(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(pos) = comment.find("qbm-lint:") else {
+        return out;
+    };
+    let rest = comment[pos + "qbm-lint:".len()..].trim_start();
+    let Some(body) = rest.strip_prefix("allow(") else {
+        return out;
+    };
+    let Some(end) = body.find(')') else {
+        return out;
+    };
+    for rule in body[..end].split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            out.push(rule.to_string());
+        }
+    }
+    out
+}

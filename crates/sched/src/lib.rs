@@ -18,7 +18,8 @@
 //! the router before enqueueing (the paper's whole point is moving the
 //! QoS burden from the scheduler to that admission step).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod drr;
 pub mod edf;

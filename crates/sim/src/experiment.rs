@@ -310,7 +310,7 @@ pub struct Summary {
 impl Summary {
     /// CI half-width relative to the mean (the paper quotes "< 2 %").
     pub fn rel_ci(&self) -> f64 {
-        if self.mean == 0.0 {
+        if qbm_core::units::approx_eq(self.mean, 0.0, f64::EPSILON) {
             0.0
         } else {
             self.ci95 / self.mean.abs()

@@ -25,7 +25,8 @@
 //! * [`tandem`] — feed-forward multi-hop lines (extension beyond the
 //!   paper's single link), showing the guarantees compose.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod event;
 pub mod experiment;

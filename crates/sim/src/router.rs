@@ -120,6 +120,10 @@ where
         let mut stats = StatsCollector::new(n, warmup, end, seed);
         let mut events = EventQueue::new();
         let mut traces: Option<Vec<Vec<Emission>>> = record.then(|| vec![Vec::new(); n]);
+        // Conservation ledger (debug builds): bytes admitted and not yet
+        // departed, independently of the policy's own accounting. Any
+        // drift between the two is a silent buffer leak.
+        let mut queued_bytes: u64 = 0;
 
         // Prime one pending emission per source.
         let mut pending: Vec<Option<u32>> = vec![None; n];
@@ -148,6 +152,7 @@ where
                     stats.on_color(now, flow, len, green);
                     match self.policy.admit(flow, len) {
                         Verdict::Admit => {
+                            queued_bytes += len as u64;
                             stats.on_arrival(now, flow, len, None);
                             let pkt = PacketRef {
                                 flow,
@@ -176,6 +181,7 @@ where
                 }
                 Event::Departure => {
                     let pkt = self.in_flight.take().expect("departure with idle link");
+                    queued_bytes -= pkt.len as u64;
                     self.policy.release(pkt.flow, pkt.len);
                     stats.on_departure_colored(now, pkt.flow, pkt.len, pkt.arrival, pkt.green);
                     if let Some(tr) = traces.as_mut() {
@@ -189,6 +195,19 @@ where
                     }
                 }
             }
+            // Occupancy conservation: the policy's idea of the buffer
+            // must equal Σ queued packet sizes (incl. the in-flight
+            // packet, whose bytes are released only at departure), and
+            // must never exceed B.
+            debug_assert_eq!(
+                self.policy.total_occupancy(),
+                queued_bytes,
+                "policy occupancy drifted from queued bytes"
+            );
+            debug_assert!(
+                self.policy.total_occupancy() <= self.policy.capacity(),
+                "policy occupancy above capacity"
+            );
         }
         (stats.finish(), traces)
     }

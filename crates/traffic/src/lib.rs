@@ -12,7 +12,8 @@
 //! platform — this is what makes the paper's 5-run confidence intervals
 //! reproducible here.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod cbr;
 pub mod onoff;

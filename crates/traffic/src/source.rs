@@ -61,7 +61,7 @@ pub fn empirical_rate_bps(emissions: &[Emission]) -> f64 {
         .time
         .since(emissions[0].time)
         .as_secs_f64();
-    if span == 0.0 {
+    if qbm_core::units::approx_eq(span, 0.0, f64::EPSILON) {
         return f64::INFINITY;
     }
     bytes as f64 * 8.0 / span

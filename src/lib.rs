@@ -17,7 +17,8 @@
 //! See `examples/` for runnable entry points and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use qbm_core as core;
 pub use qbm_fluid as fluid;

@@ -1,0 +1,53 @@
+//! The static-analysis gate: tier-1 `cargo test -q` runs the same
+//! `qbm-lint` pass as the standalone binary and the CI `lint` job, so a
+//! determinism or unit-discipline regression fails the test suite, not
+//! just a side channel.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = qbm_lint::run_repo(root).expect("lint walk failed");
+    // Guard against the walker silently scanning nothing (e.g. after a
+    // directory move): the workspace has far more than 40 library files.
+    assert!(
+        report.files_scanned >= 40,
+        "lint walker found only {} files — walk roots broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "qbm-lint found {} violation(s):\n{}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn suppressions_stay_accounted() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = qbm_lint::run_repo(root).expect("lint walk failed");
+    // Every silenced match must come from a known channel, and the
+    // allow-surface should only change deliberately: a jump here means
+    // someone is papering over findings instead of fixing them.
+    for s in &report.suppressions {
+        assert!(
+            s.via == "pragma" || s.via == "allowlist",
+            "unknown suppression channel {:?}",
+            s.via
+        );
+    }
+    let pragmas = report
+        .suppressions
+        .iter()
+        .filter(|s| s.via == "pragma")
+        .count();
+    assert!(
+        pragmas <= 10,
+        "{pragmas} inline qbm-lint pragmas — audit before growing the allow-surface"
+    );
+}
