@@ -5,23 +5,45 @@
 //! qbm check <scenario.qbm | table1 | table2>   admission check only
 //! qbm plan  <scenario.qbm | table1 | table2> [k]   §4 hybrid plan (default k = 3)
 //! qbm sweep <scenario.qbm | table1 | table2>   utilization/loss over buffer sizes
+//! qbm trace <scenario.qbm | table1 | table2> [out.jsonl]   traced single-seed run
+//! qbm trace-check <trace.jsonl>                validate a trace's schema
 //! ```
 //!
-//! `--threads N` (anywhere on the line) shards the replications of
-//! `run` and `sweep` across N worker threads; results are identical
-//! for any N (default: one per core).
+//! Flags (anywhere on the line):
+//! * `--threads N` — shard `run`/`sweep` replications across N workers
+//!   (default `QBM_THREADS`, else one per core); results are identical
+//!   for any N.
+//! * `--trace <path>` — also write a JSONL event trace of the first
+//!   seed (schema: see DESIGN.md §9). Sim-time-stamped and
+//!   byte-identical across thread counts.
+//! * `--probe-interval <dur>` — with a trace: sample per-flow/aggregate
+//!   occupancy and the sharing pools every `<dur>` of simulated time
+//!   into `<path stem>.timeseries.csv` (e.g. `10ms`).
+//! * `--profile` — print per-phase wall-clock timing and events/sec.
 
+use qbm_cli::profile::Profiler;
 use qbm_cli::report::{admission_report, simulation_report};
+use qbm_cli::units::parse_duration;
 use qbm_cli::Scenario;
 use qbm_core::analysis::hybrid::{
     buffer_savings_eq17, hybrid_buffer_eq19, optimal_alphas, rate_assignment_eq16,
     single_fifo_buffer_eq13, Grouping,
 };
 use qbm_core::units::{ByteSize, Dur, Rate};
+use qbm_obs::{verify_trace, CountingObserver, TimeSeriesProbe, Tracer};
+use qbm_sim::MultiRun;
+
+/// Options shared by the subcommands, parsed from anywhere on the line.
+struct Options {
+    threads: usize,
+    trace: Option<String>,
+    probe_interval: Option<Dur>,
+    profile: bool,
+}
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (threads, args) = split_threads_flag(&raw);
+    let (opts, args) = parse_flags(&raw);
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => usage(),
@@ -29,18 +51,48 @@ fn main() {
     let Some(target) = rest.first() else {
         usage();
     };
+    if cmd == "trace-check" {
+        trace_check(target);
+        return;
+    }
+    let mut prof = Profiler::start();
     let scenario = load(target);
+    prof.phase("load");
     match cmd {
         "check" => print!("{}", admission_report(&scenario)),
         "run" => {
             print!("{}", admission_report(&scenario));
             println!();
+            prof.phase("admission");
             let multi = scenario
                 .to_config()
-                .run_many_threaded(1, scenario.seeds, threads);
+                .run_many_threaded(1, scenario.seeds, opts.threads);
+            prof.phase("simulate");
             print!("{}", simulation_report(&scenario, &multi));
+            let mut events = sim_events(&multi);
+            if let Some(path) = &opts.trace {
+                events += traced_run(&scenario, path, opts.probe_interval);
+                prof.phase("trace");
+            }
+            if opts.profile {
+                println!();
+                print!("{}", prof.finish(events).render());
+            }
         }
-        "sweep" => sweep(&scenario, threads),
+        "trace" => {
+            let default_out = "trace.jsonl".to_string();
+            let out = opts
+                .trace
+                .as_ref()
+                .or_else(|| rest.get(1))
+                .unwrap_or(&default_out);
+            let events = traced_run(&scenario, out, opts.probe_interval);
+            prof.phase("trace");
+            if opts.profile {
+                print!("{}", prof.finish(events).render());
+            }
+        }
+        "sweep" => sweep(&scenario, opts.threads),
         "plan" => {
             let k: usize = rest
                 .get(1)
@@ -58,31 +110,126 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  qbm run   <scenario.qbm|table1|table2> [--threads N]\n  qbm check <scenario.qbm|table1|table2>\n  qbm plan  <scenario.qbm|table1|table2> [k]\n  qbm sweep <scenario.qbm|table1|table2> [--threads N]"
+        "usage:\n  qbm run   <scenario.qbm|table1|table2> [--threads N] [--trace out.jsonl] [--probe-interval 10ms] [--profile]\n  qbm check <scenario.qbm|table1|table2>\n  qbm plan  <scenario.qbm|table1|table2> [k]\n  qbm sweep <scenario.qbm|table1|table2> [--threads N]\n  qbm trace <scenario.qbm|table1|table2> [out.jsonl] [--probe-interval 10ms]\n  qbm trace-check <trace.jsonl>"
     );
     std::process::exit(2)
 }
 
-/// Extract `--threads N` (0 = one worker per core when absent) and
-/// return the remaining positional arguments.
-fn split_threads_flag(args: &[String]) -> (usize, Vec<String>) {
-    let mut threads = 0;
+/// Extract the flags from `args` and return the remaining positional
+/// arguments. `--threads` falls back to the `QBM_THREADS` environment
+/// variable (0 = one worker per core).
+fn parse_flags(args: &[String]) -> (Options, Vec<String>) {
+    let mut opts = Options {
+        threads: std::env::var("QBM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        trace: None,
+        probe_interval: None,
+        profile: false,
+    };
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if arg == "--threads" {
-            match it.next().and_then(|v| v.parse().ok()) {
-                Some(t) => threads = t,
-                None => {
-                    eprintln!("--threads needs a numeric argument");
-                    std::process::exit(2);
-                }
-            }
-        } else {
-            rest.push(arg.clone());
+        match arg.as_str() {
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => opts.threads = t,
+                None => flag_error("--threads needs a numeric argument"),
+            },
+            "--trace" => match it.next() {
+                Some(p) => opts.trace = Some(p.clone()),
+                None => flag_error("--trace needs an output path"),
+            },
+            "--probe-interval" => match it.next().map(|v| parse_duration(v)) {
+                Some(Ok(d)) if !d.is_zero() => opts.probe_interval = Some(d),
+                _ => flag_error("--probe-interval needs a nonzero duration (e.g. 10ms)"),
+            },
+            "--profile" => opts.profile = true,
+            _ => rest.push(arg.clone()),
         }
     }
-    (threads, rest)
+    (opts, rest)
+}
+
+fn flag_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+/// Events processed across all replications (arrivals + departures;
+/// drops are part of arrivals).
+fn sim_events(multi: &MultiRun) -> u64 {
+    multi
+        .runs
+        .iter()
+        .flat_map(|r| r.flows.iter())
+        .map(|f| f.offered_pkts + f.delivered_pkts)
+        .sum()
+}
+
+/// Re-run the scenario's first seed with a tracer (and optionally a
+/// time-series probe) attached, and write the artifacts. Returns the
+/// number of hook events observed.
+fn traced_run(s: &Scenario, trace_path: &str, probe_interval: Option<Dur>) -> u64 {
+    // Seed 1 = the first replication of `run`'s protocol
+    // (`run_many_threaded(1, …)` uses seeds 1..=seeds).
+    let seed = 1;
+    // A disabled probe's first tick sits at u64::MAX ns — never reached.
+    let interval = probe_interval.unwrap_or(Dur(u64::MAX));
+    let mut obs = (
+        Tracer::default(),
+        (TimeSeriesProbe::new(interval), CountingObserver::default()),
+    );
+    let _ = s.to_config().run_once_with(seed, &mut obs);
+    let (tracer, (probe, counter)) = obs;
+    write_or_die(trace_path, &tracer.to_jsonl());
+    println!(
+        "trace: {trace_path} ({} records, {} truncated, seed {seed})",
+        tracer.len(),
+        tracer.truncated()
+    );
+    if probe_interval.is_some() {
+        let csv_path = format!("{}.timeseries.csv", trace_path.trim_end_matches(".jsonl"));
+        write_or_die(&csv_path, &probe.to_csv());
+        println!("probe: {csv_path} ({} samples)", probe.samples().len());
+    }
+    counter.counts.total()
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write `{path}`: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Validate a trace file against the JSONL schema; exit 1 on failure
+/// (the CI gate).
+fn trace_check(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        std::process::exit(1);
+    });
+    match verify_trace(&text) {
+        Ok(sum) => {
+            println!(
+                "{path}: ok — {} records (arr {} | enq {} | drop {} | dep {} | thr {} | share {} | cells {}), {} truncated",
+                sum.records,
+                sum.arrivals,
+                sum.enqueues,
+                sum.drops,
+                sum.departures,
+                sum.crossings,
+                sum.sharing,
+                sum.cells,
+                sum.truncated
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: schema check FAILED — {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Sweep the buffer from half to 4x the scenario's size: the fastest

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod profile;
 pub mod report;
 pub mod scenario;
 pub mod units;

@@ -2,6 +2,7 @@
 
 use qbm_core::admission::{admissible, AdmissionOutcome, Discipline, LinkConfig};
 use qbm_core::flow::Conformance;
+use qbm_core::policy::DropReason;
 use qbm_core::units::{ByteSize, Dur};
 use qbm_sim::MultiRun;
 
@@ -89,6 +90,21 @@ pub fn simulation_report(s: &Scenario, multi: &MultiRun) -> String {
         agg.mean * 1e6 / s.link.bps() as f64 * 100.0,
         conf.mean,
     ));
+    // Loss split by cause across all flows and seeds — the observability
+    // view of *why* packets were refused, not just how many.
+    let by = |reason| {
+        multi
+            .runs
+            .iter()
+            .map(|r| r.drops_by_reason(reason))
+            .sum::<u64>()
+    };
+    out.push_str(&format!(
+        "drops by cause: threshold {} | buffer-full {} | headroom-denied {}\n",
+        by(DropReason::OverThreshold),
+        by(DropReason::BufferFull),
+        by(DropReason::NoSharedSpace),
+    ));
     out
 }
 
@@ -128,6 +144,7 @@ mod tests {
         let multi = s.to_config().run_many(1, s.seeds);
         let r = simulation_report(&s, &multi);
         assert!(r.contains("aggregate:"));
+        assert!(r.contains("drops by cause: threshold"));
         // Two flow rows plus the "conformant loss" summary line.
         assert_eq!(r.lines().filter(|l| l.contains("conformant")).count(), 3);
     }

@@ -92,6 +92,14 @@ pub trait BufferPolicy: Send {
     /// Short policy name for reports ("fifo-thresh" etc. are composed
     /// one level up from this plus the scheduler name).
     fn name(&self) -> &'static str;
+
+    /// The §3.3 sharing pools `(holes, headroom)` in bytes, for
+    /// policies that maintain them (None otherwise). Observability
+    /// hook: the simulator samples this to emit hole/headroom
+    /// transition records without knowing the concrete policy.
+    fn sharing_state(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// Boxed policies forward to their contents, so both `Box<dyn
@@ -124,6 +132,10 @@ impl<P: BufferPolicy + ?Sized> BufferPolicy for Box<P> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn sharing_state(&self) -> Option<(u64, u64)> {
+        (**self).sharing_state()
     }
 }
 

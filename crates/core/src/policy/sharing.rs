@@ -206,6 +206,10 @@ impl BufferPolicy for BufferSharing {
     fn name(&self) -> &'static str {
         "buffer-sharing"
     }
+
+    fn sharing_state(&self) -> Option<(u64, u64)> {
+        Some((self.holes, self.headroom))
+    }
 }
 
 /// §5 future-work variant: only flows marked `adaptive` may borrow from
@@ -263,6 +267,10 @@ impl BufferPolicy for AdaptiveSharing {
 
     fn name(&self) -> &'static str {
         "adaptive-sharing"
+    }
+
+    fn sharing_state(&self) -> Option<(u64, u64)> {
+        self.inner.sharing_state()
     }
 }
 

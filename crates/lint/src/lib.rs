@@ -235,6 +235,30 @@ pub fn scan_file(rel: &str, src: &str) -> FileScan {
                 }
             }
         }
+
+        if rules::obs_wall_applies(rel) {
+            for pat in rules::WALL_CLOCK_PATTERNS {
+                if rules::find_word(code, pat) {
+                    emit(
+                        &mut out,
+                        i,
+                        rules::OBS_HYGIENE,
+                        format!("`{pat}` outside the sanctioned profiling module"),
+                        rules::OBS_WALL_HINT,
+                    );
+                }
+            }
+        }
+
+        if rules::obs_trace_applies(rel) && rules::find_word(code, "writeln!") {
+            emit(
+                &mut out,
+                i,
+                rules::OBS_HYGIENE,
+                "`writeln!` — ad-hoc trace emission in the simulator".to_string(),
+                rules::OBS_TRACE_HINT,
+            );
+        }
     }
 
     if rules::is_crate_root(rel) {
@@ -494,6 +518,51 @@ mod tests {
         let f = scan_file("crates/fluid/src/mux.rs", src).findings;
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn obs_crate_obeys_the_wall_clock_and_rng_bans() {
+        let src = "fn t() { let x = std::time::Instant::now(); }\n";
+        assert_eq!(
+            findings_of("crates/obs/src/tracer.rs", src),
+            vec![rules::WALL_CLOCK]
+        );
+        let src2 = "fn t() { let r = ChaCha8Rng::from_entropy(); }\n";
+        assert_eq!(
+            findings_of("crates/obs/src/probe.rs", src2),
+            vec![rules::NONDET_RNG]
+        );
+    }
+
+    #[test]
+    fn cli_wall_clock_pinned_to_profile_module() {
+        let src = "fn t() { let x = std::time::Instant::now(); }\n";
+        assert_eq!(
+            findings_of("crates/cli/src/report.rs", src),
+            vec![rules::OBS_HYGIENE]
+        );
+        assert_eq!(
+            findings_of("crates/cli/src/bin/qbm.rs", src),
+            vec![rules::OBS_HYGIENE]
+        );
+        // The profiling module is the one sanctioned wall-clock site.
+        assert!(findings_of("crates/cli/src/profile.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ad_hoc_writeln_traces_flagged_in_sim_and_obs() {
+        let src = "fn t(w: &mut String) { writeln!(w, \"ev\").unwrap(); }\n";
+        assert_eq!(
+            findings_of("crates/sim/src/router.rs", src),
+            vec![rules::OBS_HYGIENE]
+        );
+        assert_eq!(
+            findings_of("crates/obs/src/tracer.rs", src),
+            vec![rules::OBS_HYGIENE]
+        );
+        // The report layer and binaries may write freely.
+        assert!(findings_of("crates/cli/src/report.rs", src).is_empty());
+        assert!(findings_of("crates/lint/src/main.rs", src).is_empty());
     }
 
     #[test]

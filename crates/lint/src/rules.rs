@@ -10,6 +10,7 @@
 //! | `float-cast` | core::policy, sched | `as f64`/`as f32` only in allowlisted files |
 //! | `crate-hygiene` | crate roots | `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` |
 //! | `print-hygiene` | library sources | no `println!`/`dbg!` — output goes through the report layer |
+//! | `obs-hygiene` | cli (except `profile.rs`), sim, obs | no wall clock outside the profiling module; no ad-hoc `writeln!` tracing — events go through `qbm_obs::Observer` |
 
 /// Rule name: wall-clock reads in determinism-critical crates.
 pub const WALL_CLOCK: &str = "wall-clock";
@@ -56,8 +57,37 @@ pub const PRINT: &str = "print-hygiene";
 /// Hint for [`PRINT`].
 pub const PRINT_HINT: &str = "return data and let the report layer / binaries do the printing";
 
+/// Rule name: observability hygiene — wall-clock reads outside the
+/// sanctioned profiling module, or ad-hoc `writeln!` tracing in the
+/// simulator instead of `qbm_obs::Observer` hooks.
+pub const OBS_HYGIENE: &str = "obs-hygiene";
+/// Hint for [`OBS_HYGIENE`] wall-clock matches.
+pub const OBS_WALL_HINT: &str =
+    "host timing belongs in qbm_cli::profile (the one sanctioned wall-clock site); traces carry simulated time only";
+/// Hint for [`OBS_HYGIENE`] ad-hoc trace matches.
+pub const OBS_TRACE_HINT: &str =
+    "emit events through a qbm_obs::Observer hook; hand-rolled writeln! traces bypass the deterministic schema";
+
 /// Crates whose library code must be wall-clock- and entropy-free.
-pub const DETERMINISM_CRATES: &[&str] = &["core", "sched", "sim", "traffic", "fluid"];
+/// `obs` is here on purpose: trace records are stamped with simulated
+/// time only, so the observability core obeys the same clock ban as the
+/// simulator it watches.
+pub const DETERMINISM_CRATES: &[&str] = &["core", "sched", "sim", "traffic", "fluid", "obs"];
+
+/// Does the obs-hygiene wall-clock ban apply? Everything in `qbm-cli`
+/// except the dedicated profiling module (the obs crate itself is
+/// covered by the stricter `wall-clock` rule via
+/// [`DETERMINISM_CRATES`]).
+pub fn obs_wall_applies(rel: &str) -> bool {
+    rel.starts_with("crates/cli/src/") && rel != "crates/cli/src/profile.rs"
+}
+
+/// Does the obs-hygiene ad-hoc-trace ban apply? The simulator and the
+/// observability core: event emission must go through `Observer` hooks
+/// and the `Tracer`'s schema, never a stray `writeln!`.
+pub fn obs_trace_applies(rel: &str) -> bool {
+    rel.starts_with("crates/sim/src/") || rel.starts_with("crates/obs/src/")
+}
 
 /// Files allowed to use `as f64`/`as f32` inside the audited
 /// directories, each with the recorded justification. Everything else

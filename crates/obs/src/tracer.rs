@@ -1,0 +1,219 @@
+//! Bounded ring-buffer tracer: keeps the most recent N records.
+//!
+//! Traces of long runs are unbounded (a 22 s Table-1 run emits
+//! millions of events), so the tracer holds a fixed-capacity ring and
+//! evicts oldest-first, counting evictions. The JSONL header reports
+//! the eviction count as `truncated`, so a consumer always knows
+//! whether it is looking at the whole run or its tail.
+
+use std::collections::VecDeque;
+
+use qbm_core::flow::FlowId;
+use qbm_core::policy::DropReason;
+use qbm_core::units::Time;
+
+use crate::record::{header, TraceRecord};
+use crate::Observer;
+
+/// Default ring capacity (records).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// An [`Observer`] that materializes [`TraceRecord`]s into a bounded
+/// ring buffer for JSONL export.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    cap: usize,
+    buf: VecDeque<TraceRecord>,
+    truncated: u64,
+    /// Highest flow index seen + 1 (header `flows` field).
+    flows: usize,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A tracer keeping at most `capacity` records (oldest evicted).
+    pub fn new(capacity: usize) -> Tracer {
+        assert!(capacity > 0, "zero-capacity tracer");
+        Tracer {
+            cap: capacity,
+            buf: VecDeque::with_capacity(capacity.min(1 << 12)),
+            truncated: 0,
+            flows: 0,
+        }
+    }
+
+    fn push(&mut self, rec: TraceRecord) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.truncated += 1;
+        }
+        self.buf.push_back(rec);
+    }
+
+    fn saw_flow(&mut self, flow: FlowId) {
+        self.flows = self.flows.max(flow.index() + 1);
+    }
+
+    /// Records currently held (oldest first).
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no records were captured.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records evicted from the ring (0 = the trace is complete).
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Render the full trace: header line + one JSON line per record,
+    /// each newline-terminated.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = header(self.flows, self.truncated);
+        out.push('\n');
+        self.body_jsonl(&mut out);
+        out
+    }
+
+    /// Append only the record lines (no header) to `out` — the
+    /// building block for campaign-merged traces.
+    fn body_jsonl(&self, out: &mut String) {
+        for rec in &self.buf {
+            out.push_str(&rec.to_json());
+            out.push('\n');
+        }
+    }
+
+    /// Merge per-cell tracers into one trace in cell order: a single
+    /// header (summed `truncated`, max `flows`), then each cell's
+    /// records prefixed by a `cell` marker carrying its seed. Cell
+    /// order is the campaign's deterministic cell index, so the merged
+    /// trace is byte-identical for any worker count.
+    pub fn merged_jsonl(cells: &[(u64, Tracer)]) -> String {
+        let flows = cells.iter().map(|(_, t)| t.flows).max().unwrap_or(0);
+        let truncated = cells.iter().map(|(_, t)| t.truncated).sum();
+        let mut out = header(flows, truncated);
+        out.push('\n');
+        for (idx, (seed, tr)) in cells.iter().enumerate() {
+            out.push_str(
+                &TraceRecord::Cell {
+                    cell: idx as u64,
+                    seed: *seed,
+                }
+                .to_json(),
+            );
+            out.push('\n');
+            tr.body_jsonl(&mut out);
+        }
+        out
+    }
+}
+
+impl Observer for Tracer {
+    fn on_arrival(&mut self, now: Time, flow: FlowId, len: u32) {
+        self.saw_flow(flow);
+        self.push(TraceRecord::Arrival { t: now, flow, len });
+    }
+
+    fn on_enqueue(&mut self, now: Time, flow: FlowId, len: u32, flow_occ: u64, total_occ: u64) {
+        self.push(TraceRecord::Enqueue {
+            t: now,
+            flow,
+            len,
+            q: flow_occ,
+            tot: total_occ,
+        });
+    }
+
+    fn on_drop(&mut self, now: Time, flow: FlowId, len: u32, reason: DropReason) {
+        self.push(TraceRecord::Drop {
+            t: now,
+            flow,
+            len,
+            reason,
+        });
+    }
+
+    fn on_departure(&mut self, now: Time, flow: FlowId, len: u32, arrival: Time) {
+        self.push(TraceRecord::Departure {
+            t: now,
+            flow,
+            len,
+            sojourn_ns: now.since(arrival).as_nanos(),
+        });
+    }
+
+    fn on_threshold(&mut self, now: Time, flow: FlowId, occ: u64, limit: u64, up: bool) {
+        self.push(TraceRecord::Threshold {
+            t: now,
+            flow,
+            q: occ,
+            limit,
+            up,
+        });
+    }
+
+    fn on_sharing(&mut self, now: Time, holes: u64, headroom: u64) {
+        self.push(TraceRecord::Sharing {
+            t: now,
+            holes,
+            headroom,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::verify_trace;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let mut tr = Tracer::new(3);
+        for i in 0..5u64 {
+            tr.on_arrival(Time(i), FlowId(0), 100);
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.truncated(), 2);
+        let first = tr.records().next().expect("nonempty");
+        assert_eq!(first.time(), Time(2));
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_verify() {
+        let mut tr = Tracer::new(16);
+        tr.on_arrival(Time(5), FlowId(1), 500);
+        tr.on_enqueue(Time(5), FlowId(1), 500, 500, 500);
+        tr.on_departure(Time(90), FlowId(1), 500, Time(5));
+        let text = tr.to_jsonl();
+        let sum = verify_trace(&text).expect("tracer output must verify");
+        assert_eq!(sum.records, 3);
+        assert_eq!(sum.departures, 1);
+        assert!(text.starts_with("{\"schema\":\"qbm-trace\",\"version\":1,\"flows\":2,"));
+    }
+
+    #[test]
+    fn merged_trace_verifies_across_cells() {
+        let mut a = Tracer::new(4);
+        a.on_arrival(Time(100), FlowId(0), 1);
+        let mut b = Tracer::new(4);
+        b.on_arrival(Time(10), FlowId(0), 1); // earlier than a's last
+        let text = Tracer::merged_jsonl(&[(11, a), (12, b)]);
+        let sum = verify_trace(&text).expect("cell markers reset the watermark");
+        assert_eq!(sum.cells, 2);
+        assert_eq!(sum.arrivals, 2);
+    }
+}

@@ -19,6 +19,7 @@ use crate::stats::{SimResult, StatsCollector};
 use qbm_core::flow::FlowSpec;
 use qbm_core::policy::{BufferPolicy, BufferSharing, FixedThreshold, PolicyKind};
 use qbm_core::units::{Dur, Rate, Time};
+use qbm_obs::{NullObserver, Observer};
 use qbm_sched::SchedKind;
 use qbm_traffic::{build_source_with_sojourns, Sojourns};
 use rand::SplitMix64;
@@ -103,6 +104,13 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// Run one seed to completion.
     pub fn run_once(&self, seed: u64) -> SimResult {
+        self.run_once_with(seed, &mut NullObserver)
+    }
+
+    /// Run one seed with an observer attached to the router's event
+    /// loop (see [`qbm_obs::Observer`]). `run_once` is this with
+    /// [`NullObserver`], which monomorphizes the hooks away.
+    pub fn run_once_with<O: Observer>(&self, seed: u64, obs: &mut O) -> SimResult {
         let policy = self
             .policy
             .build(self.buffer_bytes, self.link_rate, &self.specs);
@@ -113,7 +121,12 @@ impl ExperimentConfig {
             .map(|s| build_source_with_sojourns(s, seed, self.sojourns))
             .collect();
         let router = Router::new(self.link_rate, policy, sched, sources);
-        router.run(Time::ZERO + self.warmup, Time::ZERO + self.duration, seed)
+        router.run_with(
+            Time::ZERO + self.warmup,
+            Time::ZERO + self.duration,
+            seed,
+            obs,
+        )
     }
 
     /// Run `n_seeds` independent replications in parallel (the paper
@@ -208,28 +221,49 @@ impl<'a> Campaign<'a> {
     /// Run the whole grid; returns one [`MultiRun`] per point, with
     /// replications in order.
     pub fn run(&self) -> Vec<MultiRun> {
+        self.run_observed(|_| NullObserver).0
+    }
+
+    /// Run the grid with one observer per cell. `make(idx)` builds cell
+    /// `idx`'s observer (cell `idx` = point `idx / replications`,
+    /// replication `idx % replications`); the finished observers come
+    /// back in cell order alongside the results, scattered into their
+    /// slots by index exactly like the [`SimResult`]s — so per-cell
+    /// traces are byte-identical for any worker count.
+    pub fn run_observed<O, F>(&self, make: F) -> (Vec<MultiRun>, Vec<O>)
+    where
+        O: Observer + Send,
+        F: Fn(usize) -> O + Sync,
+    {
         assert!(self.replications >= 1, "campaign without replications");
         assert!(!self.points.is_empty(), "campaign without points");
         let cells = self.points.len() * self.replications;
         let workers = self.worker_count(cells);
 
-        let mut slots: Vec<Option<SimResult>> = (0..cells).map(|_| None).collect();
+        let mut slots: Vec<Option<(SimResult, O)>> = (0..cells).map(|_| None).collect();
         if workers <= 1 {
             for (idx, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(self.run_cell(idx));
+                let mut obs = make(idx);
+                let res = self.run_cell_with(idx, &mut obs);
+                *slot = Some((res, obs));
             }
         } else {
             // Shard by index stride; each worker returns (index, result)
             // pairs that are scattered back into the grid, so neither
             // scheduling nor completion order can reorder results.
-            let buckets: Vec<Vec<(usize, SimResult)>> = std::thread::scope(|scope| {
+            let buckets: Vec<Vec<(usize, (SimResult, O))>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|w| {
                         let me: &Campaign<'a> = self;
+                        let make = &make;
                         scope.spawn(move || {
                             (w..cells)
                                 .step_by(workers)
-                                .map(|idx| (idx, me.run_cell(idx)))
+                                .map(|idx| {
+                                    let mut obs = make(idx);
+                                    let res = me.run_cell_with(idx, &mut obs);
+                                    (idx, (res, obs))
+                                })
                                 .collect()
                         })
                     })
@@ -239,20 +273,25 @@ impl<'a> Campaign<'a> {
                     .map(|h| h.join().expect("simulation worker panicked"))
                     .collect()
             });
-            for (idx, res) in buckets.into_iter().flatten() {
-                slots[idx] = Some(res);
+            for (idx, cell) in buckets.into_iter().flatten() {
+                slots[idx] = Some(cell);
             }
         }
 
-        let mut slots = slots.into_iter();
-        (0..self.points.len())
+        let mut results = Vec::with_capacity(cells);
+        let mut observers = Vec::with_capacity(cells);
+        for slot in slots {
+            let (res, obs) = slot.expect("cell never ran");
+            results.push(res);
+            observers.push(obs);
+        }
+        let mut results = results.into_iter();
+        let multi = (0..self.points.len())
             .map(|_| MultiRun {
-                runs: (&mut slots)
-                    .take(self.replications)
-                    .map(|r| r.expect("cell never ran"))
-                    .collect(),
+                runs: (&mut results).take(self.replications).collect(),
             })
-            .collect()
+            .collect();
+        (multi, observers)
     }
 
     /// Run the grid and fold each point's replications into a single
@@ -273,10 +312,10 @@ impl<'a> Campaign<'a> {
             .collect()
     }
 
-    fn run_cell(&self, idx: usize) -> SimResult {
+    fn run_cell_with<O: Observer>(&self, idx: usize, obs: &mut O) -> SimResult {
         let point = idx / self.replications;
         let replication = idx % self.replications;
-        self.points[point].run_once(self.cell_seed(point, replication))
+        self.points[point].run_once_with(self.cell_seed(point, replication), obs)
     }
 
     fn worker_count(&self, cells: usize) -> usize {

@@ -17,9 +17,10 @@
 use crate::event::{Event, EventQueue};
 use crate::stats::{SimResult, StatsCollector};
 use qbm_core::flow::{FlowId, FlowSpec};
-use qbm_core::policy::{BufferPolicy, Verdict};
+use qbm_core::policy::{BufferPolicy, DropReason, Verdict};
 use qbm_core::token_bucket::TokenBucket;
 use qbm_core::units::{Rate, Time};
+use qbm_obs::{NullObserver, Observer};
 use qbm_sched::{PacketRef, Scheduler};
 use qbm_traffic::{Emission, Source};
 
@@ -91,7 +92,22 @@ where
     /// Run until `end`, measuring from `warmup` on. Returns the
     /// per-flow statistics for the window `[warmup, end)`.
     pub fn run(self, warmup: Time, end: Time, seed: u64) -> SimResult {
-        self.run_inner(warmup, end, seed, false).0
+        self.run_inner(warmup, end, seed, false, &mut NullObserver)
+            .0
+    }
+
+    /// Like [`Router::run`], with every event-loop hook fanned out to
+    /// `obs` (see [`qbm_obs::Observer`]). Hook call sites are guarded
+    /// by `O::ENABLED`, so running with [`NullObserver`] monomorphizes
+    /// to the un-instrumented loop — [`Router::run`] is exactly that.
+    pub fn run_with<O: Observer>(
+        self,
+        warmup: Time,
+        end: Time,
+        seed: u64,
+        obs: &mut O,
+    ) -> SimResult {
+        self.run_inner(warmup, end, seed, false, obs).0
     }
 
     /// Like [`Router::run`], additionally recording every departure as
@@ -105,16 +121,29 @@ where
         end: Time,
         seed: u64,
     ) -> (SimResult, Vec<Vec<Emission>>) {
-        let (res, traces) = self.run_inner(warmup, end, seed, true);
+        let (res, traces) = self.run_inner(warmup, end, seed, true, &mut NullObserver);
         (res, traces.expect("recording requested"))
     }
 
-    fn run_inner(
+    /// [`Router::run_recording`] with an observer attached.
+    pub fn run_recording_with<O: Observer>(
+        self,
+        warmup: Time,
+        end: Time,
+        seed: u64,
+        obs: &mut O,
+    ) -> (SimResult, Vec<Vec<Emission>>) {
+        let (res, traces) = self.run_inner(warmup, end, seed, true, obs);
+        (res, traces.expect("recording requested"))
+    }
+
+    fn run_inner<O: Observer>(
         mut self,
         warmup: Time,
         end: Time,
         seed: u64,
         record: bool,
+        obs: &mut O,
     ) -> (SimResult, Option<Vec<Vec<Emission>>>) {
         let n = self.sources.len();
         let mut stats = StatsCollector::new(n, warmup, end, seed);
@@ -124,6 +153,18 @@ where
         // departed, independently of the policy's own accounting. Any
         // drift between the two is a silent buffer leak.
         let mut queued_bytes: u64 = 0;
+        // Observer state: per-flow over-threshold regime (hysteresis —
+        // see DESIGN.md §9) and the last reported sharing pools, so
+        // `share` records are emitted only on transitions. Both are
+        // empty/None when the observer is disabled.
+        let mut over: Vec<bool> = vec![false; if O::ENABLED { n } else { 0 }];
+        let mut prev_sharing: Option<(u64, u64)> = None;
+        if O::ENABLED {
+            if let Some((holes, headroom)) = self.policy.sharing_state() {
+                prev_sharing = Some((holes, headroom));
+                obs.on_sharing(Time::ZERO, holes, headroom);
+            }
+        }
 
         // Prime one pending emission per source.
         let mut pending: Vec<Option<u32>> = vec![None; n];
@@ -142,6 +183,9 @@ where
             match ev {
                 Event::Arrival(flow) => {
                     let len = pending[flow.index()].expect("arrival without pending emission");
+                    if O::ENABLED {
+                        obs.on_arrival(now, flow, len);
+                    }
                     // Remark-1 coloring: a packet is green iff it fits
                     // the flow's declared envelope at this instant
                     // (consuming meter tokens only when it does).
@@ -150,10 +194,33 @@ where
                         None => true,
                     };
                     stats.on_color(now, flow, len, green);
+                    let q_before = if O::ENABLED {
+                        self.policy.flow_occupancy(flow)
+                    } else {
+                        0
+                    };
                     match self.policy.admit(flow, len) {
                         Verdict::Admit => {
                             queued_bytes += len as u64;
                             stats.on_arrival(now, flow, len, None);
+                            if O::ENABLED {
+                                let q_after = q_before + len as u64;
+                                obs.on_enqueue(
+                                    now,
+                                    flow,
+                                    len,
+                                    q_after,
+                                    self.policy.total_occupancy(),
+                                );
+                                // Upward crossing via a sharing borrow:
+                                // occupancy lands above the threshold.
+                                if let Some(limit) = self.policy.threshold(flow) {
+                                    if !over[flow.index()] && q_after > limit {
+                                        over[flow.index()] = true;
+                                        obs.on_threshold(now, flow, q_after, limit, true);
+                                    }
+                                }
+                            }
                             let pkt = PacketRef {
                                 flow,
                                 len,
@@ -169,6 +236,38 @@ where
                         }
                         Verdict::Drop(reason) => {
                             stats.on_arrival(now, flow, len, Some(reason));
+                            if O::ENABLED {
+                                obs.on_drop(now, flow, len, reason);
+                                // Upward crossing via refusal: the flow
+                                // hit its limit without ever exceeding
+                                // it (partitioned policies refuse at
+                                // the boundary).
+                                if matches!(
+                                    reason,
+                                    DropReason::OverThreshold | DropReason::NoSharedSpace
+                                ) {
+                                    if let Some(limit) = self.policy.threshold(flow) {
+                                        if !over[flow.index()] {
+                                            over[flow.index()] = true;
+                                            obs.on_threshold(
+                                                now,
+                                                flow,
+                                                q_before + len as u64,
+                                                limit,
+                                                true,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if O::ENABLED {
+                        if let Some(state) = self.policy.sharing_state() {
+                            if prev_sharing != Some(state) {
+                                prev_sharing = Some(state);
+                                obs.on_sharing(now, state.0, state.1);
+                            }
                         }
                     }
                     // Pull the flow's next emission.
@@ -184,6 +283,25 @@ where
                     queued_bytes -= pkt.len as u64;
                     self.policy.release(pkt.flow, pkt.len);
                     stats.on_departure_colored(now, pkt.flow, pkt.len, pkt.arrival, pkt.green);
+                    if O::ENABLED {
+                        obs.on_departure(now, pkt.flow, pkt.len, pkt.arrival);
+                        // Downward crossing once the flow drains to
+                        // half its threshold (hysteresis: one record
+                        // per sustained over-threshold episode).
+                        if let Some(limit) = self.policy.threshold(pkt.flow) {
+                            let q = self.policy.flow_occupancy(pkt.flow);
+                            if over[pkt.flow.index()] && q <= limit / 2 {
+                                over[pkt.flow.index()] = false;
+                                obs.on_threshold(now, pkt.flow, q, limit, false);
+                            }
+                        }
+                        if let Some(state) = self.policy.sharing_state() {
+                            if prev_sharing != Some(state) {
+                                prev_sharing = Some(state);
+                                obs.on_sharing(now, state.0, state.1);
+                            }
+                        }
+                    }
                     if let Some(tr) = traces.as_mut() {
                         tr[pkt.flow.index()].push(Emission {
                             time: now,
@@ -208,6 +326,9 @@ where
                 self.policy.total_occupancy() <= self.policy.capacity(),
                 "policy occupancy above capacity"
             );
+        }
+        if O::ENABLED {
+            obs.on_end(end);
         }
         (stats.finish(), traces)
     }

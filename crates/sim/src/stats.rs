@@ -57,6 +57,16 @@ impl FlowStats {
         }
     }
 
+    /// Drops attributed to one cause. The three cause counters always
+    /// sum to [`FlowStats::dropped_pkts`].
+    pub fn drops(&self, reason: DropReason) -> u64 {
+        match reason {
+            DropReason::BufferFull => self.drops_buffer_full,
+            DropReason::OverThreshold => self.drops_over_threshold,
+            DropReason::NoSharedSpace => self.drops_no_shared_space,
+        }
+    }
+
     /// Mean delivered-packet delay.
     pub fn mean_delay(&self) -> Dur {
         if self.delivered_pkts == 0 {
@@ -162,6 +172,12 @@ impl SimResult {
         } else {
             drop as f64 / off as f64
         }
+    }
+
+    /// Total drops of one cause across all flows (the CLI's loss
+    /// breakdown line).
+    pub fn drops_by_reason(&self, reason: DropReason) -> u64 {
+        self.flows.iter().map(|f| f.drops(reason)).sum()
     }
 
     /// Aggregate throughput of a conformance class, bits/s.
@@ -450,6 +466,7 @@ mod tests {
             f.dropped_bytes = (k % 7) * 500;
             f.drops_buffer_full = k % 3;
             f.drops_over_threshold = k % 4;
+            f.drops_no_shared_space = k % 5;
             f.delivered_pkts = f.offered_pkts - f.dropped_pkts;
             f.delivered_bytes = f.offered_bytes - f.dropped_bytes;
             f.delay_sum_ns = (k as u128 + 1) * 1_000;
@@ -498,6 +515,13 @@ mod tests {
             let (fa, fb, fm) = (&a.flows[i], &b.flows[i], &m.flows[i]);
             assert_eq!(fm.offered_pkts, fa.offered_pkts + fb.offered_pkts);
             assert_eq!(fm.dropped_bytes, fa.dropped_bytes + fb.dropped_bytes);
+            for reason in [
+                DropReason::BufferFull,
+                DropReason::OverThreshold,
+                DropReason::NoSharedSpace,
+            ] {
+                assert_eq!(fm.drops(reason), fa.drops(reason) + fb.drops(reason));
+            }
             assert_eq!(fm.delivered_bytes, fa.delivered_bytes + fb.delivered_bytes);
             assert_eq!(fm.delay_sum_ns, fa.delay_sum_ns + fb.delay_sum_ns);
             assert_eq!(fm.delay_max_ns, fa.delay_max_ns.max(fb.delay_max_ns));

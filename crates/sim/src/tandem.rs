@@ -22,6 +22,7 @@ use crate::stats::SimResult;
 use qbm_core::flow::FlowSpec;
 use qbm_core::policy::BufferPolicy;
 use qbm_core::units::{Rate, Time};
+use qbm_obs::{NullObserver, Observer};
 use qbm_sched::{SchedKind, Scheduler};
 use qbm_traffic::{build_source, Source, TraceSource};
 
@@ -66,17 +67,41 @@ pub fn run_line_with<P, S, F>(
     seed: u64,
     warmup: Time,
     end: Time,
-    mut make: F,
+    make: F,
 ) -> Vec<SimResult>
 where
     P: BufferPolicy,
     S: Scheduler,
     F: FnMut(usize, Vec<Box<dyn Source>>) -> Router<P, S>,
 {
+    let mut observers = vec![NullObserver; n_hops];
+    run_line_observed(n_hops, specs, seed, warmup, end, make, &mut observers)
+}
+
+/// [`run_line_with`] with one observer per hop: `observers[i]` receives
+/// hop `i`'s event stream, so a tandem run yields one trace per
+/// multiplexing point.
+#[allow(clippy::too_many_arguments)] // mirrors run_line_with + the observer slice
+pub fn run_line_observed<P, S, F, O>(
+    n_hops: usize,
+    specs: &[FlowSpec],
+    seed: u64,
+    warmup: Time,
+    end: Time,
+    mut make: F,
+    observers: &mut [O],
+) -> Vec<SimResult>
+where
+    P: BufferPolicy,
+    S: Scheduler,
+    F: FnMut(usize, Vec<Box<dyn Source>>) -> Router<P, S>,
+    O: Observer,
+{
     assert!(n_hops > 0, "empty line");
+    assert_eq!(observers.len(), n_hops, "one observer per hop");
     let mut results = Vec::with_capacity(n_hops);
     let mut feed: Option<Vec<Vec<qbm_traffic::Emission>>> = None;
-    for i in 0..n_hops {
+    for (i, obs) in observers.iter_mut().enumerate() {
         let sources: Vec<Box<dyn Source>> = match feed.take() {
             None => specs.iter().map(|s| build_source(s, seed)).collect(),
             Some(traces) => traces
@@ -86,11 +111,11 @@ where
         };
         let router = make(i, sources);
         if i + 1 < n_hops {
-            let (res, traces) = router.run_recording(warmup, end, seed);
+            let (res, traces) = router.run_recording_with(warmup, end, seed, obs);
             results.push(res);
             feed = Some(traces);
         } else {
-            results.push(router.run(warmup, end, seed));
+            results.push(router.run_with(warmup, end, seed, obs));
         }
     }
     results

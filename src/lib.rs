@@ -11,6 +11,8 @@
 //! * [`sched`] — FIFO, WFQ, DRR and the hybrid scheduler (`qbm-sched`);
 //! * [`sim`] — the discrete-event simulator and the paper's experiment
 //!   scenarios (`qbm-sim`);
+//! * [`obs`] — deterministic observability: `Observer` hooks, the
+//!   JSONL tracer, and time-series probes (`qbm-obs`);
 //! * [`fluid`] — the fluid-model validator for the §2 proofs
 //!   (`qbm-fluid`).
 //!
@@ -22,6 +24,7 @@
 
 pub use qbm_core as core;
 pub use qbm_fluid as fluid;
+pub use qbm_obs as obs;
 pub use qbm_sched as sched;
 pub use qbm_sim as sim;
 pub use qbm_traffic as traffic;

@@ -5,6 +5,7 @@
 
 use qos_buffer_mgmt::core::policy::PolicyKind;
 use qos_buffer_mgmt::core::units::{ByteSize, Dur};
+use qos_buffer_mgmt::obs::{verify_trace, Tracer};
 use qos_buffer_mgmt::sched::SchedKind;
 use qos_buffer_mgmt::sim::scenarios::{case1_grouping, plan_hybrid, LINK_RATE};
 use qos_buffer_mgmt::sim::{Campaign, ExperimentConfig, PolicySpec};
@@ -140,6 +141,49 @@ fn campaign_results_are_thread_count_invariant() {
             assert_eq!(x, y, "point {p} replication {r} diverged across threads");
         }
     }
+}
+
+#[test]
+fn traced_campaign_is_thread_count_invariant_byte_for_byte() {
+    // The acceptance bar for the observability layer: attach a tracer
+    // to every cell of a sharded campaign and the *merged JSONL text* —
+    // not just the statistics — must be byte-identical whether the grid
+    // runs on 1 worker or 8. Records carry simulated time only, cells
+    // are stitched in cell order, and observers are scattered back by
+    // index, so the worker count can leave no fingerprint.
+    let points = vec![
+        cfg(SchedKind::Fifo, PolicySpec::Kind(PolicyKind::Threshold)),
+        cfg(
+            SchedKind::Fifo,
+            PolicySpec::Kind(PolicyKind::Sharing {
+                headroom_bytes: ByteSize::from_kib(256).bytes(),
+            }),
+        ),
+    ];
+    let trace_with = |threads: usize| {
+        let mut campaign = Campaign::new(&points);
+        campaign.replications = 2;
+        campaign.campaign_seed = 11;
+        campaign.threads = threads;
+        let (_, tracers) = campaign.run_observed(|_| Tracer::new(4096));
+        let cells: Vec<(u64, Tracer)> = tracers
+            .into_iter()
+            .enumerate()
+            .map(|(idx, t)| {
+                (
+                    campaign.cell_seed(idx / campaign.replications, idx % campaign.replications),
+                    t,
+                )
+            })
+            .collect();
+        Tracer::merged_jsonl(&cells)
+    };
+    let solo = trace_with(1);
+    let sharded = trace_with(8);
+    assert_eq!(solo, sharded, "merged trace text depends on thread count");
+    let summary = verify_trace(&solo).expect("merged campaign trace must pass the schema check");
+    assert_eq!(summary.cells, 4, "2 points x 2 replications");
+    assert!(summary.arrivals > 0 && summary.departures > 0);
 }
 
 #[test]
