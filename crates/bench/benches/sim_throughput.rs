@@ -1,32 +1,151 @@
-//! End-to-end simulator throughput: simulated seconds per wall-clock
-//! second on the paper's Table 1 workload, per scheme. Establishes that
-//! the full figure regeneration (`paper all`) is laptop-scale.
+//! End-to-end simulator throughput: the indexed-timer/enum-source hot
+//! path (`run_once`, the default) against the pre-overhaul reference
+//! path (`run_once_reference`: `BinaryHeap` event queue + boxed `dyn
+//! Source` dispatch) on the paper's workloads.
+//!
+//! Per §3.2 scheme on Table 1, both paths run the identical simulation
+//! (the determinism suite proves byte-identical results); the JSON
+//! records mean wall time, the `indexed_over_baseline` speedup, and the
+//! headline simulated-seconds-per-wall-second / events-per-second
+//! figures for Table 1 and the 30-flow Table 2 workload.
+//!
+//! A hand-written `main` (instead of `criterion_main!`) exports the
+//! measurements to `BENCH_simloop.json` next to the workspace root.
+//! Set `QBM_BENCH_QUICK=1` for the CI perf-smoke variant (fewer
+//! samples, fifo+thresh only, no committed JSON churn expected).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
 use qbm_core::units::{ByteSize, Dur};
 use qbm_sim::scenarios::{paper_experiment, section3_schemes};
-use std::hint::black_box;
+use qbm_sim::ExperimentConfig;
 
-fn bench_sim(c: &mut Criterion) {
-    let specs = qbm_traffic::table1();
-    let buffer = ByteSize::from_mib(1).bytes();
-    let mut g = c.benchmark_group("sim_one_second");
-    g.sample_size(10);
-    for scheme in section3_schemes() {
-        let mut cfg = paper_experiment(&specs, &scheme, buffer);
-        cfg.warmup = Dur::from_millis(100);
-        cfg.duration = Dur::from_millis(1100); // 1 simulated second measured
-        g.throughput(Throughput::Elements(1));
-        g.bench_with_input(BenchmarkId::new("table1", &scheme.label), &cfg, |b, cfg| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(cfg.run_once(seed))
-            });
-        });
-    }
-    g.finish();
+/// Simulated time measured per iteration (plus 100 ms warmup).
+const SIM_MS: u64 = 1000;
+
+fn quick() -> bool {
+    std::env::var("QBM_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);
+/// Arrivals + departures the config's event loop processes at seed 1 —
+/// turns mean wall time into an events-per-second figure.
+fn count_events(cfg: &ExperimentConfig) -> u64 {
+    let res = cfg.run_once(1);
+    res.flows
+        .iter()
+        .map(|f| f.offered_pkts + f.delivered_pkts)
+        .sum()
+}
+
+fn bench_pair(g: &mut criterion::BenchmarkGroup<'_>, label: &str, cfg: &ExperimentConfig) {
+    g.bench_with_input(BenchmarkId::new(label, "baseline"), cfg, |b, cfg| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(cfg.run_once_reference(seed))
+        });
+    });
+    g.bench_with_input(BenchmarkId::new(label, "indexed"), cfg, |b, cfg| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(cfg.run_once(seed))
+        });
+    });
+}
+
+fn bench_sim(c: &mut Criterion) -> Vec<(String, u64)> {
+    let buffer = ByteSize::from_mib(1).bytes();
+    let mut labelled_events = Vec::new();
+
+    let mut g = c.benchmark_group("simloop");
+    g.sample_size(if quick() { 3 } else { 10 });
+    g.throughput(Throughput::Elements(SIM_MS));
+
+    // Table 1 (9 flows), one pair per §3.2 scheme.
+    let specs1 = qbm_traffic::table1();
+    for scheme in section3_schemes() {
+        if quick() && scheme.label != "fifo+thresh" {
+            continue;
+        }
+        let mut cfg = paper_experiment(&specs1, &scheme, buffer);
+        cfg.warmup = Dur::from_millis(100);
+        cfg.duration = Dur::from_millis(100 + SIM_MS);
+        let label = format!("table1/{}", scheme.label);
+        labelled_events.push((label.clone(), count_events(&cfg)));
+        bench_pair(&mut g, &label, &cfg);
+    }
+
+    // Table 2 (30 flows) under fifo+thresh — the scaling workload.
+    let specs2 = qbm_traffic::table2();
+    let scheme = section3_schemes()
+        .into_iter()
+        .find(|s| s.label == "fifo+thresh")
+        .expect("fifo+thresh scheme");
+    let mut cfg2 = paper_experiment(&specs2, &scheme, ByteSize::from_mib(2).bytes());
+    cfg2.warmup = Dur::from_millis(100);
+    cfg2.duration = Dur::from_millis(100 + SIM_MS);
+    let label = "table2/fifo+thresh".to_string();
+    labelled_events.push((label.clone(), count_events(&cfg2)));
+    bench_pair(&mut g, &label, &cfg2);
+
+    g.finish();
+    labelled_events
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    let labelled_events = bench_sim(&mut criterion);
+    let results = criterion.results();
+
+    let mean_of = |needle: &str| {
+        results
+            .iter()
+            .find(|r| r.id.ends_with(needle))
+            .map(|r| r.mean_ns)
+    };
+
+    let mut json = String::from("{\n  \"bench\": \"simloop\",\n");
+    json.push_str(&format!(
+        "  \"workload\": \"{SIM_MS} simulated ms per iter; baseline = BinaryHeap + dyn sources, indexed = IndexedTimers + enum sources\",\n"
+    ));
+    json.push_str(&format!("  \"quick\": {},\n", quick()));
+    json.push_str("  \"results\": [\n");
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"id\": \"{}\", \"mean_ns_per_iter\": {:.1}, \"iters\": {}}}",
+                r.id, r.mean_ns, r.iters
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n  \"indexed_over_baseline\": {\n");
+    let mut ratio_rows = Vec::new();
+    for (label, events) in &labelled_events {
+        let (Some(base), Some(idx)) = (
+            mean_of(&format!("{label}/baseline")),
+            mean_of(&format!("{label}/indexed")),
+        ) else {
+            continue;
+        };
+        let speedup = base / idx;
+        let sim_per_wall = SIM_MS as f64 / 1e3 / (idx / 1e9);
+        let events_per_sec = *events as f64 / (idx / 1e9);
+        ratio_rows.push(format!(
+            "    \"{label}\": {{\"speedup\": {speedup:.4}, \"sim_seconds_per_wall_second\": {sim_per_wall:.1}, \"events_per_second\": {events_per_sec:.0}}}"
+        ));
+        println!(
+            "{label}: indexed/baseline = {speedup:.3}x, {sim_per_wall:.0} sim-s/wall-s, {events_per_sec:.2e} events/s"
+        );
+    }
+    json.push_str(&ratio_rows.join(",\n"));
+    json.push_str("\n  }\n}\n");
+
+    // Anchor to the workspace root (cargo runs benches from the
+    // package directory).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simloop.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}

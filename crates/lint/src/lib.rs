@@ -151,11 +151,29 @@ pub fn scan_file(rel: &str, src: &str) -> FileScan {
         }
     };
 
+    // Hot-path allocation audit: precompute which lines sit inside the
+    // audited event-loop functions (None for files outside the table).
+    let hot_lines = rules::hot_path_fns(rel).map(|names| scan::mark_fn_regions(&lines, names));
+
     for (i, line) in lines.iter().enumerate() {
         if line.in_test {
             continue;
         }
         let code = line.code.as_str();
+
+        if hot_lines.as_ref().is_some_and(|hot| hot[i]) {
+            for pat in rules::HOT_PATH_ALLOC_PATTERNS {
+                if rules::find_word(code, pat) {
+                    emit(
+                        &mut out,
+                        i,
+                        rules::HOT_PATH_ALLOC,
+                        format!("`{pat}` inside a hot-path event-loop function"),
+                        rules::HOT_PATH_ALLOC_HINT,
+                    );
+                }
+            }
+        }
 
         if rules::determinism_applies(rel) {
             for pat in rules::WALL_CLOCK_PATTERNS {
@@ -563,6 +581,68 @@ mod tests {
         // The report layer and binaries may write freely.
         assert!(findings_of("crates/cli/src/report.rs", src).is_empty());
         assert!(findings_of("crates/lint/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_flagged_inside_audited_fns_only() {
+        // `vec!` inside `run_inner` fires; the same token in a sibling
+        // function of the same file does not.
+        let src = "\
+            fn setup() { let _ = vec![1, 2]; }\n\
+            fn run_inner(&mut self) {\n\
+                let b = Box::new(3);\n\
+                let v = items.iter().collect();\n\
+            }\n";
+        let f = scan_file("crates/sim/src/router.rs", src).findings;
+        let rules_hit: Vec<_> = f.iter().map(|x| (x.rule, x.line)).collect();
+        assert_eq!(
+            rules_hit,
+            vec![(rules::HOT_PATH_ALLOC, 3), (rules::HOT_PATH_ALLOC, 4)]
+        );
+        // Same text in a file outside the audit table: clean.
+        assert!(findings_of("crates/sim/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_spans_multiline_signatures_and_ends_at_brace() {
+        let src = "\
+            fn run_inner<O: Observer, E: EventCore>(\n\
+                mut self,\n\
+            ) -> SimResult {\n\
+                let v = x.to_vec();\n\
+            }\n\
+            fn after() { let _ = vec![0]; }\n";
+        let f = scan_file("crates/sim/src/router.rs", src).findings;
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), (rules::HOT_PATH_ALLOC, 4));
+    }
+
+    #[test]
+    fn hot_path_alloc_pragma_allows_setup_lines() {
+        let src = "\
+            fn start_transmission(&mut self) {\n\
+                // qbm-lint: allow(hot-path-alloc) — one-time setup\n\
+                let v: Vec<u32> = (0..4).collect();\n\
+                let b = Box::new(v);\n\
+            }\n";
+        let s = scan_file("crates/sim/src/router.rs", src);
+        // The pragma covers line 3 (`collect`) but not line 4.
+        assert_eq!(s.suppressions.len(), 1);
+        assert_eq!(s.suppressions[0].line, 3);
+        assert_eq!(s.findings.len(), 1);
+        assert_eq!(s.findings[0].line, 4);
+    }
+
+    #[test]
+    fn hot_path_alloc_audits_the_tandem_loop() {
+        let src = "\
+            pub fn run_line_observed() {\n\
+                let sources: Vec<S> = specs.iter().map(f).collect();\n\
+            }\n";
+        assert_eq!(
+            findings_of("crates/sim/src/tandem.rs", src),
+            vec![rules::HOT_PATH_ALLOC]
+        );
     }
 
     #[test]

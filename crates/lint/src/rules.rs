@@ -11,6 +11,7 @@
 //! | `crate-hygiene` | crate roots | `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` |
 //! | `print-hygiene` | library sources | no `println!`/`dbg!` — output goes through the report layer |
 //! | `obs-hygiene` | cli (except `profile.rs`), sim, obs | no wall clock outside the profiling module; no ad-hoc `writeln!` tracing — events go through `qbm_obs::Observer` |
+//! | `hot-path-alloc` | router `run_inner`/`start_transmission`, tandem `run_line_observed` | no `Box::new` / `vec!` / `to_vec` / `collect` in the event loop — preallocate/recycle outside it |
 
 /// Rule name: wall-clock reads in determinism-critical crates.
 pub const WALL_CLOCK: &str = "wall-clock";
@@ -67,6 +68,37 @@ pub const OBS_WALL_HINT: &str =
 /// Hint for [`OBS_HYGIENE`] ad-hoc trace matches.
 pub const OBS_TRACE_HINT: &str =
     "emit events through a qbm_obs::Observer hook; hand-rolled writeln! traces bypass the deterministic schema";
+
+/// Rule name: heap allocation inside the simulator's hot path.
+pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+/// Hint for [`HOT_PATH_ALLOC`].
+pub const HOT_PATH_ALLOC_HINT: &str =
+    "allocate before the event loop (FlowLanes arrays, recycled trace buffers) — a per-event allocation undoes the indexed-timer speedup";
+/// Matched tokens for [`HOT_PATH_ALLOC`]. Lexical like everything else:
+/// `to_vec`/`collect` match the method names so `.collect::<Vec<_>>()`
+/// is caught too; growth of preallocated buffers (`push`, `reserve`)
+/// stays legal because it amortizes.
+pub const HOT_PATH_ALLOC_PATTERNS: &[&str] = &["Box::new", "vec!", "to_vec", "collect"];
+
+/// The functions the allocation ban covers, per file: the router's
+/// event loop and transmission starter, and the tandem per-hop loop.
+/// Setup code inside them carries `qbm-lint: allow(hot-path-alloc)`
+/// pragmas, which keeps the allow-surface visible in the report.
+pub const HOT_PATH_FNS: &[(&str, &[&str])] = &[
+    (
+        "crates/sim/src/router.rs",
+        &["run_inner", "start_transmission"],
+    ),
+    ("crates/sim/src/tandem.rs", &["run_line_observed"]),
+];
+
+/// Returns the hot-path function names audited in `rel`, if any.
+pub fn hot_path_fns(rel: &str) -> Option<&'static [&'static str]> {
+    HOT_PATH_FNS
+        .iter()
+        .find(|(p, _)| *p == rel)
+        .map(|(_, fns)| *fns)
+}
 
 /// Crates whose library code must be wall-clock- and entropy-free.
 /// `obs` is here on purpose: trace records are stamped with simulated

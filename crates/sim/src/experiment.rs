@@ -21,7 +21,7 @@ use qbm_core::policy::{BufferPolicy, BufferSharing, FixedThreshold, PolicyKind};
 use qbm_core::units::{Dur, Rate, Time};
 use qbm_obs::{NullObserver, Observer};
 use qbm_sched::SchedKind;
-use qbm_traffic::{build_source_with_sojourns, Sojourns};
+use qbm_traffic::{build_source_kind_with_sojourns, Sojourns, SourceKind};
 use rand::SplitMix64;
 
 /// How to build the admission policy — either a standard
@@ -115,10 +115,10 @@ impl ExperimentConfig {
             .policy
             .build(self.buffer_bytes, self.link_rate, &self.specs);
         let sched = self.sched.build(self.link_rate, &self.specs);
-        let sources = self
+        let sources: Vec<SourceKind> = self
             .specs
             .iter()
-            .map(|s| build_source_with_sojourns(s, seed, self.sojourns))
+            .map(|s| build_source_kind_with_sojourns(s, seed, self.sojourns))
             .collect();
         let router = Router::new(self.link_rate, policy, sched, sources);
         router.run_with(
@@ -126,6 +126,31 @@ impl ExperimentConfig {
             Time::ZERO + self.duration,
             seed,
             obs,
+        )
+    }
+
+    /// [`ExperimentConfig::run_once`] on the pre-overhaul execution
+    /// path: boxed `dyn Source` dispatch and the reference binary-heap
+    /// event core instead of enum sources over [`IndexedTimers`]
+    /// (see [`crate::event`]). Must produce byte-identical results to
+    /// `run_once` — the determinism suite asserts it — and serves as
+    /// the baseline side of the `sim_throughput` benchmark.
+    ///
+    /// [`IndexedTimers`]: crate::event::IndexedTimers
+    pub fn run_once_reference(&self, seed: u64) -> SimResult {
+        let policy = self
+            .policy
+            .build(self.buffer_bytes, self.link_rate, &self.specs);
+        let sched = self.sched.build(self.link_rate, &self.specs);
+        let sources: Vec<Box<dyn qbm_traffic::Source>> = self
+            .specs
+            .iter()
+            .map(|s| qbm_traffic::build_source_with_sojourns(s, seed, self.sojourns))
+            .collect();
+        Router::new(self.link_rate, policy, sched, sources).run_reference(
+            Time::ZERO + self.warmup,
+            Time::ZERO + self.duration,
+            seed,
         )
     }
 

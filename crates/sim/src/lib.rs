@@ -12,7 +12,9 @@
 //! streams, and a stable event tie-break mean a `(config, seed)` pair
 //! reproduces byte-identical results on any machine.
 //!
-//! * [`event`] — the time-ordered event queue;
+//! * [`event`] — the timer core: indexed per-flow arrival slots under
+//!   a deterministic tournament tree ([`IndexedTimers`]), with the
+//!   reference binary heap kept for differential testing;
 //! * [`router`] — policy × scheduler × link composition;
 //! * [`stats`] — per-flow counters, warmup trimming, throughput/loss
 //!   accessors;
@@ -35,6 +37,7 @@ pub mod scenarios;
 pub mod stats;
 pub mod tandem;
 
+pub use event::{EventCore, EventQueue, IndexedTimers};
 pub use experiment::{Campaign, ExperimentConfig, MultiRun, PolicySpec, SeedMode, Summary};
 pub use router::Router;
 pub use stats::{FlowStats, SimResult};

@@ -13,8 +13,17 @@
 //! Ties process departures first (see [`crate::event`]), matching the
 //! fluid-model convention that a departing bit frees space for a
 //! simultaneous arrival.
+//!
+//! The loop is written to be allocation-free per event: sources sit in
+//! a [`SourceKind`] enum (inlined dispatch, no vtable), per-flow state
+//! lives in the SoA [`FlowLanes`] arrays, and events come from the
+//! [`IndexedTimers`] tournament tree — the reference
+//! [`EventQueue`](crate::event::EventQueue) heap remains available via
+//! [`Router::run_reference`] for differential testing. The
+//! `hot-path-alloc` qbm-lint rule enforces the no-allocation property
+//! on `run_inner`/`start_transmission` going forward.
 
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventCore, IndexedTimers};
 use crate::stats::{SimResult, StatsCollector};
 use qbm_core::flow::{FlowId, FlowSpec};
 use qbm_core::policy::{BufferPolicy, DropReason, Verdict};
@@ -22,7 +31,26 @@ use qbm_core::token_bucket::TokenBucket;
 use qbm_core::units::{Rate, Time};
 use qbm_obs::{NullObserver, Observer};
 use qbm_sched::{PacketRef, Scheduler};
-use qbm_traffic::{Emission, Source};
+use qbm_traffic::{Emission, Source, SourceKind};
+
+/// Per-flow event-loop state, struct-of-arrays for locality: the inner
+/// loop touches `sources[i]` and `pending[i]` on every arrival, and the
+/// optional meter/observer lanes only when enabled — keeping each
+/// array dense and contiguous instead of scattering the fields across
+/// one large per-flow record.
+struct FlowLanes {
+    /// `sources[i]` feeds `FlowId(i)` (enum-dispatched, inlined).
+    sources: Vec<SourceKind>,
+    /// Length of flow `i`'s pending (scheduled but not yet arrived)
+    /// emission; the router's pull discipline keeps at most one.
+    pending: Vec<Option<u32>>,
+    /// Optional `(σ, ρ)` conformance meters (Remark 1 green/red
+    /// marking). Meters observe only — they never influence admission.
+    meters: Option<Vec<TokenBucket>>,
+    /// Observer state: per-flow over-threshold regime (hysteresis —
+    /// see DESIGN.md §9). Only read/written when `O::ENABLED`.
+    over: Vec<bool>,
+}
 
 /// A single-output-link router under simulation.
 ///
@@ -38,14 +66,11 @@ where
     link_rate: Rate,
     policy: P,
     scheduler: S,
-    sources: Vec<Box<dyn Source>>,
+    lanes: FlowLanes,
     /// Packet currently on the wire.
     in_flight: Option<PacketRef>,
     /// Global arrival sequence counter (scheduler tie-break).
     seq: u64,
-    /// Optional per-flow conformance meters (Remark 1 green/red
-    /// marking). Meters observe only — they never influence admission.
-    meters: Option<Vec<TokenBucket>>,
 }
 
 impl<P, S> Router<P, S>
@@ -54,22 +79,32 @@ where
     S: Scheduler,
 {
     /// Assemble a router. `sources[i]` feeds `FlowId(i)`.
-    pub fn new(
+    ///
+    /// Accepts anything convertible into [`SourceKind`]: concrete
+    /// source types dispatch through an inlinable enum, while
+    /// `Box<dyn Source>` call sites keep compiling via the
+    /// [`SourceKind::Dyn`] escape hatch.
+    pub fn new<K: Into<SourceKind>>(
         link_rate: Rate,
         policy: P,
         scheduler: S,
-        sources: Vec<Box<dyn Source>>,
+        sources: Vec<K>,
     ) -> Router<P, S> {
         assert!(link_rate.bps() > 0, "zero link rate");
         assert!(!sources.is_empty(), "no sources");
+        let n = sources.len();
         Router {
             link_rate,
             policy,
             scheduler,
-            sources,
+            lanes: FlowLanes {
+                sources: sources.into_iter().map(Into::into).collect(),
+                pending: vec![None; n],
+                meters: None,
+                over: vec![false; n],
+            },
             in_flight: None,
             seq: 0,
-            meters: None,
         }
     }
 
@@ -79,8 +114,8 @@ where
     /// the paper's Remark 1. Marking is observational: admission
     /// decisions are unchanged; statistics gain the green counters.
     pub fn with_meters(mut self, specs: &[FlowSpec]) -> Router<P, S> {
-        assert_eq!(specs.len(), self.sources.len(), "one meter per flow");
-        self.meters = Some(
+        assert_eq!(specs.len(), self.lanes.sources.len(), "one meter per flow");
+        self.lanes.meters = Some(
             specs
                 .iter()
                 .map(|s| TokenBucket::new(s.bucket_bytes, s.token_rate))
@@ -92,7 +127,17 @@ where
     /// Run until `end`, measuring from `warmup` on. Returns the
     /// per-flow statistics for the window `[warmup, end)`.
     pub fn run(self, warmup: Time, end: Time, seed: u64) -> SimResult {
-        self.run_inner(warmup, end, seed, false, &mut NullObserver)
+        self.run_inner::<_, IndexedTimers>(warmup, end, seed, None, &mut NullObserver)
+            .0
+    }
+
+    /// [`Router::run`] on the reference [`crate::event::EventQueue`]
+    /// binary heap instead of the [`IndexedTimers`] production core.
+    /// Exists for differential testing (the two cores must produce
+    /// byte-identical statistics) and as the before-side of the
+    /// `sim_throughput` benchmark.
+    pub fn run_reference(self, warmup: Time, end: Time, seed: u64) -> SimResult {
+        self.run_inner::<_, crate::event::EventQueue>(warmup, end, seed, None, &mut NullObserver)
             .0
     }
 
@@ -107,7 +152,8 @@ where
         seed: u64,
         obs: &mut O,
     ) -> SimResult {
-        self.run_inner(warmup, end, seed, false, obs).0
+        self.run_inner::<_, IndexedTimers>(warmup, end, seed, None, obs)
+            .0
     }
 
     /// Like [`Router::run`], additionally recording every departure as
@@ -121,8 +167,7 @@ where
         end: Time,
         seed: u64,
     ) -> (SimResult, Vec<Vec<Emission>>) {
-        let (res, traces) = self.run_inner(warmup, end, seed, true, &mut NullObserver);
-        (res, traces.expect("recording requested"))
+        self.run_recording_with(warmup, end, seed, &mut NullObserver)
     }
 
     /// [`Router::run_recording`] with an observer attached.
@@ -133,31 +178,86 @@ where
         seed: u64,
         obs: &mut O,
     ) -> (SimResult, Vec<Vec<Emission>>) {
-        let (res, traces) = self.run_inner(warmup, end, seed, true, obs);
+        let (res, traces, _) =
+            self.run_inner::<_, IndexedTimers>(warmup, end, seed, Some(Vec::new()), obs);
         (res, traces.expect("recording requested"))
     }
 
-    fn run_inner<O: Observer>(
+    /// [`Router::run_recording_with`] writing into recycled per-flow
+    /// buffers (cleared, capacity kept) and returning the spent sources
+    /// alongside — the tandem runner ping-pongs trace buffers between
+    /// hops through this entry point instead of reallocating per hop.
+    pub(crate) fn run_recording_recycled<O: Observer>(
+        self,
+        warmup: Time,
+        end: Time,
+        seed: u64,
+        obs: &mut O,
+        buffers: Vec<Vec<Emission>>,
+    ) -> (SimResult, Vec<Vec<Emission>>, Vec<SourceKind>) {
+        let (res, traces, sources) =
+            self.run_inner::<_, IndexedTimers>(warmup, end, seed, Some(buffers), obs);
+        (res, traces.expect("recording requested"), sources)
+    }
+
+    /// Consume the router and return the spent sources along with the
+    /// statistics — lets the tandem runner recover trace buffers from
+    /// the final hop too.
+    pub(crate) fn run_returning_sources<O: Observer>(
+        self,
+        warmup: Time,
+        end: Time,
+        seed: u64,
+        obs: &mut O,
+    ) -> (SimResult, Vec<SourceKind>) {
+        let (res, _, sources) = self.run_inner::<_, IndexedTimers>(warmup, end, seed, None, obs);
+        (res, sources)
+    }
+
+    /// The event loop, generic over observer and event core. `traces`
+    /// `Some(buffers)` requests departure recording into the supplied
+    /// per-flow buffers (resized/cleared to fit, capacity reused).
+    /// Returns the statistics, the recorded traces, and the spent
+    /// sources (whose buffers a tandem line recycles).
+    ///
+    /// Invariant the cores rely on: each flow has at most one pending
+    /// arrival (pull discipline) and the link at most one pending
+    /// departure.
+    fn run_inner<O: Observer, E: EventCore>(
         mut self,
         warmup: Time,
         end: Time,
         seed: u64,
-        record: bool,
+        mut traces: Option<Vec<Vec<Emission>>>,
         obs: &mut O,
-    ) -> (SimResult, Option<Vec<Vec<Emission>>>) {
-        let n = self.sources.len();
+    ) -> (SimResult, Option<Vec<Vec<Emission>>>, Vec<SourceKind>) {
+        let n = self.lanes.sources.len();
         let mut stats = StatsCollector::new(n, warmup, end, seed);
-        let mut events = EventQueue::new();
-        let mut traces: Option<Vec<Vec<Emission>>> = record.then(|| vec![Vec::new(); n]);
+        let mut events = E::with_flows(n);
+        if let Some(bufs) = traces.as_mut() {
+            bufs.resize_with(n, Vec::new);
+            // Pre-size fresh buffers for the expected departure count:
+            // an even split of the link's packet capacity over the run
+            // (recycled buffers already carry their capacity).
+            let est = (end.0 as u128 * self.link_rate.bps() as u128
+                / (qbm_traffic::PACKET_BYTES as u128 * 8 * 1_000_000_000))
+                as usize
+                / n
+                + 64;
+            for b in bufs.iter_mut() {
+                b.clear();
+                if b.capacity() == 0 {
+                    b.reserve(est);
+                }
+            }
+        }
         // Conservation ledger (debug builds): bytes admitted and not yet
         // departed, independently of the policy's own accounting. Any
         // drift between the two is a silent buffer leak.
         let mut queued_bytes: u64 = 0;
-        // Observer state: per-flow over-threshold regime (hysteresis —
-        // see DESIGN.md §9) and the last reported sharing pools, so
-        // `share` records are emitted only on transitions. Both are
-        // empty/None when the observer is disabled.
-        let mut over: Vec<bool> = vec![false; if O::ENABLED { n } else { 0 }];
+        // Observer state: the last reported sharing pools, so `share`
+        // records are emitted only on transitions (the per-flow leg
+        // lives in `lanes.over`). None when the observer is disabled.
         let mut prev_sharing: Option<(u64, u64)> = None;
         if O::ENABLED {
             if let Some((holes, headroom)) = self.policy.sharing_state() {
@@ -167,12 +267,10 @@ where
         }
 
         // Prime one pending emission per source.
-        let mut pending: Vec<Option<u32>> = vec![None; n];
-        #[allow(clippy::needless_range_loop)] // sources and pending in lockstep
         for i in 0..n {
-            if let Some(e) = self.sources[i].next_emission() {
-                pending[i] = Some(e.len);
-                events.push(e.time, Event::Arrival(FlowId(i as u32)));
+            if let Some(e) = self.lanes.sources[i].next_emission() {
+                self.lanes.pending[i] = Some(e.len);
+                events.schedule_arrival(FlowId(i as u32), e.time);
             }
         }
 
@@ -182,14 +280,15 @@ where
             }
             match ev {
                 Event::Arrival(flow) => {
-                    let len = pending[flow.index()].expect("arrival without pending emission");
+                    let len =
+                        self.lanes.pending[flow.index()].expect("arrival without pending emission");
                     if O::ENABLED {
                         obs.on_arrival(now, flow, len);
                     }
                     // Remark-1 coloring: a packet is green iff it fits
                     // the flow's declared envelope at this instant
                     // (consuming meter tokens only when it does).
-                    let green = match self.meters.as_mut() {
+                    let green = match self.lanes.meters.as_mut() {
                         Some(m) => m[flow.index()].try_consume(now, len as u64),
                         None => true,
                     };
@@ -215,8 +314,8 @@ where
                                 // Upward crossing via a sharing borrow:
                                 // occupancy lands above the threshold.
                                 if let Some(limit) = self.policy.threshold(flow) {
-                                    if !over[flow.index()] && q_after > limit {
-                                        over[flow.index()] = true;
+                                    if !self.lanes.over[flow.index()] && q_after > limit {
+                                        self.lanes.over[flow.index()] = true;
                                         obs.on_threshold(now, flow, q_after, limit, true);
                                     }
                                 }
@@ -247,8 +346,8 @@ where
                                     DropReason::OverThreshold | DropReason::NoSharedSpace
                                 ) {
                                     if let Some(limit) = self.policy.threshold(flow) {
-                                        if !over[flow.index()] {
-                                            over[flow.index()] = true;
+                                        if !self.lanes.over[flow.index()] {
+                                            self.lanes.over[flow.index()] = true;
                                             obs.on_threshold(
                                                 now,
                                                 flow,
@@ -271,11 +370,11 @@ where
                         }
                     }
                     // Pull the flow's next emission.
-                    pending[flow.index()] = None;
-                    if let Some(e) = self.sources[flow.index()].next_emission() {
+                    self.lanes.pending[flow.index()] = None;
+                    if let Some(e) = self.lanes.sources[flow.index()].next_emission() {
                         debug_assert!(e.time >= now, "source emitted into the past");
-                        pending[flow.index()] = Some(e.len);
-                        events.push(e.time, Event::Arrival(flow));
+                        self.lanes.pending[flow.index()] = Some(e.len);
+                        events.schedule_arrival(flow, e.time);
                     }
                 }
                 Event::Departure => {
@@ -290,8 +389,8 @@ where
                         // per sustained over-threshold episode).
                         if let Some(limit) = self.policy.threshold(pkt.flow) {
                             let q = self.policy.flow_occupancy(pkt.flow);
-                            if over[pkt.flow.index()] && q <= limit / 2 {
-                                over[pkt.flow.index()] = false;
+                            if self.lanes.over[pkt.flow.index()] && q <= limit / 2 {
+                                self.lanes.over[pkt.flow.index()] = false;
                                 obs.on_threshold(now, pkt.flow, q, limit, false);
                             }
                         }
@@ -330,15 +429,15 @@ where
         if O::ENABLED {
             obs.on_end(end);
         }
-        (stats.finish(), traces)
+        (stats.finish(), traces, self.lanes.sources)
     }
 
-    fn start_transmission(&mut self, now: Time, events: &mut EventQueue) {
+    fn start_transmission<E: EventCore>(&mut self, now: Time, events: &mut E) {
         debug_assert!(self.in_flight.is_none());
         if let Some(pkt) = self.scheduler.dequeue(now) {
             let done = now + self.link_rate.transmission_time(pkt.len as u64);
             self.in_flight = Some(pkt);
-            events.push(done, Event::Departure);
+            events.schedule_departure(done);
         }
     }
 }
@@ -432,6 +531,21 @@ mod tests {
     }
 
     #[test]
+    fn reference_heap_core_matches_indexed_timers() {
+        // Differential full-sim check at unit scope: the mixed-rate CBR
+        // pair collides every 800 µs, so same-instant ordering is
+        // exercised continuously; both cores must agree exactly.
+        let timers =
+            cbr_router(&[20.0, 35.0], 80_000).run(Time::from_secs(1), Time::from_secs(4), 7);
+        let heap = cbr_router(&[20.0, 35.0], 80_000).run_reference(
+            Time::from_secs(1),
+            Time::from_secs(4),
+            7,
+        );
+        assert_eq!(timers.flows, heap.flows);
+    }
+
+    #[test]
     fn trace_source_packets_flow_through() {
         // Two hand-written packets; verify exact delivery accounting.
         let trace = TraceSource::new(vec![
@@ -448,7 +562,7 @@ mod tests {
             LINK,
             Box::new(SharedBuffer::new(10_000, 1)),
             Box::new(Fifo::new()),
-            vec![Box::new(trace)],
+            vec![trace],
         );
         let res = r.run(Time::ZERO, Time::from_secs(1), 0);
         assert_eq!(res.flows[0].delivered_pkts, 2);
@@ -476,9 +590,9 @@ mod tests {
         ];
         let buffer = 200_000;
         let policy = PolicyKind::Threshold.build(buffer, LINK, &specs);
-        let sources: Vec<Box<dyn Source>> = vec![
-            Box::new(CbrSource::new(Rate::from_mbps(2.0), 500, Time::ZERO)),
-            Box::new(CbrSource::new(Rate::from_mbps(46.0), 500, Time::ZERO)),
+        let sources = vec![
+            CbrSource::new(Rate::from_mbps(2.0), 500, Time::ZERO),
+            CbrSource::new(Rate::from_mbps(46.0), 500, Time::ZERO),
         ];
         let r = Router::new(LINK, policy, Box::new(Fifo::new()), sources);
         let res = r.run(Time::from_secs(2), Time::from_secs(12), 0);

@@ -24,7 +24,7 @@ use qbm_core::policy::BufferPolicy;
 use qbm_core::units::{Rate, Time};
 use qbm_obs::{NullObserver, Observer};
 use qbm_sched::{SchedKind, Scheduler};
-use qbm_traffic::{build_source, Source, TraceSource};
+use qbm_traffic::{build_source_kind, Emission, SourceKind, TraceSource};
 
 /// One hop of a tandem line.
 #[derive(Debug, Clone)]
@@ -72,7 +72,7 @@ pub fn run_line_with<P, S, F>(
 where
     P: BufferPolicy,
     S: Scheduler,
-    F: FnMut(usize, Vec<Box<dyn Source>>) -> Router<P, S>,
+    F: FnMut(usize, Vec<SourceKind>) -> Router<P, S>,
 {
     let mut observers = vec![NullObserver; n_hops];
     run_line_observed(n_hops, specs, seed, warmup, end, make, &mut observers)
@@ -94,28 +94,51 @@ pub fn run_line_observed<P, S, F, O>(
 where
     P: BufferPolicy,
     S: Scheduler,
-    F: FnMut(usize, Vec<Box<dyn Source>>) -> Router<P, S>,
+    F: FnMut(usize, Vec<SourceKind>) -> Router<P, S>,
     O: Observer,
 {
     assert!(n_hops > 0, "empty line");
     assert_eq!(observers.len(), n_hops, "one observer per hop");
     let mut results = Vec::with_capacity(n_hops);
-    let mut feed: Option<Vec<Vec<qbm_traffic::Emission>>> = None;
+    // Hop i+1 replays hop i's recorded departures; `spare` holds the
+    // emission buffers recovered from hop i−1's spent replay sources,
+    // recycled as hop i's recording buffers. Two buffer sets ping-pong
+    // down the whole line — allocation is amortized over every hop
+    // after the first two.
+    let mut feed: Option<Vec<Vec<Emission>>> = None;
+    let mut spare: Option<Vec<Vec<Emission>>> = None;
     for (i, obs) in observers.iter_mut().enumerate() {
-        let sources: Vec<Box<dyn Source>> = match feed.take() {
-            None => specs.iter().map(|s| build_source(s, seed)).collect(),
+        let sources: Vec<SourceKind> = match feed.take() {
+            // qbm-lint: allow(hot-path-alloc) — per-hop setup, not per-event
+            None => specs.iter().map(|s| build_source_kind(s, seed)).collect(),
             Some(traces) => traces
                 .into_iter()
-                .map(|t| Box::new(TraceSource::new(t)) as Box<dyn Source>)
+                .map(|t| SourceKind::Trace(TraceSource::new(t)))
+                // qbm-lint: allow(hot-path-alloc) — per-hop setup, not per-event
                 .collect(),
         };
         let router = make(i, sources);
         if i + 1 < n_hops {
-            let (res, traces) = router.run_recording_with(warmup, end, seed, obs);
+            let (res, traces, spent) = router.run_recording_recycled(
+                warmup,
+                end,
+                seed,
+                obs,
+                spare.take().unwrap_or_default(),
+            );
             results.push(res);
             feed = Some(traces);
+            let recovered: Vec<Vec<Emission>> = spent
+                .into_iter()
+                .filter_map(SourceKind::into_trace_buffer)
+                // qbm-lint: allow(hot-path-alloc) — per-hop setup, not per-event
+                .collect();
+            if !recovered.is_empty() {
+                spare = Some(recovered);
+            }
         } else {
-            results.push(router.run_with(warmup, end, seed, obs));
+            let (res, _spent) = router.run_returning_sources(warmup, end, seed, obs);
+            results.push(res);
         }
     }
     results

@@ -16,6 +16,7 @@
 #![deny(missing_docs)]
 
 pub mod cbr;
+pub mod kind;
 pub mod onoff;
 pub mod poisson;
 pub mod regulator;
@@ -24,11 +25,13 @@ pub mod trace;
 pub mod workloads;
 
 pub use cbr::CbrSource;
+pub use kind::SourceKind;
 pub use onoff::{OnOffSource, Sojourns};
 pub use poisson::PoissonSource;
 pub use regulator::ShapedSource;
 pub use source::{Emission, Source};
 pub use trace::TraceSource;
 pub use workloads::{
-    build_source, build_source_with_sojourns, table1, table1_scaled, table2, PACKET_BYTES,
+    build_source, build_source_kind, build_source_kind_with_sojourns, build_source_with_sojourns,
+    table1, table1_scaled, table2, PACKET_BYTES,
 };

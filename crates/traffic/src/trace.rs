@@ -27,6 +27,13 @@ impl TraceSource {
     pub fn remaining(&self) -> usize {
         self.trace.len() - self.pos
     }
+
+    /// Consume the source and return its backing buffer (replayed and
+    /// pending emissions alike), so a spent trace's allocation can be
+    /// recycled — see `SourceKind::into_trace_buffer`.
+    pub fn into_inner(self) -> Vec<Emission> {
+        self.trace
+    }
 }
 
 impl Source for TraceSource {

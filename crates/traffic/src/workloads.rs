@@ -5,6 +5,7 @@
 //! table rows, so "flows 6 and 8" in Figure 3 are `FlowId(6)`/`FlowId(8)`
 //! here too.
 
+use crate::kind::SourceKind;
 use crate::onoff::{OnOffSource, Sojourns};
 use crate::regulator::ShapedSource;
 use crate::source::Source;
@@ -154,6 +155,28 @@ pub fn build_source_with_sojourns(
     run_seed: u64,
     sojourns: Sojourns,
 ) -> Box<dyn Source> {
+    match build_source_kind_with_sojourns(spec, run_seed, sojourns) {
+        SourceKind::Regulated(s) => Box::new(s),
+        SourceKind::OnOff(s) => Box::new(s),
+        other => unreachable!("workload sources are shaped or raw ON-OFF, got {other:?}"),
+    }
+}
+
+/// [`build_source`] without the box: the same source as a
+/// [`SourceKind`], so the simulator's inner loop dispatches through an
+/// inlinable `match` instead of a vtable. This is the hot-path builder;
+/// the boxed variants above are compatibility wrappers around the same
+/// construction.
+pub fn build_source_kind(spec: &FlowSpec, run_seed: u64) -> SourceKind {
+    build_source_kind_with_sojourns(spec, run_seed, Sojourns::Exponential)
+}
+
+/// [`build_source_kind`] with an explicit sojourn family.
+pub fn build_source_kind_with_sojourns(
+    spec: &FlowSpec,
+    run_seed: u64,
+    sojourns: Sojourns,
+) -> SourceKind {
     // SplitMix-style seed mixing: avoids correlated ChaCha streams for
     // adjacent (seed, flow) pairs.
     let mut z = run_seed
@@ -172,9 +195,9 @@ pub fn build_source_with_sojourns(
         sojourns,
     );
     if spec.class.is_conformant() {
-        Box::new(ShapedSource::new(onoff, spec.bucket_bytes, spec.token_rate))
+        SourceKind::Regulated(ShapedSource::new(onoff, spec.bucket_bytes, spec.token_rate))
     } else {
-        Box::new(onoff)
+        SourceKind::OnOff(onoff)
     }
 }
 
