@@ -1,0 +1,91 @@
+//! Cost decomposition of the `table1/*+thresh` benchmark point.
+//!
+//! Times the identical workload under FIFO (no virtual-time work — the
+//! common router/event-loop/stats cost `C`), the fixed-point WFQ, and
+//! the float reference WFQ, interleaved round-robin so machine drift
+//! hits all three. The scheduler-only cost of each side is its total
+//! minus `C`; the fixed/reference ratio follows. Diagnostic companion
+//! to the `sched_throughput` bench: run when deciding *where* remaining
+//! time goes rather than just how much.
+//!
+//! Usage: `cargo run --release -p qbm-bench --example cost_breakdown
+//! [rounds]` (default 5; one round ≈ 3 × ~30 runs of 1.1 simulated s).
+
+use qbm_core::policy::PolicyKind;
+use qbm_core::units::{ByteSize, Dur};
+use qbm_sched::SchedKind;
+use qbm_sim::scenarios::{paper_experiment, Scheme};
+use qbm_sim::{ExperimentConfig, PolicySpec};
+use std::hint::black_box;
+use std::time::Instant;
+
+const RUNS_PER_BATCH: u64 = 30;
+
+fn cfg_for(sched: SchedKind) -> ExperimentConfig {
+    let specs = qbm_traffic::table1();
+    let scheme = Scheme {
+        label: "x".into(),
+        sched,
+        policy: PolicySpec::Kind(PolicyKind::Threshold),
+        buffer_override: None,
+    };
+    let mut cfg = paper_experiment(&specs, &scheme, ByteSize::from_mib(1).bytes());
+    cfg.warmup = Dur::from_millis(100);
+    cfg.duration = Dur::from_millis(1100);
+    cfg
+}
+
+fn batch_ns(mut run: impl FnMut(u64)) -> f64 {
+    let t = Instant::now();
+    for seed in 1..=RUNS_PER_BATCH {
+        run(seed);
+    }
+    t.elapsed().as_nanos() as f64 / RUNS_PER_BATCH as f64
+}
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+    let fifo = cfg_for(SchedKind::Fifo);
+    let wfq = cfg_for(SchedKind::Wfq);
+    let (mut best_c, mut best_f, mut best_r) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for round in 0..rounds {
+        let c = batch_ns(|s| {
+            black_box(fifo.run_once(s));
+        });
+        let f = batch_ns(|s| {
+            black_box(wfq.run_once(s));
+        });
+        let r = batch_ns(|s| {
+            black_box(wfq.run_once_sched_reference(s));
+        });
+        best_c = best_c.min(c);
+        best_f = best_f.min(f);
+        best_r = best_r.min(r);
+        println!(
+            "round {round}: fifo {:.3} ms  fixed {:.3} ms  reference {:.3} ms",
+            c / 1e6,
+            f / 1e6,
+            r / 1e6
+        );
+    }
+    println!("--- fastest-batch means over {rounds} rounds ---");
+    println!("common C (fifo):      {:.3} ms", best_c / 1e6);
+    println!(
+        "fixed wfq:            {:.3} ms  (sched-only {:.3} ms)",
+        best_f / 1e6,
+        (best_f - best_c) / 1e6
+    );
+    println!(
+        "reference wfq:        {:.3} ms  (sched-only {:.3} ms)",
+        best_r / 1e6,
+        (best_r - best_c) / 1e6
+    );
+    println!("fixed/reference:      {:.4}x", best_r / best_f);
+    println!(
+        "sched-only ratio:     {:.4}x",
+        (best_r - best_c) / (best_f - best_c)
+    );
+}

@@ -240,6 +240,20 @@ pub fn scan_file(rel: &str, src: &str) -> FileScan {
             }
         }
 
+        if rules::sched_float_applies(rel) {
+            for pat in rules::SCHED_FLOAT_PATTERNS {
+                if rules::find_word(code, pat) {
+                    emit(
+                        &mut out,
+                        i,
+                        rules::SCHED_FLOAT,
+                        format!("`{pat}` virtual-time state in a production scheduler"),
+                        rules::SCHED_FLOAT_HINT,
+                    );
+                }
+            }
+        }
+
         if rules::print_applies(rel) {
             for pat in ["println!", "eprintln!", "print!", "eprint!", "dbg!"] {
                 if rules::find_word(code, pat) {
@@ -459,6 +473,38 @@ mod tests {
         assert_eq!(red.suppressions[0].via, "allowlist");
         // Outside the audited dirs the cast is free.
         assert!(findings_of("crates/fluid/src/mux.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sched_float_flagged_outside_reference_only() {
+        let src = "pub struct S { vtime: f64 }\n";
+        assert_eq!(
+            findings_of("crates/sched/src/wfq.rs", src),
+            vec![rules::SCHED_FLOAT]
+        );
+        // The retained float baselines are the sanctioned home.
+        assert!(findings_of("crates/sched/src/reference.rs", src).is_empty());
+        // Other crates are out of scope (policy floats have their own rule).
+        assert!(findings_of("crates/core/src/flow.rs", src).is_empty());
+        // Identifier boundaries: `as_secs_f64` is not a bare f64 token.
+        let method = "fn t(d: Dur) { let _ = d.as_secs_f64(); }\n";
+        assert!(findings_of("crates/sched/src/vclock.rs", method).is_empty());
+        // Test modules keep their float assertion helpers.
+        let test_src = "#[cfg(test)]\nmod tests {\n fn secs(x: u64) -> f64 { x as f64 }\n}\n";
+        assert!(findings_of("crates/sched/src/vclock.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn float_cast_in_sched_allowlisted_only_in_reference() {
+        let src = "fn t(x: u64) -> f64 { x as f64 }\n";
+        let r = scan_file("crates/sched/src/reference.rs", src);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.suppressions.len(), 1);
+        assert_eq!(r.suppressions[0].via, "allowlist");
+        // A production scheduler gets both the cast and the float ban.
+        let w = findings_of("crates/sched/src/wfq.rs", src);
+        assert!(w.contains(&rules::FLOAT_CAST));
+        assert!(w.contains(&rules::SCHED_FLOAT));
     }
 
     #[test]

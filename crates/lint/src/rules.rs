@@ -8,6 +8,7 @@
 //! | `unordered-container` | sim | no `HashMap`/`HashSet` — merge paths iterate in fixed order |
 //! | `float-eq` | everywhere | no float `==`/`!=` — use `qbm_core::units::approx_eq` |
 //! | `float-cast` | core::policy, sched | `as f64`/`as f32` only in allowlisted files |
+//! | `sched-float-vtime` | sched (except `reference.rs`) | no `f64`/`f32` virtual-time state — schedulers run on the Q32.32 `VirtualTime` integer clock |
 //! | `crate-hygiene` | crate roots | `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` |
 //! | `print-hygiene` | library sources | no `println!`/`dbg!` — output goes through the report layer |
 //! | `obs-hygiene` | cli (except `profile.rs`), sim, obs | no wall clock outside the profiling module; no ad-hoc `writeln!` tracing — events go through `qbm_obs::Observer` |
@@ -46,6 +47,23 @@ pub const FLOAT_CAST: &str = "float-cast";
 /// Hint for [`FLOAT_CAST`].
 pub const FLOAT_CAST_HINT: &str =
     "route the conversion through the units.rs newtypes, or add the file to rules::FLOAT_CAST_ALLOW with a justification";
+
+/// Rule name: float virtual-time state in the scheduler crate.
+pub const SCHED_FLOAT: &str = "sched-float-vtime";
+/// Hint for [`SCHED_FLOAT`].
+pub const SCHED_FLOAT_HINT: &str =
+    "schedulers run on the integer Q32.32 vclock::VirtualTime; float baselines live in sched/src/reference.rs only";
+/// Matched type tokens for [`SCHED_FLOAT`].
+pub const SCHED_FLOAT_PATTERNS: &[&str] = &["f64", "f32"];
+
+/// Does the scheduler float ban apply? All of `qbm-sched`'s library
+/// sources except the retained float reference implementations. The
+/// Q32.32 refactor made the hot path fully integer; this rule keeps it
+/// that way — a stray `f64` tag or rate reintroduces NaN-capable
+/// compares and cross-platform rounding hazards.
+pub fn sched_float_applies(rel: &str) -> bool {
+    rel.starts_with("crates/sched/src/") && rel != "crates/sched/src/reference.rs"
+}
 
 /// Rule name: crate-root hygiene attributes.
 pub const HYGIENE: &str = "crate-hygiene";
@@ -139,20 +157,8 @@ pub const FLOAT_CAST_ALLOW: &[(&str, &str)] = &[
         "Prop-1/2 threshold formula is evaluated once at configuration time and rounded to bytes at the boundary; admission itself is pure integer compares",
     ),
     (
-        "crates/sched/src/wfq.rs",
-        "WFQ/PGPS virtual time is float arithmetic by construction — it is the paper's O(log N) comparison baseline, not a guarantee path",
-    ),
-    (
-        "crates/sched/src/wf2q.rs",
-        "WF2Q+ shares WFQ's float virtual-time formulation",
-    ),
-    (
-        "crates/sched/src/vclock.rs",
-        "VirtualClock stamps are float virtual time (comparison baseline)",
-    ),
-    (
-        "crates/sched/src/hybrid.rs",
-        "the hybrid's WFQ layer reuses float virtual time; per-queue admission stays integer",
+        "crates/sched/src/reference.rs",
+        "the retained float reference schedulers widen Q32.32 VirtualTime to f64 at their boundary; production schedulers are integer-only (see sched-float-vtime)",
     ),
 ];
 

@@ -1,0 +1,233 @@
+//! Indexed active-set priority structure for virtual-time schedulers.
+//!
+//! Every timestamp scheduler here shares one structural fact: per class
+//! (flow or hybrid queue), tags are non-decreasing, so the globally
+//! smallest tag is always at some class's queue *head*. That reduces
+//! the priority queue over all queued packets to a fixed set of
+//! per-class head slots. [`ActiveSet`] indexes those slots by class
+//! with one packed `(tag, tie)` key each: updates are a single store,
+//! and the minimum is found by a linear scan over the flat key array.
+//!
+//! A scan-based minimum looks naive next to a heap or tournament tree,
+//! but at the paper's scales (9–30 classes) it is the faster shape: the
+//! keys are one contiguous cache line or two, the scan is a short
+//! branch-predictable loop of wide-integer compares, and — crucially —
+//! `set`/`clear` are branchless O(1) stores. A tournament tree was
+//! measured here first: its `log₂ n` replay path costs ~20 ns per
+//! update (data-dependent winner branches), nearly what the
+//! `BinaryHeap` it replaced costs, while the scan's one `peek` per
+//! dequeue costs under half that and the update cost vanishes. The
+//! structure is still *indexed* — slot `i` belongs to class `i` — so
+//! schedulers address it positionally, no lazy-deletion churn.
+//!
+//! Ordering is `(tag, tie, slot index)` lexicographic. Schedulers put
+//! the packet `seq` (WFQ, Virtual Clock) or the head `epoch` (WF²Q+) in
+//! `tie`, reproducing the exact pop order of the retained
+//! `BinaryHeap`-based reference implementations; the slot index makes
+//! the comparison total even between equal keys.
+
+use crate::vclock::VirtualTime;
+
+/// Empty-slot sentinel: loses to every real key.
+const EMPTY: u128 = u128::MAX;
+
+/// `(tag, tie)` packed so lexicographic order becomes one wide integer
+/// compare — the scan's inner comparison is a single branch instead of
+/// a tuple-comparison chain.
+#[inline]
+fn pack(tag: VirtualTime, tie: u64) -> u128 {
+    ((tag.raw() as u128) << 64) | tie as u128
+}
+
+/// Flat indexed set of per-slot `(tag, tie)` keys (see module docs).
+#[derive(Debug, Clone)]
+pub struct ActiveSet {
+    /// Packed key per slot; [`EMPTY`] = vacant.
+    key: Vec<u128>,
+    /// Occupied slot count.
+    len: usize,
+}
+
+impl ActiveSet {
+    /// An all-empty set with `n` slots.
+    pub fn with_slots(n: usize) -> ActiveSet {
+        assert!(n > 0, "no slots");
+        ActiveSet {
+            key: vec![EMPTY; n],
+            len: 0,
+        }
+    }
+
+    /// Occupy slot `i` with key `(tag, tie)`, replacing any previous
+    /// key. `tag` must stay below the [`VirtualTime::MAX`] sentinel.
+    #[inline]
+    pub fn set(&mut self, i: usize, tag: VirtualTime, tie: u64) {
+        let key = pack(tag, tie);
+        debug_assert!(key != EMPTY, "the sentinel key is reserved for empty slots");
+        self.len += usize::from(self.key[i] == EMPTY);
+        self.key[i] = key;
+    }
+
+    /// Vacate slot `i`. No-op if already empty.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        self.len -= usize::from(self.key[i] != EMPTY);
+        self.key[i] = EMPTY;
+    }
+
+    /// The occupied slot with the smallest `(tag, tie, index)`, if any.
+    #[inline]
+    pub fn peek(&self) -> Option<(usize, VirtualTime, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut w = 0;
+        let mut best = self.key[0];
+        for (i, &k) in self.key.iter().enumerate().skip(1) {
+            // Strict `<` keeps the lowest index among equal keys.
+            if k < best {
+                best = k;
+                w = i;
+            }
+        }
+        Some((w, VirtualTime::from_raw((best >> 64) as u64), best as u64))
+    }
+
+    /// Number of occupied slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no slot is occupied.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(raw: u64) -> VirtualTime {
+        VirtualTime::from_raw(raw)
+    }
+
+    #[test]
+    fn min_by_tag_then_tie_then_index() {
+        let mut s = ActiveSet::with_slots(5);
+        s.set(3, vt(10), 7);
+        s.set(1, vt(10), 5);
+        s.set(4, vt(2), 99);
+        assert_eq!(s.peek(), Some((4, vt(2), 99)));
+        s.clear(4);
+        assert_eq!(s.peek(), Some((1, vt(10), 5)), "tie broken by tie field");
+        s.set(0, vt(10), 5);
+        assert_eq!(s.peek(), Some((0, vt(10), 5)), "full tie broken by index");
+    }
+
+    #[test]
+    fn overwrite_updates_in_place() {
+        let mut s = ActiveSet::with_slots(4);
+        s.set(0, vt(5), 0);
+        s.set(1, vt(9), 0);
+        assert_eq!(s.len(), 2);
+        s.set(0, vt(20), 1);
+        assert_eq!(s.len(), 2, "overwrite is not an insert");
+        assert_eq!(s.peek(), Some((1, vt(9), 0)));
+    }
+
+    #[test]
+    fn clear_is_idempotent_and_empties() {
+        let mut s = ActiveSet::with_slots(3);
+        assert!(s.is_empty() && s.peek().is_none());
+        s.set(2, vt(1), 1);
+        s.clear(2);
+        s.clear(2);
+        assert!(s.is_empty());
+        assert_eq!(s.peek(), None);
+    }
+
+    #[test]
+    fn single_slot_set_works() {
+        let mut s = ActiveSet::with_slots(1);
+        s.set(0, vt(42), 0);
+        assert_eq!(s.peek(), Some((0, vt(42), 0)));
+        s.clear(0);
+        assert_eq!(s.peek(), None);
+    }
+
+    #[test]
+    fn near_sentinel_keys_survive() {
+        // Keys adjacent to the EMPTY sentinel must still round-trip and
+        // order correctly.
+        let mut s = ActiveSet::with_slots(5);
+        for i in 0..5 {
+            s.set(i, vt(u64::MAX - 1), u64::MAX);
+        }
+        for i in 0..5 {
+            assert_eq!(s.peek(), Some((i, vt(u64::MAX - 1), u64::MAX)));
+            s.clear(i);
+        }
+        assert!(s.peek().is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    proptest! {
+        /// Differential against a keyed `BinaryHeap` model under the
+        /// schedulers' slot discipline (one live key per slot, lazily
+        /// superseded in the model as `ActiveSet::set` overwrites).
+        #[test]
+        fn matches_reference_heap(
+            n in 1usize..19,
+            ops in proptest::collection::vec(
+                (0u8..4, 0usize..19, 0u64..40, 0u64..4), 1..300),
+        ) {
+            let mut set = ActiveSet::with_slots(n);
+            // Model: lazy heap of (tag, tie, slot) + live key per slot.
+            let mut heap: BinaryHeap<Reverse<(VirtualTime, u64, usize)>> =
+                BinaryHeap::new();
+            let mut live: Vec<Option<(VirtualTime, u64)>> = vec![None; n];
+            for (kind, slot, tag, tie) in ops {
+                let i = slot % n;
+                match kind {
+                    0 | 1 => {
+                        let key = (VirtualTime::from_raw(tag), tie);
+                        set.set(i, key.0, key.1);
+                        live[i] = Some(key);
+                        heap.push(Reverse((key.0, key.1, i)));
+                    }
+                    2 => {
+                        set.clear(i);
+                        live[i] = None;
+                    }
+                    _ => {
+                        // Skim stale model entries, then compare peeks.
+                        let model = loop {
+                            match heap.peek() {
+                                None => break None,
+                                Some(&Reverse((t, x, s))) => {
+                                    if live[s] == Some((t, x)) {
+                                        break Some((s, t, x));
+                                    }
+                                    heap.pop();
+                                }
+                            }
+                        };
+                        prop_assert_eq!(set.peek(), model, "peek diverged");
+                    }
+                }
+            }
+            let expect_len = live.iter().flatten().count();
+            prop_assert_eq!(set.len(), expect_len);
+        }
+    }
+}

@@ -17,25 +17,41 @@
 //! admission is *not* their job — that's `qbm-core::policy`, applied by
 //! the router before enqueueing (the paper's whole point is moving the
 //! QoS burden from the scheduler to that admission step).
+//!
+//! ## Virtual time is fixed-point
+//!
+//! Every timestamp scheduler (WFQ, WF²Q+, Virtual Clock, the hybrid's
+//! WFQ layer) runs on the Q32.32 [`VirtualTime`] integer clock from
+//! [`vclock`] and indexes queue heads in the flat [`ActiveSet`]
+//! tree from [`active_set`] — no `f64` state, no NaN-capable compares,
+//! no heap churn on the hot path. The original float/`BinaryHeap`
+//! formulations are retained verbatim-in-architecture as
+//! `*_reference` schedulers in [`reference`], built via
+//! [`SchedKind::build_reference`], for differential testing and as the
+//! performance baseline of `BENCH_sched.json`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod active_set;
 pub mod drr;
 pub mod edf;
 pub mod fifo;
 pub mod hybrid;
+pub mod reference;
 pub mod scheduler;
 pub mod vclock;
 pub mod wf2q;
 pub mod wfq;
 
+pub use active_set::ActiveSet;
 pub use drr::Drr;
 pub use edf::Edf;
 pub use fifo::Fifo;
 pub use hybrid::Hybrid;
+pub use reference::{HybridReference, VirtualClockReference, Wf2qReference, WfqReference};
 pub use scheduler::{PacketRef, Scheduler};
-pub use vclock::VirtualClock;
+pub use vclock::{VirtualClock, VirtualTime};
 pub use wf2q::Wf2q;
 pub use wfq::Wfq;
 
@@ -98,6 +114,36 @@ impl SchedKind {
                 assignment.clone(),
                 queue_rates_bps.clone(),
             )),
+        }
+    }
+
+    /// Instantiate the retained float/`BinaryHeap` reference
+    /// implementation for differential testing and benchmarking.
+    /// Schedulers without virtual-time state (FIFO, DRR, EDF) have no
+    /// separate reference; they build their one implementation.
+    pub fn build_reference(&self, link_rate: Rate, specs: &[FlowSpec]) -> Box<dyn Scheduler> {
+        match self {
+            SchedKind::Wfq => {
+                let weights: Vec<u64> = specs.iter().map(|s| s.token_rate.bps().max(1)).collect();
+                Box::new(WfqReference::new(link_rate, weights))
+            }
+            SchedKind::VirtualClock => {
+                let rates: Vec<u64> = specs.iter().map(|s| s.token_rate.bps().max(1)).collect();
+                Box::new(VirtualClockReference::new(rates))
+            }
+            SchedKind::Wf2q => {
+                let weights: Vec<u64> = specs.iter().map(|s| s.token_rate.bps().max(1)).collect();
+                Box::new(Wf2qReference::new(link_rate, weights))
+            }
+            SchedKind::Hybrid {
+                assignment,
+                queue_rates_bps,
+            } => Box::new(HybridReference::new(
+                link_rate,
+                assignment.clone(),
+                queue_rates_bps.clone(),
+            )),
+            SchedKind::Fifo | SchedKind::Drr | SchedKind::Edf => self.build(link_rate, specs),
         }
     }
 

@@ -16,42 +16,45 @@
 //! V  = max(V + l_served·8/Σφ, min_backlogged Sᵢ)
 //! ```
 //!
-//! Implementation: per-flow FIFO queues plus two lazy heaps over flow
-//! *heads* — ineligible flows keyed by `S`, eligible flows keyed by
-//! `(F, seq)` — giving `O(log N)` per packet like WFQ.
+//! All tags are fixed-point [`VirtualTime`] (Q32.32). Only flow *heads*
+//! are indexed, one slot per flow in two indexed [`ActiveSet`]
+//! trees — ineligible heads keyed by `(S, epoch)`, eligible heads by
+//! `(F, epoch)` — so eligibility promotion and service are slot moves,
+//! not heap churn. The `epoch` counter (bumped per head installation)
+//! keeps the pop order identical to the retained float reference
+//! ([`Wf2qReference`](crate::reference::Wf2qReference)), whose lazy
+//! heaps use it to invalidate stale entries.
 
+use crate::active_set::ActiveSet;
 use crate::scheduler::{PacketRef, Scheduler};
-use crate::wfq::OrdF64;
+use crate::vclock::VirtualTime;
 use qbm_core::units::{Rate, Time};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
-
-#[derive(Debug, Clone, Copy)]
-struct HeadTags {
-    finish: f64,
-    /// Epoch counter: lazy heap entries from older heads are stale.
-    epoch: u64,
-}
+use std::collections::VecDeque;
 
 /// WF²Q+ scheduler (see module docs).
 #[derive(Debug)]
 pub struct Wf2q {
     /// Per-flow weights φᵢ (b/s scale).
-    weights: Vec<f64>,
+    weights: Vec<u64>,
     /// Σφ over all flows (the virtual-time normalizer).
-    total_weight: f64,
+    total_weight: u64,
     /// Per-flow packet queues.
     queues: Vec<VecDeque<PacketRef>>,
-    /// Tags of each flow's head packet (meaningful iff queue non-empty).
-    heads: Vec<HeadTags>,
+    /// Finish tag of each flow's head (meaningful iff queue non-empty).
+    head_finish: Vec<VirtualTime>,
     /// Last finish tag per flow (for the max(V, F_prev) rule).
-    last_finish: Vec<f64>,
+    last_finish: Vec<VirtualTime>,
     /// System virtual time.
-    vtime: f64,
-    /// Lazy heap of ineligible heads by start tag.
-    by_start: BinaryHeap<Reverse<(OrdF64, u64, usize)>>,
-    /// Lazy heap of eligible heads by (finish tag, seq).
-    by_finish: BinaryHeap<Reverse<(OrdF64, u64, usize)>>,
+    vtime: VirtualTime,
+    /// Ineligible heads (S > V) keyed `(start, epoch)`.
+    ineligible: ActiveSet,
+    /// Eligible heads (S ≤ V) keyed `(finish, epoch)`.
+    eligible: ActiveSet,
+    /// Per-flow `(len, len·8/φᵢ)` memo — packet sizes repeat, so the
+    /// per-head service division is shared across consecutive packets.
+    service_cache: Vec<(u32, VirtualTime)>,
+    /// `(len, len·8/Σφ)` memo for the per-service V advance.
+    total_service_cache: (u32, VirtualTime),
     epoch: u64,
     len: usize,
 }
@@ -63,29 +66,49 @@ impl Wf2q {
         assert!(!weights.is_empty(), "no flows");
         assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
         let n = weights.len();
-        let w: Vec<f64> = weights.iter().map(|&x| x as f64).collect();
-        let total = w.iter().sum();
+        let total = weights.iter().sum();
         Wf2q {
-            weights: w,
+            weights,
             total_weight: total,
             queues: vec![VecDeque::new(); n],
-            heads: vec![
-                HeadTags {
-                    finish: 0.0,
-                    epoch: 0
-                };
-                n
-            ],
-            last_finish: vec![0.0; n],
-            vtime: 0.0,
-            by_start: BinaryHeap::new(),
-            by_finish: BinaryHeap::new(),
+            head_finish: vec![VirtualTime::ZERO; n],
+            last_finish: vec![VirtualTime::ZERO; n],
+            vtime: VirtualTime::ZERO,
+            ineligible: ActiveSet::with_slots(n),
+            eligible: ActiveSet::with_slots(n),
+            service_cache: vec![(0, VirtualTime::ZERO); n],
+            total_service_cache: (0, VirtualTime::ZERO),
             epoch: 0,
             len: 0,
         }
     }
 
-    /// Install tags for flow `f`'s new head packet and index it.
+    /// `len·8/φ_f` through the per-flow memo.
+    #[inline]
+    fn service(&mut self, f: usize, len: u32) -> VirtualTime {
+        let (l, s) = self.service_cache[f];
+        if l == len {
+            return s;
+        }
+        let s = VirtualTime::service(len, self.weights[f]);
+        self.service_cache[f] = (len, s);
+        s
+    }
+
+    /// `len·8/Σφ` through the total-weight memo.
+    #[inline]
+    fn total_service(&mut self, len: u32) -> VirtualTime {
+        let (l, s) = self.total_service_cache;
+        if l == len {
+            return s;
+        }
+        let s = VirtualTime::service(len, self.total_weight);
+        self.total_service_cache = (len, s);
+        s
+    }
+
+    /// Install tags for flow `f`'s new head packet and index it. The
+    /// flow's slots must be vacant (fresh activation or just served).
     fn set_head(&mut self, f: usize, len: u32, fresh: bool) {
         self.epoch += 1;
         let start = if fresh {
@@ -95,62 +118,25 @@ impl Wf2q {
             // Next packet of a backlogged flow: starts at prior finish.
             self.last_finish[f]
         };
-        let finish = start + len as f64 * 8.0 / self.weights[f];
+        let finish = start.saturating_add(self.service(f, len));
         self.last_finish[f] = finish;
-        self.heads[f] = HeadTags {
-            finish,
-            epoch: self.epoch,
-        };
+        self.head_finish[f] = finish;
         if start <= self.vtime {
-            self.by_finish
-                .push(Reverse((OrdF64(finish), self.epoch, f)));
+            self.eligible.set(f, finish, self.epoch);
         } else {
-            self.by_start.push(Reverse((OrdF64(start), self.epoch, f)));
+            self.ineligible.set(f, start, self.epoch);
         }
     }
 
-    fn head_valid(&self, f: usize, epoch: u64) -> bool {
-        !self.queues[f].is_empty() && self.heads[f].epoch == epoch
-    }
-
-    /// Move newly eligible heads (S ≤ V) to the finish heap.
+    /// Move newly eligible heads (S ≤ V) to the finish set.
     fn promote(&mut self) {
-        while let Some(&Reverse((OrdF64(s), ep, f))) = self.by_start.peek() {
-            if !self.head_valid(f, ep) {
-                self.by_start.pop();
-                continue;
-            }
-            if s <= self.vtime {
-                self.by_start.pop();
-                self.by_finish
-                    .push(Reverse((OrdF64(self.heads[f].finish), ep, f)));
-            } else {
+        while let Some((f, s, ep)) = self.ineligible.peek() {
+            if s > self.vtime {
                 break;
             }
+            self.ineligible.clear(f);
+            self.eligible.set(f, self.head_finish[f], ep);
         }
-    }
-
-    /// Smallest start tag among backlogged heads (for the V jump).
-    fn min_start(&mut self) -> Option<f64> {
-        // Eligible heads have S ≤ V already; only the start heap
-        // matters, after skimming stale entries.
-        while let Some(&Reverse((OrdF64(s), ep, f))) = self.by_start.peek() {
-            if self.head_valid(f, ep) {
-                return Some(s);
-            }
-            self.by_start.pop();
-        }
-        None
-    }
-
-    fn any_eligible(&mut self) -> bool {
-        while let Some(&Reverse((_, ep, f))) = self.by_finish.peek() {
-            if self.head_valid(f, ep) {
-                return true;
-            }
-            self.by_finish.pop();
-        }
-        false
     }
 }
 
@@ -168,30 +154,29 @@ impl Scheduler for Wf2q {
         if self.len == 0 {
             return None;
         }
-        self.promote();
-        if !self.any_eligible() {
+        if self.eligible.is_empty() {
             // No head is eligible: jump V to the earliest start (the
-            // WF²Q+ max-rule) and promote again.
-            let s = self.min_start().expect("backlogged but no heads indexed");
+            // WF²Q+ max-rule) and promote.
+            let (_, s, _) = self
+                .ineligible
+                .peek()
+                .expect("backlogged but no heads indexed");
             self.vtime = self.vtime.max(s);
             self.promote();
         }
-        // Serve the minimum finish tag among eligible heads.
-        loop {
-            let Reverse((_, ep, f)) = self.by_finish.pop()?;
-            if !self.head_valid(f, ep) {
-                continue;
-            }
-            let pkt = self.queues[f].pop_front().expect("validated non-empty");
-            self.len -= 1;
-            // Advance V by normalized service.
-            self.vtime += pkt.len as f64 * 8.0 / self.total_weight;
-            if let Some(&next) = self.queues[f].front() {
-                self.set_head(f, next.len, false);
-            }
-            self.promote();
-            return Some(pkt);
+        // Serve the minimum (finish tag, epoch) among eligible heads.
+        let (f, _, _) = self.eligible.peek().expect("promotion yielded no head");
+        let pkt = self.queues[f].pop_front().expect("indexed head missing");
+        self.len -= 1;
+        self.eligible.clear(f);
+        // Advance V by normalized service.
+        let inc = self.total_service(pkt.len);
+        self.vtime = self.vtime.saturating_add(inc);
+        if let Some(&next) = self.queues[f].front() {
+            self.set_head(f, next.len, false);
         }
+        self.promote();
+        Some(pkt)
     }
 
     fn len(&self) -> usize {

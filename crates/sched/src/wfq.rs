@@ -10,159 +10,317 @@
 //! where `V(t)` is the GPS virtual time, advancing at `R / Σφ_active`,
 //! and packets are transmitted in increasing tag order. The active-set
 //! bookkeeping is exact: the GPS backlog of a class ends when `V`
-//! crosses its last finish tag, handled with a lazy-deletion heap — the
-//! `O(log N)` sorted structure whose cost the paper's buffer-management
-//! scheme exists to avoid.
+//! crosses its last finish tag.
+//!
+//! All clock state is fixed-point [`VirtualTime`] (Q32.32) — the hot
+//! path is pure integer arithmetic with exact comparisons. The priority
+//! structures replacing the float implementation's heaps:
+//!
+//! * transmission order is an indexed [`ActiveSet`] with one slot per
+//!   class, keyed by the head packet's `(finish, seq)` — per-class tags
+//!   are non-decreasing, so the global minimum is always a head;
+//! * GPS expiry needs only each class's *last* finish tag
+//!   (`class_finish`), and its minimum is consulted only on the rare
+//!   slow path (a crossed deadline or an idle class), so the float
+//!   implementation's lazy-deletion heap collapses to a linear scan
+//!   there — enqueue maintains no expiry structure at all.
+//!
+//! The original float implementation is retained as
+//! [`WfqReference`](crate::reference::WfqReference) for differential
+//! testing and as the benchmark baseline.
 //!
 //! The core is written over abstract *classes* so the same machinery
 //! serves both per-flow WFQ ([`Wfq`], class = flow) and the §4 hybrid
 //! ([`crate::Hybrid`], class = FIFO queue).
 
+use crate::active_set::ActiveSet;
 use crate::scheduler::{PacketRef, Scheduler};
-use qbm_core::units::{Rate, Time};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use crate::vclock::VirtualTime;
+use qbm_core::units::{Rate, Time, NS_PER_SEC};
+use std::collections::VecDeque;
 
-/// Totally ordered f64 for heap keys. The virtual-time arithmetic never
-/// produces NaN (weights and rates are validated positive), so the
-/// unwrap in `Ord` is safe by construction.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct OrdF64(pub(crate) f64);
-
-impl Eq for OrdF64 {}
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN in virtual time")
-    }
-}
+/// Sentinel for [`WfqCore::deadline_key`] when GPS is idle.
+const NO_DEADLINE: (usize, VirtualTime) = (usize::MAX, VirtualTime::MAX);
 
 /// Class-indexed PGPS engine (see module docs).
 #[derive(Debug)]
 pub(crate) struct WfqCore {
-    link_bps: f64,
+    link_bps: u64,
     /// Per-class GPS weight φᵢ (> 0).
-    weights: Vec<f64>,
+    weights: Vec<u64>,
     /// GPS virtual time `V`.
-    vtime: f64,
-    /// Real time (seconds) at which `vtime` was last brought current.
-    last_update_s: f64,
-    /// Σφ over GPS-active classes.
-    active_weight: f64,
-    /// Last GPS finish tag per class.
-    class_finish: Vec<f64>,
+    vtime: VirtualTime,
+    /// Real time at which `vtime` was last brought current.
+    last_update: Time,
+    /// Σφ over GPS-active classes (integer, so idle detection is exact).
+    active_weight: u64,
+    /// Last GPS finish tag per class — the GPS expiry keys. The expiry
+    /// *minimum* is found by a linear scan on the (rare) slow path
+    /// rather than kept in a second priority structure: class counts
+    /// here are at most a few dozen, so one scan per expiry step costs
+    /// less than maintaining an index on every enqueue would.
+    class_finish: Vec<VirtualTime>,
     /// GPS-active flags.
     class_active: Vec<bool>,
-    /// Lazy heap of (finish tag, class) for active-set expiry.
-    gps_heap: BinaryHeap<Reverse<(OrdF64, usize)>>,
+    /// Cached *lower bound* on the real instant at which the earliest
+    /// active class completes its GPS backlog (`Time::MAX` when idle).
+    /// Makes the expiry test in [`WfqCore::advance`] an integer compare
+    /// instead of a division. Fast-path enqueues leave it stale on
+    /// purpose: growing an active class's finish tag (weight unchanged)
+    /// can only move the true deadline *later*, so the cached value
+    /// stays a safe bound and is recomputed only when crossed (in
+    /// [`WfqCore::advance`]) or when the active set changes (slow-path
+    /// enqueue). In exact arithmetic the instant is invariant under
+    /// partial advances, so pinning the rounded value at the change
+    /// point is both cheaper and more stable than recomputing per call.
+    next_expiry: Time,
+    /// `(class, finish)` the cached deadline was computed for.
+    deadline_key: (usize, VirtualTime),
+    /// Active weight the cached deadline was computed for.
+    deadline_weight: u64,
+    /// Per-class `(len, service)` memo — packet sizes repeat, so the
+    /// `len·8/φ` division is shared across consecutive packets.
+    service_cache: Vec<(u32, VirtualTime)>,
+    /// Per-class `(Δraw, Σφ) → duration` memo for the deadline division
+    /// in [`WfqCore::refresh_deadline`]. A class re-activating from GPS
+    /// idle always has `Δ = len·8/φ` (start tag = V), so consecutive
+    /// idle restarts of a fixed-size flow repeat the same inputs; the
+    /// memo is a pure-function cache, bit-identical to recomputing.
+    expiry_cache: Vec<(u64, u64, qbm_core::units::Dur)>,
     /// Per-class packet queues with each packet's finish tag.
-    queues: Vec<VecDeque<(PacketRef, f64)>>,
-    /// All queued packets by (finish tag, seq) — transmission order.
-    pkt_heap: BinaryHeap<Reverse<(OrdF64, u64, usize)>>,
+    queues: Vec<VecDeque<(PacketRef, VirtualTime)>>,
+    /// Queue heads keyed `(finish, seq)` — transmission order.
+    heads: ActiveSet,
     len: usize,
 }
 
 impl WfqCore {
-    pub(crate) fn new(link: Rate, weights_raw: Vec<u64>) -> WfqCore {
+    pub(crate) fn new(link: Rate, weights: Vec<u64>) -> WfqCore {
         assert!(link.bps() > 0, "zero link rate");
-        assert!(!weights_raw.is_empty(), "no classes");
+        assert!(!weights.is_empty(), "no classes");
         assert!(
-            weights_raw.iter().all(|&w| w > 0),
+            weights.iter().all(|&w| w > 0),
             "all WFQ weights must be positive"
         );
-        let n = weights_raw.len();
+        let n = weights.len();
         WfqCore {
-            link_bps: link.bps() as f64,
-            weights: weights_raw.iter().map(|&w| w as f64).collect(),
-            vtime: 0.0,
-            last_update_s: 0.0,
-            active_weight: 0.0,
-            class_finish: vec![0.0; n],
+            link_bps: link.bps(),
+            weights,
+            vtime: VirtualTime::ZERO,
+            last_update: Time::ZERO,
+            active_weight: 0,
+            class_finish: vec![VirtualTime::ZERO; n],
             class_active: vec![false; n],
-            gps_heap: BinaryHeap::new(),
+            next_expiry: Time::MAX,
+            deadline_key: NO_DEADLINE,
+            deadline_weight: 0,
+            service_cache: vec![(0, VirtualTime::ZERO); n],
+            expiry_cache: vec![(u64::MAX, 0, qbm_core::units::Dur(0)); n],
             queues: vec![VecDeque::new(); n],
-            pkt_heap: BinaryHeap::new(),
+            heads: ActiveSet::with_slots(n),
             len: 0,
         }
     }
 
-    /// Advance GPS virtual time to real time `now`, expiring classes
-    /// whose GPS backlog completes on the way.
-    fn advance(&mut self, now: Time) {
-        let now_s = now.as_secs_f64();
-        debug_assert!(now_s >= self.last_update_s - 1e-12, "time went backwards");
-        loop {
-            if self.active_weight <= 0.0 {
-                // GPS idle: V freezes (arrivals restart from max(V, f)).
-                self.last_update_s = now_s;
-                return;
+    /// The GPS-active class with the smallest last finish tag, ties to
+    /// the lowest class index — the next class whose backlog expires.
+    #[inline]
+    fn expiry_head(&self) -> Option<(usize, VirtualTime)> {
+        let mut best: Option<(usize, VirtualTime)> = None;
+        for (c, &f) in self.class_finish.iter().enumerate() {
+            if self.class_active[c] && best.is_none_or(|(_, bf)| f < bf) {
+                best = Some((c, f));
             }
-            // Find the next genuine class-expiry tag.
-            let next = loop {
-                match self.gps_heap.peek() {
-                    None => break None,
-                    Some(&Reverse((OrdF64(f), c))) => {
-                        if self.class_active[c] && self.class_finish[c] == f {
-                            break Some((f, c));
-                        }
-                        self.gps_heap.pop(); // stale lazy entry
-                    }
+        }
+        best
+    }
+
+    /// Bring [`WfqCore::next_expiry`] in line with the current expiry
+    /// head; called when the cached bound is crossed or the active set
+    /// changes.
+    #[inline]
+    fn refresh_deadline(&mut self) {
+        match self.expiry_head() {
+            Some((c, f)) => {
+                if self.deadline_key != (c, f) || self.deadline_weight != self.active_weight {
+                    self.deadline_key = (c, f);
+                    self.deadline_weight = self.active_weight;
+                    // Real time needed for V to reach f, through the
+                    // per-class input memo (idle restarts repeat Δ).
+                    let delta = f.saturating_sub(self.vtime);
+                    let (m_raw, m_aw, m_dur) = self.expiry_cache[c];
+                    let dt = if (m_raw, m_aw) == (delta.raw(), self.active_weight) {
+                        m_dur
+                    } else {
+                        let dt = delta.gps_real_dur(self.link_bps, self.active_weight);
+                        self.expiry_cache[c] = (delta.raw(), self.active_weight, dt);
+                        dt
+                    };
+                    self.next_expiry = self.last_update.saturating_add(dt);
                 }
-            };
-            let Some((f, c)) = next else {
-                // Inconsistent only if active classes lost their heap
-                // entry — cannot happen; but be safe and freeze.
-                debug_assert!(false, "active class without heap entry");
-                self.last_update_s = now_s;
-                return;
-            };
-            // Real seconds needed for V to reach f.
-            let dt_needed = (f - self.vtime) * self.active_weight / self.link_bps;
-            if self.last_update_s + dt_needed <= now_s {
-                self.vtime = f;
-                self.last_update_s += dt_needed;
-                self.gps_heap.pop();
-                self.class_active[c] = false;
-                self.active_weight -= self.weights[c];
-                if self.active_weight < 1e-9 {
-                    self.active_weight = 0.0;
-                }
-            } else {
-                self.vtime += (now_s - self.last_update_s) * self.link_bps / self.active_weight;
-                self.last_update_s = now_s;
-                return;
+            }
+            None => {
+                self.deadline_key = NO_DEADLINE;
+                self.deadline_weight = 0;
+                self.next_expiry = Time::MAX;
             }
         }
     }
 
+    /// `len·8/φ_class` through the per-class memo.
+    #[inline]
+    fn service(&mut self, class: usize, len: u32) -> VirtualTime {
+        let (l, s) = self.service_cache[class];
+        if l == len {
+            return s;
+        }
+        let s = VirtualTime::service(len, self.weights[class]);
+        self.service_cache[class] = (len, s);
+        s
+    }
+
+    /// Advance GPS virtual time to real time `now`, expiring classes
+    /// whose GPS backlog completes on the way. Only callers that *read*
+    /// `vtime` need this — dequeue does not (transmission order lives
+    /// in `heads`), so it is called on the enqueue path alone and the
+    /// expiry walk catches up lazily there.
+    /// True iff the whole GPS backlog completes by `now`. While any
+    /// class is active GPS serves at the full link rate, so the real
+    /// work remaining is `Σ_active (f_c − V)·φ_c / R` seconds —
+    /// compared cross-multiplied in integers, no division. Both engines
+    /// (this and the float reference) take the same branch on the same
+    /// state, which keeps the rounded value streams identical.
+    #[inline]
+    fn drains_by(&self, now: Time) -> bool {
+        let mut work: u128 = 0; // Σ (f−V)·φ, Q32.32 bit units
+        for (c, &f) in self.class_finish.iter().enumerate() {
+            if self.class_active[c] {
+                work = work.saturating_add(
+                    f.saturating_sub(self.vtime).raw() as u128 * self.weights[c] as u128,
+                );
+            }
+        }
+        let elapsed = now.since(self.last_update).as_nanos() as u128;
+        elapsed
+            .saturating_mul(self.link_bps as u128)
+            .saturating_mul(1u128 << VirtualTime::FRAC_BITS)
+            >= work.saturating_mul(NS_PER_SEC as u128)
+    }
+
+    fn advance(&mut self, now: Time) {
+        debug_assert!(now >= self.last_update, "time went backwards");
+        if self.active_weight > 0 && now >= self.next_expiry {
+            if self.drains_by(now) {
+                // The whole backlog expires by `now`: the intermediate
+                // expiry instants are unobservable (nothing reads V in
+                // between), so collapse the walk — V lands on the
+                // largest finish tag and the server goes idle. This
+                // skips every per-step deadline division of the loop
+                // below, the common case for bursty workloads whose
+                // GPS backlog drains between bursts.
+                let mut vmax = self.vtime;
+                for (c, &f) in self.class_finish.iter().enumerate() {
+                    if self.class_active[c] {
+                        self.class_active[c] = false;
+                        vmax = vmax.max(f);
+                    }
+                }
+                self.vtime = vmax;
+                self.active_weight = 0;
+                self.deadline_key = NO_DEADLINE;
+                self.deadline_weight = 0;
+                self.next_expiry = Time::MAX;
+                self.last_update = now;
+                return;
+            }
+            // The cached bound may be conservative (fast-path enqueues
+            // skip the refresh); recompute before trusting it.
+            self.refresh_deadline();
+            while self.active_weight > 0 && now >= self.next_expiry {
+                // `refresh_deadline` pinned the genuine head.
+                let (c, f) = self.deadline_key;
+                debug_assert_eq!(Some((c, f)), self.expiry_head(), "stale expiry deadline");
+                self.vtime = f;
+                self.last_update = self.next_expiry;
+                self.class_active[c] = false;
+                self.active_weight -= self.weights[c];
+                self.refresh_deadline();
+            }
+        }
+        if self.active_weight == 0 {
+            // GPS idle: V freezes (arrivals restart from max(V, f)).
+            self.last_update = now;
+            return;
+        }
+        if now > self.last_update {
+            let inc = VirtualTime::gps_increment(
+                now.since(self.last_update),
+                self.link_bps,
+                self.active_weight,
+            );
+            self.vtime = self.vtime.saturating_add(inc);
+            self.last_update = now;
+        }
+    }
+
     pub(crate) fn enqueue_class(&mut self, now: Time, class: usize, pkt: PacketRef) {
+        debug_assert!(now >= self.last_update, "time went backwards");
+        // Fast path: an active class's previous finish tag is ≥ the
+        // expiry head's tag, which V cannot reach before `next_expiry`
+        // — so max(V, F_prev) = F_prev without materializing V. The
+        // clock stays pinned at `last_update` and the next slow path
+        // (idle/expiring class, or a crossed deadline) catches it up
+        // over the whole interval at once.
+        if self.class_active[class] && now < self.next_expiry {
+            // Growing an active class's finish tag moves the true
+            // expiry deadline later (or not at all), so the cached
+            // bound stays valid without a refresh — the fast path
+            // touches no GPS bookkeeping beyond the tag itself.
+            let finish = self.class_finish[class].saturating_add(self.service(class, pkt.len));
+            self.class_finish[class] = finish;
+            if self.queues[class].is_empty() {
+                self.heads.set(class, finish, pkt.seq);
+            }
+            self.queues[class].push_back((pkt, finish));
+            self.len += 1;
+            return;
+        }
         self.advance(now);
         let start = self.vtime.max(self.class_finish[class]);
-        let finish = start + pkt.len as f64 * 8.0 / self.weights[class];
+        let finish = start.saturating_add(self.service(class, pkt.len));
         self.class_finish[class] = finish;
         if !self.class_active[class] {
             self.class_active[class] = true;
             self.active_weight += self.weights[class];
         }
-        self.gps_heap.push(Reverse((OrdF64(finish), class)));
+        // Re-pin the deadline only when this finish tag becomes the new
+        // expiry head (covers first-activation: the idle sentinel key
+        // is `VirtualTime::MAX`). Otherwise the head kept its tag and
+        // the weight only grew — V got slower, the true deadline moved
+        // later, and the cached bound remains a valid lower bound that
+        // [`WfqCore::advance`] re-pins if crossed. Saves the division
+        // on most activations of low-weight (large-service) classes.
+        if finish < self.deadline_key.1 {
+            self.refresh_deadline();
+        }
+        if self.queues[class].is_empty() {
+            self.heads.set(class, finish, pkt.seq);
+        }
         self.queues[class].push_back((pkt, finish));
-        self.pkt_heap
-            .push(Reverse((OrdF64(finish), pkt.seq, class)));
         self.len += 1;
     }
 
-    pub(crate) fn dequeue_min(&mut self, now: Time) -> Option<PacketRef> {
-        self.advance(now);
-        let Reverse((OrdF64(f), seq, class)) = self.pkt_heap.pop()?;
+    pub(crate) fn dequeue_min(&mut self, _now: Time) -> Option<PacketRef> {
+        let (class, f, seq) = self.heads.peek()?;
         let (pkt, tag) = self.queues[class]
             .pop_front()
-            .expect("heap/queue desynchronized");
+            .expect("active set/queue desynchronized");
         debug_assert_eq!(pkt.seq, seq, "per-class order violated");
         debug_assert_eq!(tag, f);
+        match self.queues[class].front() {
+            Some(&(next, t)) => self.heads.set(class, t, next.seq),
+            None => self.heads.clear(class),
+        }
         self.len -= 1;
         Some(pkt)
     }
@@ -173,7 +331,7 @@ impl WfqCore {
 
     /// Current GPS virtual time (exposed for tests).
     #[cfg(test)]
-    pub(crate) fn vtime_at(&mut self, now: Time) -> f64 {
+    pub(crate) fn vtime_at(&mut self, now: Time) -> VirtualTime {
         self.advance(now);
         self.vtime
     }
@@ -221,6 +379,11 @@ mod tests {
     use qbm_core::units::Dur;
 
     const LINK: Rate = Rate::from_bps(48_000_000);
+
+    /// Q32.32 → f64 seconds, for approximate assertions only.
+    fn secs(v: VirtualTime) -> f64 {
+        v.raw() as f64 / (1u64 << 32) as f64
+    }
 
     #[test]
     fn equal_weights_alternate_under_backlog() {
@@ -334,12 +497,12 @@ mod tests {
         // While both active, V grows at R/2e6 per second; flow 0's tag
         // is 4000/1e6 = 4e-3. Expiry real time: V reaches 4e-3 after
         // 4e-3·2e6/48e6 s ≈ 166.7 µs.
-        let before = core.vtime_at(Time::ZERO + Dur::from_micros(166));
+        let before = secs(core.vtime_at(Time::ZERO + Dur::from_micros(166)));
         assert!(before < 4.0e-3);
-        let after = core.vtime_at(Time::ZERO + Dur::from_micros(168));
+        let after = secs(core.vtime_at(Time::ZERO + Dur::from_micros(168)));
         assert!(after >= 4.0e-3, "v={after}");
         // Growth rate doubled after expiry: measure over 100 µs.
-        let v1 = core.vtime_at(Time::ZERO + Dur::from_micros(268));
+        let v1 = secs(core.vtime_at(Time::ZERO + Dur::from_micros(268)));
         let slope = (v1 - after) * 1e4; // per second
         assert!(
             (slope - 48.0).abs() < 1.0,

@@ -14,6 +14,7 @@
 //! regardless of thread count** — `--threads 1` and `--threads 8`
 //! produce the same bytes.
 
+use crate::arena::SimArena;
 use crate::router::Router;
 use crate::stats::{SimResult, StatsCollector};
 use qbm_core::flow::FlowSpec;
@@ -127,6 +128,67 @@ impl ExperimentConfig {
             seed,
             obs,
         )
+    }
+
+    /// [`ExperimentConfig::run_once_with`] drawing its per-flow lanes
+    /// and event core from `arena` instead of allocating them — the
+    /// campaign runner calls this so a worker's cells share one set of
+    /// buffers. Byte-identical to `run_once_with` (the determinism
+    /// suite asserts it); the arena only recycles allocations, never
+    /// state.
+    pub fn run_once_pooled_with<O: Observer>(
+        &self,
+        seed: u64,
+        obs: &mut O,
+        arena: &mut SimArena,
+    ) -> SimResult {
+        let policy = self
+            .policy
+            .build(self.buffer_bytes, self.link_rate, &self.specs);
+        let sched = self.sched.build(self.link_rate, &self.specs);
+        let (mut lanes, timers) = arena.checkout(self.specs.len());
+        lanes.sources.extend(
+            self.specs
+                .iter()
+                .map(|s| build_source_kind_with_sojourns(s, seed, self.sojourns)),
+        );
+        let router = Router::from_lanes(self.link_rate, policy, sched, lanes);
+        let (res, lanes, timers) = router.run_pooled(
+            Time::ZERO + self.warmup,
+            Time::ZERO + self.duration,
+            seed,
+            obs,
+            timers,
+        );
+        arena.stow(lanes, timers);
+        res
+    }
+
+    /// [`ExperimentConfig::run_once_pooled_with`] without an observer.
+    pub fn run_once_pooled(&self, seed: u64, arena: &mut SimArena) -> SimResult {
+        self.run_once_pooled_with(seed, &mut NullObserver, arena)
+    }
+
+    /// [`ExperimentConfig::run_once`] with the scheduler swapped for
+    /// its retained float reference (`SchedKind::build_reference`):
+    /// same sources, same policy, same event core — only the
+    /// virtual-time arithmetic differs (f64 over the shared Q32.32
+    /// quantization instead of pure integers). The determinism suite
+    /// asserts the output is byte-identical to `run_once` for every
+    /// scheduler × policy combination; the `sched_throughput` benchmark
+    /// uses it as the before-side of the fixed-point speedup.
+    pub fn run_once_sched_reference(&self, seed: u64) -> SimResult {
+        let policy = self
+            .policy
+            .build(self.buffer_bytes, self.link_rate, &self.specs);
+        let sched = self.sched.build_reference(self.link_rate, &self.specs);
+        let sources: Vec<SourceKind> = self
+            .specs
+            .iter()
+            .map(|s| build_source_kind_with_sojourns(s, seed, self.sojourns))
+            .collect();
+        let router = Router::new(self.link_rate, policy, sched, sources);
+        router.run(Time::ZERO + self.warmup, Time::ZERO + self.duration, seed)
     }
 
     /// [`ExperimentConfig::run_once`] on the pre-overhaul execution
@@ -267,26 +329,32 @@ impl<'a> Campaign<'a> {
 
         let mut slots: Vec<Option<(SimResult, O)>> = (0..cells).map(|_| None).collect();
         if workers <= 1 {
+            // One arena for the whole grid: every cell reuses the same
+            // lane/event-core buffers.
+            let mut arena = SimArena::new();
             for (idx, slot) in slots.iter_mut().enumerate() {
                 let mut obs = make(idx);
-                let res = self.run_cell_with(idx, &mut obs);
+                let res = self.run_cell_with(idx, &mut obs, &mut arena);
                 *slot = Some((res, obs));
             }
         } else {
             // Shard by index stride; each worker returns (index, result)
             // pairs that are scattered back into the grid, so neither
-            // scheduling nor completion order can reorder results.
+            // scheduling nor completion order can reorder results. Each
+            // worker owns one arena — buffers are recycled across its
+            // cells but never shared across threads.
             let buckets: Vec<Vec<(usize, (SimResult, O))>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|w| {
                         let me: &Campaign<'a> = self;
                         let make = &make;
                         scope.spawn(move || {
+                            let mut arena = SimArena::new();
                             (w..cells)
                                 .step_by(workers)
                                 .map(|idx| {
                                     let mut obs = make(idx);
-                                    let res = me.run_cell_with(idx, &mut obs);
+                                    let res = me.run_cell_with(idx, &mut obs, &mut arena);
                                     (idx, (res, obs))
                                 })
                                 .collect()
@@ -337,10 +405,15 @@ impl<'a> Campaign<'a> {
             .collect()
     }
 
-    fn run_cell_with<O: Observer>(&self, idx: usize, obs: &mut O) -> SimResult {
+    fn run_cell_with<O: Observer>(
+        &self,
+        idx: usize,
+        obs: &mut O,
+        arena: &mut SimArena,
+    ) -> SimResult {
         let point = idx / self.replications;
         let replication = idx % self.replications;
-        self.points[point].run_once_with(self.cell_seed(point, replication), obs)
+        self.points[point].run_once_pooled_with(self.cell_seed(point, replication), obs, arena)
     }
 
     fn worker_count(&self, cells: usize) -> usize {

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod event;
 pub mod experiment;
 pub mod router;
@@ -37,6 +38,7 @@ pub mod scenarios;
 pub mod stats;
 pub mod tandem;
 
+pub use arena::SimArena;
 pub use event::{EventCore, EventQueue, IndexedTimers};
 pub use experiment::{Campaign, ExperimentConfig, MultiRun, PolicySpec, SeedMode, Summary};
 pub use router::Router;

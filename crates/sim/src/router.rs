@@ -38,18 +38,18 @@ use qbm_traffic::{Emission, Source, SourceKind};
 /// optional meter/observer lanes only when enabled — keeping each
 /// array dense and contiguous instead of scattering the fields across
 /// one large per-flow record.
-struct FlowLanes {
+pub(crate) struct FlowLanes {
     /// `sources[i]` feeds `FlowId(i)` (enum-dispatched, inlined).
-    sources: Vec<SourceKind>,
+    pub(crate) sources: Vec<SourceKind>,
     /// Length of flow `i`'s pending (scheduled but not yet arrived)
     /// emission; the router's pull discipline keeps at most one.
-    pending: Vec<Option<u32>>,
+    pub(crate) pending: Vec<Option<u32>>,
     /// Optional `(σ, ρ)` conformance meters (Remark 1 green/red
     /// marking). Meters observe only — they never influence admission.
-    meters: Option<Vec<TokenBucket>>,
+    pub(crate) meters: Option<Vec<TokenBucket>>,
     /// Observer state: per-flow over-threshold regime (hysteresis —
     /// see DESIGN.md §9). Only read/written when `O::ENABLED`.
-    over: Vec<bool>,
+    pub(crate) over: Vec<bool>,
 }
 
 /// A single-output-link router under simulation.
@@ -108,6 +108,30 @@ where
         }
     }
 
+    /// Assemble a router around pre-built [`FlowLanes`] — the pooled
+    /// entry point: a [`crate::arena::SimArena`] hands back recycled
+    /// lane vectors so a campaign cell starts without reallocating
+    /// them.
+    pub(crate) fn from_lanes(
+        link_rate: Rate,
+        policy: P,
+        scheduler: S,
+        lanes: FlowLanes,
+    ) -> Router<P, S> {
+        assert!(link_rate.bps() > 0, "zero link rate");
+        assert!(!lanes.sources.is_empty(), "no sources");
+        debug_assert_eq!(lanes.pending.len(), lanes.sources.len());
+        debug_assert_eq!(lanes.over.len(), lanes.sources.len());
+        Router {
+            link_rate,
+            policy,
+            scheduler,
+            lanes,
+            in_flight: None,
+            seq: 0,
+        }
+    }
+
     /// Attach `(σ, ρ)` conformance meters (one per flow, from the
     /// specs' declared envelopes). Arriving packets are marked *green*
     /// when they fit the envelope, *red* otherwise — the coloring of
@@ -127,7 +151,8 @@ where
     /// Run until `end`, measuring from `warmup` on. Returns the
     /// per-flow statistics for the window `[warmup, end)`.
     pub fn run(self, warmup: Time, end: Time, seed: u64) -> SimResult {
-        self.run_inner::<_, IndexedTimers>(warmup, end, seed, None, &mut NullObserver)
+        let events = IndexedTimers::with_flows(self.lanes.sources.len());
+        self.run_inner(warmup, end, seed, None, &mut NullObserver, events)
             .0
     }
 
@@ -137,7 +162,8 @@ where
     /// byte-identical statistics) and as the before-side of the
     /// `sim_throughput` benchmark.
     pub fn run_reference(self, warmup: Time, end: Time, seed: u64) -> SimResult {
-        self.run_inner::<_, crate::event::EventQueue>(warmup, end, seed, None, &mut NullObserver)
+        let events = crate::event::EventQueue::with_flows(self.lanes.sources.len());
+        self.run_inner(warmup, end, seed, None, &mut NullObserver, events)
             .0
     }
 
@@ -152,8 +178,24 @@ where
         seed: u64,
         obs: &mut O,
     ) -> SimResult {
-        self.run_inner::<_, IndexedTimers>(warmup, end, seed, None, obs)
-            .0
+        let events = IndexedTimers::with_flows(self.lanes.sources.len());
+        self.run_inner(warmup, end, seed, None, obs, events).0
+    }
+
+    /// [`Router::run_with`] on a caller-supplied event core (typically
+    /// rebuilt from a [`crate::arena::SimArena`]'s recycled vectors),
+    /// returning the spent [`FlowLanes`] and core so the arena can
+    /// reclaim their allocations for the next campaign cell.
+    pub(crate) fn run_pooled<O: Observer>(
+        self,
+        warmup: Time,
+        end: Time,
+        seed: u64,
+        obs: &mut O,
+        events: IndexedTimers,
+    ) -> (SimResult, FlowLanes, IndexedTimers) {
+        let (res, _, lanes, events) = self.run_inner(warmup, end, seed, None, obs, events);
+        (res, lanes, events)
     }
 
     /// Like [`Router::run`], additionally recording every departure as
@@ -178,8 +220,8 @@ where
         seed: u64,
         obs: &mut O,
     ) -> (SimResult, Vec<Vec<Emission>>) {
-        let (res, traces, _) =
-            self.run_inner::<_, IndexedTimers>(warmup, end, seed, Some(Vec::new()), obs);
+        let events = IndexedTimers::with_flows(self.lanes.sources.len());
+        let (res, traces, _, _) = self.run_inner(warmup, end, seed, Some(Vec::new()), obs, events);
         (res, traces.expect("recording requested"))
     }
 
@@ -195,9 +237,9 @@ where
         obs: &mut O,
         buffers: Vec<Vec<Emission>>,
     ) -> (SimResult, Vec<Vec<Emission>>, Vec<SourceKind>) {
-        let (res, traces, sources) =
-            self.run_inner::<_, IndexedTimers>(warmup, end, seed, Some(buffers), obs);
-        (res, traces.expect("recording requested"), sources)
+        let events = IndexedTimers::with_flows(self.lanes.sources.len());
+        let (res, traces, lanes, _) = self.run_inner(warmup, end, seed, Some(buffers), obs, events);
+        (res, traces.expect("recording requested"), lanes.sources)
     }
 
     /// Consume the router and return the spent sources along with the
@@ -210,15 +252,18 @@ where
         seed: u64,
         obs: &mut O,
     ) -> (SimResult, Vec<SourceKind>) {
-        let (res, _, sources) = self.run_inner::<_, IndexedTimers>(warmup, end, seed, None, obs);
-        (res, sources)
+        let events = IndexedTimers::with_flows(self.lanes.sources.len());
+        let (res, _, lanes, _) = self.run_inner(warmup, end, seed, None, obs, events);
+        (res, lanes.sources)
     }
 
     /// The event loop, generic over observer and event core. `traces`
     /// `Some(buffers)` requests departure recording into the supplied
     /// per-flow buffers (resized/cleared to fit, capacity reused).
     /// Returns the statistics, the recorded traces, and the spent
-    /// sources (whose buffers a tandem line recycles).
+    /// lanes and event core (whose allocations a tandem line or a
+    /// campaign arena recycles). The caller supplies `events` sized
+    /// for `sources.len()` flows.
     ///
     /// Invariant the cores rely on: each flow has at most one pending
     /// arrival (pull discipline) and the link at most one pending
@@ -230,10 +275,10 @@ where
         seed: u64,
         mut traces: Option<Vec<Vec<Emission>>>,
         obs: &mut O,
-    ) -> (SimResult, Option<Vec<Vec<Emission>>>, Vec<SourceKind>) {
+        mut events: E,
+    ) -> (SimResult, Option<Vec<Vec<Emission>>>, FlowLanes, E) {
         let n = self.lanes.sources.len();
         let mut stats = StatsCollector::new(n, warmup, end, seed);
-        let mut events = E::with_flows(n);
         if let Some(bufs) = traces.as_mut() {
             bufs.resize_with(n, Vec::new);
             // Pre-size fresh buffers for the expected departure count:
@@ -274,14 +319,36 @@ where
             }
         }
 
-        while let Some((now, ev)) = events.pop() {
+        // Fused pop: when the popped event is an arrival, the flow's
+        // next emission is pulled *inside* the core — on the
+        // [`IndexedTimers`] fast path the refill time lands straight in
+        // the popped slot and the tournament path replays once instead
+        // of twice (empty-then-refill). `arrived_len` carries the
+        // popped emission's length out of the closure.
+        let mut arrived_len: u32 = 0;
+        loop {
+            let lanes = &mut self.lanes;
+            let popped = events.pop_refill(|flow| {
+                let f = flow.index();
+                arrived_len = lanes.pending[f].expect("arrival without pending emission");
+                match lanes.sources[f].next_emission() {
+                    Some(e) => {
+                        lanes.pending[f] = Some(e.len);
+                        Some(e.time)
+                    }
+                    None => {
+                        lanes.pending[f] = None;
+                        None
+                    }
+                }
+            });
+            let Some((now, ev)) = popped else { break };
             if now >= end {
                 break;
             }
             match ev {
                 Event::Arrival(flow) => {
-                    let len =
-                        self.lanes.pending[flow.index()].expect("arrival without pending emission");
+                    let len = arrived_len;
                     if O::ENABLED {
                         obs.on_arrival(now, flow, len);
                     }
@@ -369,13 +436,6 @@ where
                             }
                         }
                     }
-                    // Pull the flow's next emission.
-                    self.lanes.pending[flow.index()] = None;
-                    if let Some(e) = self.lanes.sources[flow.index()].next_emission() {
-                        debug_assert!(e.time >= now, "source emitted into the past");
-                        self.lanes.pending[flow.index()] = Some(e.len);
-                        events.schedule_arrival(flow, e.time);
-                    }
                 }
                 Event::Departure => {
                     let pkt = self.in_flight.take().expect("departure with idle link");
@@ -429,7 +489,7 @@ where
         if O::ENABLED {
             obs.on_end(end);
         }
-        (stats.finish(), traces, self.lanes.sources)
+        (stats.finish(), traces, self.lanes, events)
     }
 
     fn start_transmission<E: EventCore>(&mut self, now: Time, events: &mut E) {

@@ -111,9 +111,11 @@ where
         let sources: Vec<SourceKind> = match feed.take() {
             // qbm-lint: allow(hot-path-alloc) — per-hop setup, not per-event
             None => specs.iter().map(|s| build_source_kind(s, seed)).collect(),
+            // Recorded departures are time-sorted by construction —
+            // `from_recorded` skips the O(n) validation re-scan.
             Some(traces) => traces
                 .into_iter()
-                .map(|t| SourceKind::Trace(TraceSource::new(t)))
+                .map(|t| SourceKind::Trace(TraceSource::from_recorded(t)))
                 // qbm-lint: allow(hot-path-alloc) — per-hop setup, not per-event
                 .collect(),
         };

@@ -301,6 +301,106 @@ fn indexed_timers_match_reference_heap_end_to_end() {
 }
 
 #[test]
+fn fixed_point_schedulers_match_float_references_end_to_end() {
+    // The acceptance bar of the Q32.32 virtual-time rewrite: swap every
+    // scheduler for its retained float reference (same sources, same
+    // policy, same event core — only the virtual-time arithmetic
+    // differs) and the statistics must stay byte-identical across all
+    // scheduler × policy combinations. Both sides quantize every
+    // elementary virtual-time term through the same integer
+    // constructors, so this is exact equality, not a tolerance check.
+    for (name, c) in all_combinations() {
+        let fixed = c.run_once(17);
+        let float_ref = c.run_once_sched_reference(17);
+        assert_eq!(
+            fixed.flows, float_ref.flows,
+            "{name}: fixed-point scheduler diverged from float reference"
+        );
+    }
+    // The 30-flow Table-2 workload, across the schedulers that actually
+    // exercise virtual time (the hybrid gets a simple modular grouping —
+    // the Table-1 case-study grouping doesn't apply to 30 flows).
+    let specs = table2();
+    let queues = 4usize;
+    let assignment: Vec<usize> = (0..specs.len()).map(|f| f % queues).collect();
+    let mut queue_rates_bps = vec![0u64; queues];
+    for s in &specs {
+        queue_rates_bps[s.id.index() % queues] += s.token_rate.bps();
+    }
+    let scheds = [
+        SchedKind::Wfq,
+        SchedKind::Wf2q,
+        SchedKind::VirtualClock,
+        SchedKind::Hybrid {
+            assignment,
+            queue_rates_bps,
+        },
+    ];
+    for sched in scheds {
+        let mut c = cfg(sched, PolicySpec::Kind(PolicyKind::Threshold));
+        c.specs = table2();
+        c.duration = Dur::from_secs(3);
+        for seed in [1u64, 17] {
+            assert_eq!(
+                c.run_once(seed).flows,
+                c.run_once_sched_reference(seed).flows,
+                "table2 {} seed {seed}: fixed-point diverged from float reference",
+                c.sched.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn pooled_campaign_with_mixed_flow_counts_is_thread_count_invariant() {
+    // Arena acceptance: campaign workers recycle lane/event-core
+    // buffers across cells, including across *different flow counts*
+    // (the arena must resize, not assume a fixed width). A grid mixing
+    // the 9-flow Table-1 and 30-flow Table-2 workloads must produce
+    // byte-identical per-cell results at 1 worker (one arena reused by
+    // every cell) and 8 workers (one arena each), and both must match
+    // the non-pooled `run_once` path.
+    let mut t2 = cfg(SchedKind::Wfq, PolicySpec::Kind(PolicyKind::Threshold));
+    t2.specs = table2();
+    t2.duration = Dur::from_secs(3);
+    let points = vec![
+        cfg(SchedKind::Wfq, PolicySpec::Kind(PolicyKind::Threshold)),
+        t2,
+        cfg(
+            SchedKind::Fifo,
+            PolicySpec::Kind(PolicyKind::Sharing {
+                headroom_bytes: ByteSize::from_kib(256).bytes(),
+            }),
+        ),
+    ];
+    let run_with = |threads: usize| {
+        let mut campaign = Campaign::new(&points);
+        campaign.replications = 2;
+        campaign.campaign_seed = 23;
+        campaign.threads = threads;
+        campaign.run()
+    };
+    let grid1 = run_with(1);
+    let grid8 = run_with(8);
+    for (p, (a, b)) in grid1.iter().zip(&grid8).enumerate() {
+        for (r, (x, y)) in a.runs.iter().zip(&b.runs).enumerate() {
+            assert_eq!(x, y, "point {p} replication {r} diverged across threads");
+            let campaign = {
+                let mut c = Campaign::new(&points);
+                c.replications = 2;
+                c.campaign_seed = 23;
+                c
+            };
+            let solo = points[p].run_once(campaign.cell_seed(p, r));
+            assert_eq!(
+                x, &solo,
+                "point {p} replication {r}: pooled cell diverged from fresh run_once"
+            );
+        }
+    }
+}
+
+#[test]
 fn every_combination_moves_traffic() {
     // Sanity floor: each scheduler × policy pairing delivers a
     // substantial fraction of the link over the window.
