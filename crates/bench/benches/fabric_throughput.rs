@@ -1,0 +1,144 @@
+//! Fabric engine throughput: the same aggregation-tree topology
+//! advanced on one shard thread versus all available shard threads.
+//!
+//! Each iteration builds and runs a 4-AP × 4-subscriber tree (21
+//! links, 48 site flows) for one simulated second. The determinism
+//! suite proves both runs byte-identical, so the pair isolates the
+//! cost/benefit of link-level sharding: per-level `thread::scope`
+//! fan-out against the serial sweep. The JSON records mean wall time,
+//! the `sharded_over_serial` speedup and the events-per-second
+//! figure.
+//!
+//! A hand-written `main` (instead of `criterion_main!`) exports the
+//! measurements to `BENCH_fabric.json` next to the workspace root.
+//! Set `QBM_BENCH_QUICK=1` for the CI perf-smoke variant.
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use qbm_core::units::{Rate, Time};
+use qbm_sim::scenarios::{aggregation_tree, LinkProfile, LINK_RATE};
+use qbm_sim::Fabric;
+
+/// Simulated time measured per iteration (plus 100 ms warmup).
+const SIM_MS: u64 = 1000;
+/// Tree shape: APs off the site link and subscribers per AP.
+const APS: usize = 4;
+const SUBS: usize = 4;
+
+fn quick() -> bool {
+    std::env::var("QBM_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn shards() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get().max(2))
+}
+
+fn tree(seed: u64) -> Fabric {
+    let specs = qbm_traffic::table1();
+    aggregation_tree(
+        APS,
+        SUBS,
+        &specs[..3],
+        [LINK_RATE, Rate::from_mbps(24.0), Rate::from_mbps(12.0)],
+        &LinkProfile::default(),
+        seed,
+    )
+}
+
+fn run(seed: u64, threads: usize) -> Vec<qbm_sim::SimResult> {
+    tree(seed).run(
+        seed,
+        Time::from_secs_f64(0.1),
+        Time::from_secs_f64(0.1 + SIM_MS as f64 / 1e3),
+        threads,
+    )
+}
+
+/// Arrivals + departures processed across every link at seed 1 —
+/// turns mean wall time into an events-per-second figure.
+fn count_events() -> u64 {
+    run(1, 1)
+        .iter()
+        .flat_map(|r| r.flows.iter())
+        .map(|f| f.offered_pkts + f.delivered_pkts)
+        .sum()
+}
+
+fn bench_fabric(c: &mut Criterion) -> u64 {
+    let events = count_events();
+    let n = shards();
+
+    let mut g = c.benchmark_group("fabric");
+    g.sample_size(if quick() { 3 } else { 10 });
+    g.throughput(Throughput::Elements(SIM_MS));
+
+    let label = format!("tree_{APS}x{SUBS}");
+    g.bench_with_input(BenchmarkId::new(&label, "serial"), &1usize, |b, &t| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run(seed, t))
+        });
+    });
+    g.bench_with_input(BenchmarkId::new(&label, "sharded"), &n, |b, &t| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run(seed, t))
+        });
+    });
+
+    g.finish();
+    events
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    let events = bench_fabric(&mut criterion);
+    let results = criterion.results();
+
+    let mean_of = |needle: &str| {
+        results
+            .iter()
+            .find(|r| r.id.ends_with(needle))
+            .map(|r| r.mean_ns)
+    };
+
+    let mut json = String::from("{\n  \"bench\": \"fabric\",\n");
+    json.push_str(&format!(
+        "  \"workload\": \"{APS}-AP x {SUBS}-subscriber aggregation tree, {SIM_MS} simulated ms per iter; serial = 1 shard thread, sharded = {} shard threads\",\n",
+        shards()
+    ));
+    json.push_str(&format!("  \"quick\": {},\n", quick()));
+    json.push_str(&format!("  \"shard_threads\": {},\n", shards()));
+    json.push_str("  \"results\": [\n");
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"id\": \"{}\", \"mean_ns_per_iter\": {:.1}, \"iters\": {}}}",
+                r.id, r.mean_ns, r.iters
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+    if let (Some(serial), Some(sharded)) = (mean_of("serial"), mean_of("sharded")) {
+        let speedup = serial / sharded;
+        let events_per_sec = events as f64 / (sharded / 1e9);
+        json.push_str(&format!(
+            "  \"sharded_over_serial\": {speedup:.4},\n  \"events_per_second\": {events_per_sec:.0}\n"
+        ));
+        println!(
+            "tree_{APS}x{SUBS}: sharded/serial = {speedup:.3}x on {} threads, {events_per_sec:.2e} events/s",
+            shards()
+        );
+    }
+    json.push_str("}\n");
+
+    // Anchor to the workspace root (cargo runs benches from the
+    // package directory).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fabric.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}

@@ -12,7 +12,13 @@
 //! Flags (anywhere on the line):
 //! * `--threads N` — shard `run`/`sweep` replications across N workers
 //!   (default `QBM_THREADS`, else one per core); results are identical
-//!   for any N.
+//!   for any N. With `--topology`, N is the fabric shard width (how
+//!   many same-level links advance concurrently).
+//! * `--topology tree|incast` — with `run`: instead of the single
+//!   link, run the scenario's flow mix through a multi-link fabric
+//!   (aggregation tree: 1 site → 2 APs → 6 subscribers each carrying
+//!   the mix; incast: 3 senders into 1 aggregator) and report per
+//!   link. Byte-identical for any `--threads`.
 //! * `--trace <path>` — also write a JSONL event trace of the first
 //!   seed (schema: see DESIGN.md §9). Sim-time-stamped and
 //!   byte-identical across thread counts.
@@ -39,6 +45,7 @@ struct Options {
     trace: Option<String>,
     probe_interval: Option<Dur>,
     profile: bool,
+    topology: Option<String>,
 }
 
 fn main() {
@@ -60,6 +67,9 @@ fn main() {
     prof.phase("load");
     match cmd {
         "check" => print!("{}", admission_report(&scenario)),
+        "run" if opts.topology.is_some() => {
+            run_topology(&scenario, &opts);
+        }
         "run" => {
             print!("{}", admission_report(&scenario));
             println!();
@@ -110,7 +120,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  qbm run   <scenario.qbm|table1|table2> [--threads N] [--trace out.jsonl] [--probe-interval 10ms] [--profile]\n  qbm check <scenario.qbm|table1|table2>\n  qbm plan  <scenario.qbm|table1|table2> [k]\n  qbm sweep <scenario.qbm|table1|table2> [--threads N]\n  qbm trace <scenario.qbm|table1|table2> [out.jsonl] [--probe-interval 10ms]\n  qbm trace-check <trace.jsonl>"
+        "usage:\n  qbm run   <scenario.qbm|table1|table2> [--threads N] [--trace out.jsonl] [--probe-interval 10ms] [--profile]\n  qbm run   <scenario.qbm|table1|table2> --topology tree|incast [--threads N] [--trace out.jsonl]\n  qbm check <scenario.qbm|table1|table2>\n  qbm plan  <scenario.qbm|table1|table2> [k]\n  qbm sweep <scenario.qbm|table1|table2> [--threads N]\n  qbm trace <scenario.qbm|table1|table2> [out.jsonl] [--probe-interval 10ms]\n  qbm trace-check <trace.jsonl>"
     );
     std::process::exit(2)
 }
@@ -127,6 +137,7 @@ fn parse_flags(args: &[String]) -> (Options, Vec<String>) {
         trace: None,
         probe_interval: None,
         profile: false,
+        topology: None,
     };
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.iter();
@@ -145,6 +156,10 @@ fn parse_flags(args: &[String]) -> (Options, Vec<String>) {
                 _ => flag_error("--probe-interval needs a nonzero duration (e.g. 10ms)"),
             },
             "--profile" => opts.profile = true,
+            "--topology" => match it.next() {
+                Some(t) if t == "tree" || t == "incast" => opts.topology = Some(t.clone()),
+                _ => flag_error("--topology needs `tree` or `incast`"),
+            },
             _ => rest.push(arg.clone()),
         }
     }
@@ -194,6 +209,94 @@ fn traced_run(s: &Scenario, trace_path: &str, probe_interval: Option<Dur>) -> u6
         println!("probe: {csv_path} ({} samples)", probe.samples().len());
     }
     counter.counts.total()
+}
+
+/// Run the scenario's flow mix through a multi-link fabric and report
+/// per link. The shapes are fixed small topologies (see the module
+/// docs); every origin link carries one seeded copy of the mix, so the
+/// fabric scales the paper's single-link experiment out to several
+/// multiplexing points. Results are byte-identical for any
+/// `--threads` value.
+fn run_topology(s: &Scenario, opts: &Options) {
+    use qbm_sim::scenarios::{aggregation_tree, incast_fanin, LinkProfile};
+    let seed = 1;
+    let profile = LinkProfile {
+        buffer_bytes: s.buffer_bytes,
+        sched: s.sched.clone(),
+        policy: qbm_sim::PolicySpec::Kind(s.policy.clone()),
+    };
+    let kind = opts.topology.as_deref().unwrap_or("tree");
+    let (fabric, labels): (_, Vec<String>) = if kind == "tree" {
+        let (aps, subs) = (2usize, 3usize);
+        // Upstream links sized to carry their fan-out losslessly: the
+        // per-subscriber experiment happens at the subscriber links.
+        let rates = [
+            Rate::from_bps(s.link.bps() * (aps * subs) as u64),
+            Rate::from_bps(s.link.bps() * subs as u64),
+            s.link,
+        ];
+        let mut labels = vec!["site".to_string()];
+        labels.extend((0..aps).map(|a| format!("ap{a}")));
+        labels.extend((0..aps * subs).map(|d| format!("sub{d}")));
+        (
+            aggregation_tree(aps, subs, &s.flows, rates, &profile, seed),
+            labels,
+        )
+    } else {
+        let senders = 3usize;
+        let mut labels: Vec<String> = (0..senders).map(|i| format!("sender{i}")).collect();
+        labels.push("aggregator".to_string());
+        (
+            incast_fanin(senders, &s.flows, s.link, s.link, &profile, seed),
+            labels,
+        )
+    };
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.threads
+    };
+    let warmup = qbm_core::units::Time::ZERO + s.warmup;
+    let end = warmup + s.duration;
+
+    let res = if let Some(path) = &opts.trace {
+        let mut tracers = vec![Tracer::default().with_link_dim(); fabric.n_links()];
+        let res = fabric.run_observed(seed, warmup, end, threads, &mut tracers);
+        write_or_die(path, &Tracer::merged_links_jsonl(&tracers));
+        let records: usize = tracers.iter().map(Tracer::len).sum();
+        println!(
+            "trace: {path} ({records} records across {} links, seed {seed})\n",
+            tracers.len()
+        );
+        res
+    } else {
+        fabric.run(seed, warmup, end, threads)
+    };
+
+    println!(
+        "{kind} fabric: {} links, {threads} shard threads\n",
+        res.len()
+    );
+    println!(
+        "{:>12} {:>7} {:>10} {:>10} {:>9}",
+        "link", "flows", "Mb/s", "drops", "loss%"
+    );
+    for (i, r) in res.iter().enumerate() {
+        let thr: f64 = (0..r.flows.len())
+            .map(|f| r.flow_throughput_bps(qbm_core::flow::FlowId(f as u32)))
+            .sum::<f64>()
+            / 1e6;
+        let offered: u64 = r.flows.iter().map(|f| f.offered_pkts).sum();
+        let dropped: u64 = r.flows.iter().map(|f| f.dropped_pkts).sum();
+        println!(
+            "{:>12} {:>7} {:>10.2} {:>10} {:>9.3}",
+            labels[i],
+            r.flows.len(),
+            thr,
+            dropped,
+            100.0 * dropped as f64 / offered.max(1) as f64
+        );
+    }
 }
 
 fn write_or_die(path: &str, contents: &str) {

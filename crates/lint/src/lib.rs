@@ -631,11 +631,11 @@ mod tests {
 
     #[test]
     fn hot_path_alloc_flagged_inside_audited_fns_only() {
-        // `vec!` inside `run_inner` fires; the same token in a sibling
+        // `vec!` inside `advance` fires; the same token in a sibling
         // function of the same file does not.
         let src = "\
             fn setup() { let _ = vec![1, 2]; }\n\
-            fn run_inner(&mut self) {\n\
+            fn advance(&mut self) {\n\
                 let b = Box::new(3);\n\
                 let v = items.iter().collect();\n\
             }\n";
@@ -652,7 +652,7 @@ mod tests {
     #[test]
     fn hot_path_alloc_spans_multiline_signatures_and_ends_at_brace() {
         let src = "\
-            fn run_inner<O: Observer, E: EventCore>(\n\
+            fn advance<O: Observer, E: EventCore>(\n\
                 mut self,\n\
             ) -> SimResult {\n\
                 let v = x.to_vec();\n\
@@ -687,6 +687,18 @@ mod tests {
             }\n";
         assert_eq!(
             findings_of("crates/sim/src/tandem.rs", src),
+            vec![rules::HOT_PATH_ALLOC]
+        );
+    }
+
+    #[test]
+    fn hot_path_alloc_audits_the_fabric_exchange() {
+        let src = "\
+            fn exchange(engines: &mut [LinkEngine<P, S>]) {\n\
+                let batch: Vec<Emission> = pending.to_vec();\n\
+            }\n";
+        assert_eq!(
+            findings_of("crates/sim/src/fabric.rs", src),
             vec![rules::HOT_PATH_ALLOC]
         );
     }

@@ -12,7 +12,7 @@
 //! | `crate-hygiene` | crate roots | `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` |
 //! | `print-hygiene` | library sources | no `println!`/`dbg!` — output goes through the report layer |
 //! | `obs-hygiene` | cli (except `profile.rs`), sim, obs | no wall clock outside the profiling module; no ad-hoc `writeln!` tracing — events go through `qbm_obs::Observer` |
-//! | `hot-path-alloc` | router `run_inner`/`start_transmission`, tandem `run_line_observed` | no `Box::new` / `vec!` / `to_vec` / `collect` in the event loop — preallocate/recycle outside it |
+//! | `hot-path-alloc` | link engine `advance`/`start_transmission`, fabric `advance_level`/`exchange`, tandem `run_line_observed` | no `Box::new` / `vec!` / `to_vec` / `collect` in the event loop — preallocate/recycle outside it |
 
 /// Rule name: wall-clock reads in determinism-critical crates.
 pub const WALL_CLOCK: &str = "wall-clock";
@@ -98,15 +98,17 @@ pub const HOT_PATH_ALLOC_HINT: &str =
 /// stays legal because it amortizes.
 pub const HOT_PATH_ALLOC_PATTERNS: &[&str] = &["Box::new", "vec!", "to_vec", "collect"];
 
-/// The functions the allocation ban covers, per file: the router's
-/// event loop and transmission starter, and the tandem per-hop loop.
-/// Setup code inside them carries `qbm-lint: allow(hot-path-alloc)`
-/// pragmas, which keeps the allow-surface visible in the report.
+/// The functions the allocation ban covers, per file: the link
+/// engine's event loop and transmission starter, the fabric's level
+/// advance and mailbox exchange, and the tandem shim. Setup code
+/// inside them carries `qbm-lint: allow(hot-path-alloc)` pragmas,
+/// which keeps the allow-surface visible in the report.
 pub const HOT_PATH_FNS: &[(&str, &[&str])] = &[
     (
         "crates/sim/src/router.rs",
-        &["run_inner", "start_transmission"],
+        &["advance", "start_transmission"],
     ),
+    ("crates/sim/src/fabric.rs", &["advance_level", "exchange"]),
     ("crates/sim/src/tandem.rs", &["run_line_observed"]),
 ];
 

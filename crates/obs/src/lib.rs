@@ -15,6 +15,13 @@
 //! the pre-instrumentation simulator (`BENCH_obs.json` keeps the
 //! receipt).
 //!
+//! Every hook carries a **link id** — the index of the emitting link in
+//! a multi-link fabric (`qbm-sim::fabric`). Single-router runs pass
+//! link 0; observers that predate the fabric simply ignore the
+//! parameter, and the JSONL trace schema emits it only when a
+//! [`Tracer`] opts in (see [`Tracer::with_link_dim`]), keeping
+//! single-link traces byte-identical to schema v1 output.
+//!
 //! Concrete observers:
 //! - [`Tracer`] — bounded ring buffer of [`TraceRecord`]s, serialized
 //!   to JSONL (schema-versioned header line, see [`record`]).
@@ -47,7 +54,9 @@ use qbm_core::units::Time;
 /// All methods default to no-ops so an observer implements only what it
 /// needs. Every timestamp is *simulated* time; implementations must not
 /// read wall-clock or ambient entropy (enforced by `qbm-lint`'s
-/// `wall-clock` and `obs-hygiene` rules).
+/// `wall-clock` and `obs-hygiene` rules). The trailing `link` parameter
+/// identifies the emitting link of a multi-link fabric (0 for
+/// single-router runs).
 ///
 /// # Zero-cost contract
 ///
@@ -61,26 +70,34 @@ pub trait Observer {
 
     /// A packet of `len` bytes from `flow` reached the router, before
     /// the admission decision.
-    fn on_arrival(&mut self, now: Time, flow: FlowId, len: u32) {
-        let _ = (now, flow, len);
+    fn on_arrival(&mut self, now: Time, flow: FlowId, len: u32, link: u32) {
+        let _ = (now, flow, len, link);
     }
 
     /// The packet was admitted and enqueued. `flow_occ` / `total_occ`
     /// are the post-enqueue per-flow and aggregate buffer occupancies
     /// in bytes.
-    fn on_enqueue(&mut self, now: Time, flow: FlowId, len: u32, flow_occ: u64, total_occ: u64) {
-        let _ = (now, flow, len, flow_occ, total_occ);
+    fn on_enqueue(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        len: u32,
+        flow_occ: u64,
+        total_occ: u64,
+        link: u32,
+    ) {
+        let _ = (now, flow, len, flow_occ, total_occ, link);
     }
 
     /// The packet was refused, with the policy's cause.
-    fn on_drop(&mut self, now: Time, flow: FlowId, len: u32, reason: DropReason) {
-        let _ = (now, flow, len, reason);
+    fn on_drop(&mut self, now: Time, flow: FlowId, len: u32, reason: DropReason, link: u32) {
+        let _ = (now, flow, len, reason, link);
     }
 
     /// A packet finished transmission. `arrival` is its enqueue
     /// instant, so `now - arrival` is the total sojourn.
-    fn on_departure(&mut self, now: Time, flow: FlowId, len: u32, arrival: Time) {
-        let _ = (now, flow, len, arrival);
+    fn on_departure(&mut self, now: Time, flow: FlowId, len: u32, arrival: Time, link: u32) {
+        let _ = (now, flow, len, arrival, link);
     }
 
     /// `flow` crossed its policy threshold (`up = true`: entered the
@@ -88,22 +105,22 @@ pub trait Observer {
     /// threshold — the hysteresis band documented in DESIGN.md §9).
     /// `occ` is the occupancy that triggered the record, `limit` the
     /// policy threshold.
-    fn on_threshold(&mut self, now: Time, flow: FlowId, occ: u64, limit: u64, up: bool) {
-        let _ = (now, flow, occ, limit, up);
+    fn on_threshold(&mut self, now: Time, flow: FlowId, occ: u64, limit: u64, up: bool, link: u32) {
+        let _ = (now, flow, occ, limit, up, link);
     }
 
     /// The §3.3 sharing pools changed: `holes` bytes of unclaimed
     /// reserved space, `headroom` bytes of the unreserved pool.
     /// Emitted once at the start of a run (initial state) and then only
     /// on transitions.
-    fn on_sharing(&mut self, now: Time, holes: u64, headroom: u64) {
-        let _ = (now, holes, headroom);
+    fn on_sharing(&mut self, now: Time, holes: u64, headroom: u64, link: u32) {
+        let _ = (now, holes, headroom, link);
     }
 
     /// The run ended (end of the simulation horizon). Gives probes a
     /// chance to flush samples up to the boundary.
-    fn on_end(&mut self, end: Time) {
-        let _ = end;
+    fn on_end(&mut self, end: Time, link: u32) {
+        let _ = (end, link);
     }
 }
 
@@ -150,22 +167,30 @@ pub struct CountingObserver {
 }
 
 impl Observer for CountingObserver {
-    fn on_arrival(&mut self, _now: Time, _flow: FlowId, _len: u32) {
+    fn on_arrival(&mut self, _now: Time, _flow: FlowId, _len: u32, _link: u32) {
         self.counts.arrivals += 1;
     }
-    fn on_enqueue(&mut self, _now: Time, _flow: FlowId, _len: u32, _fo: u64, _to: u64) {
+    fn on_enqueue(&mut self, _now: Time, _flow: FlowId, _len: u32, _fo: u64, _to: u64, _link: u32) {
         self.counts.enqueues += 1;
     }
-    fn on_drop(&mut self, _now: Time, _flow: FlowId, _len: u32, _reason: DropReason) {
+    fn on_drop(&mut self, _now: Time, _flow: FlowId, _len: u32, _reason: DropReason, _link: u32) {
         self.counts.drops += 1;
     }
-    fn on_departure(&mut self, _now: Time, _flow: FlowId, _len: u32, _arrival: Time) {
+    fn on_departure(&mut self, _now: Time, _flow: FlowId, _len: u32, _arrival: Time, _link: u32) {
         self.counts.departures += 1;
     }
-    fn on_threshold(&mut self, _now: Time, _flow: FlowId, _occ: u64, _limit: u64, _up: bool) {
+    fn on_threshold(
+        &mut self,
+        _now: Time,
+        _flow: FlowId,
+        _occ: u64,
+        _limit: u64,
+        _up: bool,
+        _link: u32,
+    ) {
         self.counts.crossings += 1;
     }
-    fn on_sharing(&mut self, _now: Time, _holes: u64, _headroom: u64) {
+    fn on_sharing(&mut self, _now: Time, _holes: u64, _headroom: u64, _link: u32) {
         self.counts.sharing += 1;
     }
 }
@@ -176,89 +201,105 @@ impl Observer for CountingObserver {
 impl<A: Observer, B: Observer> Observer for (A, B) {
     const ENABLED: bool = A::ENABLED || B::ENABLED;
 
-    fn on_arrival(&mut self, now: Time, flow: FlowId, len: u32) {
+    fn on_arrival(&mut self, now: Time, flow: FlowId, len: u32, link: u32) {
         if A::ENABLED {
-            self.0.on_arrival(now, flow, len);
+            self.0.on_arrival(now, flow, len, link);
         }
         if B::ENABLED {
-            self.1.on_arrival(now, flow, len);
+            self.1.on_arrival(now, flow, len, link);
         }
     }
-    fn on_enqueue(&mut self, now: Time, flow: FlowId, len: u32, flow_occ: u64, total_occ: u64) {
+    fn on_enqueue(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        len: u32,
+        flow_occ: u64,
+        total_occ: u64,
+        link: u32,
+    ) {
         if A::ENABLED {
-            self.0.on_enqueue(now, flow, len, flow_occ, total_occ);
+            self.0.on_enqueue(now, flow, len, flow_occ, total_occ, link);
         }
         if B::ENABLED {
-            self.1.on_enqueue(now, flow, len, flow_occ, total_occ);
+            self.1.on_enqueue(now, flow, len, flow_occ, total_occ, link);
         }
     }
-    fn on_drop(&mut self, now: Time, flow: FlowId, len: u32, reason: DropReason) {
+    fn on_drop(&mut self, now: Time, flow: FlowId, len: u32, reason: DropReason, link: u32) {
         if A::ENABLED {
-            self.0.on_drop(now, flow, len, reason);
+            self.0.on_drop(now, flow, len, reason, link);
         }
         if B::ENABLED {
-            self.1.on_drop(now, flow, len, reason);
+            self.1.on_drop(now, flow, len, reason, link);
         }
     }
-    fn on_departure(&mut self, now: Time, flow: FlowId, len: u32, arrival: Time) {
+    fn on_departure(&mut self, now: Time, flow: FlowId, len: u32, arrival: Time, link: u32) {
         if A::ENABLED {
-            self.0.on_departure(now, flow, len, arrival);
+            self.0.on_departure(now, flow, len, arrival, link);
         }
         if B::ENABLED {
-            self.1.on_departure(now, flow, len, arrival);
+            self.1.on_departure(now, flow, len, arrival, link);
         }
     }
-    fn on_threshold(&mut self, now: Time, flow: FlowId, occ: u64, limit: u64, up: bool) {
+    fn on_threshold(&mut self, now: Time, flow: FlowId, occ: u64, limit: u64, up: bool, link: u32) {
         if A::ENABLED {
-            self.0.on_threshold(now, flow, occ, limit, up);
+            self.0.on_threshold(now, flow, occ, limit, up, link);
         }
         if B::ENABLED {
-            self.1.on_threshold(now, flow, occ, limit, up);
+            self.1.on_threshold(now, flow, occ, limit, up, link);
         }
     }
-    fn on_sharing(&mut self, now: Time, holes: u64, headroom: u64) {
+    fn on_sharing(&mut self, now: Time, holes: u64, headroom: u64, link: u32) {
         if A::ENABLED {
-            self.0.on_sharing(now, holes, headroom);
+            self.0.on_sharing(now, holes, headroom, link);
         }
         if B::ENABLED {
-            self.1.on_sharing(now, holes, headroom);
+            self.1.on_sharing(now, holes, headroom, link);
         }
     }
-    fn on_end(&mut self, end: Time) {
+    fn on_end(&mut self, end: Time, link: u32) {
         if A::ENABLED {
-            self.0.on_end(end);
+            self.0.on_end(end, link);
         }
         if B::ENABLED {
-            self.1.on_end(end);
+            self.1.on_end(end, link);
         }
     }
 }
 
 /// `&mut O` forwards to `O`, so an observer can be threaded through
-/// helper layers (e.g. the tandem runner) without moving it.
+/// helper layers (e.g. the fabric runner) without moving it.
 impl<O: Observer + ?Sized> Observer for &mut O {
     const ENABLED: bool = true;
 
-    fn on_arrival(&mut self, now: Time, flow: FlowId, len: u32) {
-        (**self).on_arrival(now, flow, len);
+    fn on_arrival(&mut self, now: Time, flow: FlowId, len: u32, link: u32) {
+        (**self).on_arrival(now, flow, len, link);
     }
-    fn on_enqueue(&mut self, now: Time, flow: FlowId, len: u32, flow_occ: u64, total_occ: u64) {
-        (**self).on_enqueue(now, flow, len, flow_occ, total_occ);
+    fn on_enqueue(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        len: u32,
+        flow_occ: u64,
+        total_occ: u64,
+        link: u32,
+    ) {
+        (**self).on_enqueue(now, flow, len, flow_occ, total_occ, link);
     }
-    fn on_drop(&mut self, now: Time, flow: FlowId, len: u32, reason: DropReason) {
-        (**self).on_drop(now, flow, len, reason);
+    fn on_drop(&mut self, now: Time, flow: FlowId, len: u32, reason: DropReason, link: u32) {
+        (**self).on_drop(now, flow, len, reason, link);
     }
-    fn on_departure(&mut self, now: Time, flow: FlowId, len: u32, arrival: Time) {
-        (**self).on_departure(now, flow, len, arrival);
+    fn on_departure(&mut self, now: Time, flow: FlowId, len: u32, arrival: Time, link: u32) {
+        (**self).on_departure(now, flow, len, arrival, link);
     }
-    fn on_threshold(&mut self, now: Time, flow: FlowId, occ: u64, limit: u64, up: bool) {
-        (**self).on_threshold(now, flow, occ, limit, up);
+    fn on_threshold(&mut self, now: Time, flow: FlowId, occ: u64, limit: u64, up: bool, link: u32) {
+        (**self).on_threshold(now, flow, occ, limit, up, link);
     }
-    fn on_sharing(&mut self, now: Time, holes: u64, headroom: u64) {
-        (**self).on_sharing(now, holes, headroom);
+    fn on_sharing(&mut self, now: Time, holes: u64, headroom: u64, link: u32) {
+        (**self).on_sharing(now, holes, headroom, link);
     }
-    fn on_end(&mut self, end: Time) {
-        (**self).on_end(end);
+    fn on_end(&mut self, end: Time, link: u32) {
+        (**self).on_end(end, link);
     }
 }
 
@@ -286,13 +327,13 @@ mod tests {
     fn counting_observer_counts_every_hook() {
         let mut c = CountingObserver::default();
         let t = Time::from_secs(1);
-        c.on_arrival(t, FlowId(0), 500);
-        c.on_enqueue(t, FlowId(0), 500, 500, 500);
-        c.on_drop(t, FlowId(1), 500, DropReason::BufferFull);
-        c.on_departure(t, FlowId(0), 500, Time::ZERO);
-        c.on_threshold(t, FlowId(1), 900, 800, true);
-        c.on_sharing(t, 100, 200);
-        c.on_end(t);
+        c.on_arrival(t, FlowId(0), 500, 0);
+        c.on_enqueue(t, FlowId(0), 500, 500, 500, 0);
+        c.on_drop(t, FlowId(1), 500, DropReason::BufferFull, 0);
+        c.on_departure(t, FlowId(0), 500, Time::ZERO, 0);
+        c.on_threshold(t, FlowId(1), 900, 800, true, 0);
+        c.on_sharing(t, 100, 200, 0);
+        c.on_end(t, 0);
         assert_eq!(c.counts.total(), 6);
         assert_eq!(c.counts.arrivals, 1);
         assert_eq!(c.counts.drops, 1);
@@ -301,8 +342,8 @@ mod tests {
     #[test]
     fn pair_fans_out_to_both_halves() {
         let mut pair = (CountingObserver::default(), CountingObserver::default());
-        pair.on_arrival(Time::ZERO, FlowId(0), 100);
-        pair.on_drop(Time::ZERO, FlowId(0), 100, DropReason::OverThreshold);
+        pair.on_arrival(Time::ZERO, FlowId(0), 100, 3);
+        pair.on_drop(Time::ZERO, FlowId(0), 100, DropReason::OverThreshold, 3);
         assert_eq!(pair.0.counts.total(), 2);
         assert_eq!(pair.1.counts.total(), 2);
     }
@@ -312,7 +353,7 @@ mod tests {
         let mut c = CountingObserver::default();
         {
             let mut r = &mut c;
-            Observer::on_arrival(&mut r, Time::ZERO, FlowId(0), 1);
+            Observer::on_arrival(&mut r, Time::ZERO, FlowId(0), 1, 0);
         }
         assert_eq!(c.counts.arrivals, 1);
     }

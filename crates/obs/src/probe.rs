@@ -148,30 +148,38 @@ impl TimeSeriesProbe {
 }
 
 impl Observer for TimeSeriesProbe {
-    fn on_arrival(&mut self, now: Time, _flow: FlowId, _len: u32) {
+    fn on_arrival(&mut self, now: Time, _flow: FlowId, _len: u32, _link: u32) {
         self.flush_until(now);
     }
 
-    fn on_enqueue(&mut self, now: Time, flow: FlowId, len: u32, _flow_occ: u64, _total_occ: u64) {
+    fn on_enqueue(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        len: u32,
+        _flow_occ: u64,
+        _total_occ: u64,
+        _link: u32,
+    ) {
         self.flush_until(now);
         self.ensure_flow(flow);
         self.occ[flow.index()] += len as u64;
         self.total += len as u64;
     }
 
-    fn on_departure(&mut self, now: Time, flow: FlowId, len: u32, _arrival: Time) {
+    fn on_departure(&mut self, now: Time, flow: FlowId, len: u32, _arrival: Time, _link: u32) {
         self.flush_until(now);
         self.ensure_flow(flow);
         self.occ[flow.index()] -= len as u64;
         self.total -= len as u64;
     }
 
-    fn on_sharing(&mut self, now: Time, holes: u64, headroom: u64) {
+    fn on_sharing(&mut self, now: Time, holes: u64, headroom: u64, _link: u32) {
         self.flush_until(now);
         self.pools = Some((holes, headroom));
     }
 
-    fn on_end(&mut self, end: Time) {
+    fn on_end(&mut self, end: Time, _link: u32) {
         // Include the boundary sample at `end` itself.
         self.flush_until(end);
         if self.next == end && self.samples.len() < MAX_SAMPLES {
@@ -193,15 +201,23 @@ mod tests {
     fn samples_land_on_the_grid_with_step_state() {
         let mut p = TimeSeriesProbe::new(Dur::from_millis(10));
         // Enqueue at 5 ms, departure at 12 ms, next event at 35 ms.
-        p.on_enqueue(Time::ZERO + Dur::from_millis(5), FlowId(0), 500, 500, 500);
+        p.on_enqueue(
+            Time::ZERO + Dur::from_millis(5),
+            FlowId(0),
+            500,
+            500,
+            500,
+            0,
+        );
         p.on_departure(
             Time::ZERO + Dur::from_millis(12),
             FlowId(0),
             500,
             Time::ZERO,
+            0,
         );
-        p.on_arrival(Time::ZERO + Dur::from_millis(35), FlowId(0), 500);
-        p.on_end(Time::ZERO + Dur::from_millis(40));
+        p.on_arrival(Time::ZERO + Dur::from_millis(35), FlowId(0), 500, 0);
+        p.on_end(Time::ZERO + Dur::from_millis(40), 0);
         let t_ms: Vec<u64> = p
             .samples()
             .iter()
@@ -215,15 +231,15 @@ mod tests {
     #[test]
     fn csv_has_pool_columns_only_when_reported() {
         let mut p = TimeSeriesProbe::new(Dur::from_millis(1));
-        p.on_enqueue(Time::ZERO, FlowId(1), 100, 100, 100);
-        p.on_end(Time::ZERO + Dur::from_millis(2));
+        p.on_enqueue(Time::ZERO, FlowId(1), 100, 100, 100, 0);
+        p.on_end(Time::ZERO + Dur::from_millis(2), 0);
         let csv = p.to_csv();
         assert!(csv.starts_with("t_ns,total,q0,q1\n"));
         assert!(csv.contains("1000000,100,0,100\n"));
 
         let mut p = TimeSeriesProbe::new(Dur::from_millis(1));
-        p.on_sharing(Time::ZERO, 7, 9);
-        p.on_end(Time::ZERO + Dur::from_millis(1));
+        p.on_sharing(Time::ZERO, 7, 9, 0);
+        p.on_end(Time::ZERO + Dur::from_millis(1), 0);
         let csv = p.to_csv();
         assert!(csv.starts_with("t_ns,total,holes,headroom\n"));
         assert!(csv.contains("1000000,0,7,9\n"));
@@ -232,8 +248,8 @@ mod tests {
     #[test]
     fn json_export_is_field_ordered() {
         let mut p = TimeSeriesProbe::new(Dur::from_millis(1));
-        p.on_enqueue(Time::ZERO, FlowId(0), 42, 42, 42);
-        p.on_end(Time::ZERO + Dur::from_millis(1));
+        p.on_enqueue(Time::ZERO, FlowId(0), 42, 42, 42, 0);
+        p.on_end(Time::ZERO + Dur::from_millis(1), 0);
         assert_eq!(
             p.to_json(),
             "{\"interval_ns\":1000000,\"samples\":[{\"t\":1000000,\"total\":42,\"q\":[42]}]}"
@@ -243,7 +259,7 @@ mod tests {
     #[test]
     fn sample_count_is_bounded() {
         let mut p = TimeSeriesProbe::new(Dur(1));
-        p.on_end(Time(MAX_SAMPLES as u64 * 10));
+        p.on_end(Time(MAX_SAMPLES as u64 * 10), 0);
         assert_eq!(p.samples().len(), MAX_SAMPLES);
     }
 }

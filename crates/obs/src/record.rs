@@ -20,6 +20,13 @@
 //! | `share` | `holes`, `headroom` | §3.3 pool transition |
 //! | `cell` | `cell`, `seed` | campaign cell boundary in a merged trace; resets the time watermark |
 //!
+//! Every event record additionally carries an optional `link` field —
+//! the emitting link's index in a multi-link fabric — emitted only by
+//! link-dimensioned tracers ([`crate::Tracer::with_link_dim`]).
+//! Single-link traces omit it entirely, so their bytes are unchanged
+//! from pre-fabric output and the schema version stays 1; verifiers
+//! accept both forms.
+//!
 //! Serialization is hand-rolled (fixed field order, no serde): byte
 //! identity across runs and thread counts is part of the contract, so
 //! the writer must be deterministic down to the characters.
@@ -57,6 +64,8 @@ pub enum TraceRecord {
         flow: FlowId,
         /// Packet length in bytes.
         len: u32,
+        /// Emitting link index (fabric dimension).
+        link: u32,
     },
     /// Packet admitted and enqueued.
     Enqueue {
@@ -70,6 +79,8 @@ pub enum TraceRecord {
         q: u64,
         /// Post-enqueue aggregate occupancy, bytes.
         tot: u64,
+        /// Emitting link index (fabric dimension).
+        link: u32,
     },
     /// Packet refused.
     Drop {
@@ -81,6 +92,8 @@ pub enum TraceRecord {
         len: u32,
         /// The policy's cause.
         reason: DropReason,
+        /// Emitting link index (fabric dimension).
+        link: u32,
     },
     /// Packet finished transmission.
     Departure {
@@ -92,6 +105,8 @@ pub enum TraceRecord {
         len: u32,
         /// Nanoseconds from enqueue to departure.
         sojourn_ns: u64,
+        /// Emitting link index (fabric dimension).
+        link: u32,
     },
     /// Threshold crossing (up or, after hysteresis, down).
     Threshold {
@@ -105,6 +120,8 @@ pub enum TraceRecord {
         limit: u64,
         /// `true` = entered the over-threshold regime.
         up: bool,
+        /// Emitting link index (fabric dimension).
+        link: u32,
     },
     /// Hole/headroom pool transition (§3.3 sharing).
     Sharing {
@@ -114,6 +131,8 @@ pub enum TraceRecord {
         holes: u64,
         /// Remaining unreserved pool, bytes.
         headroom: u64,
+        /// Emitting link index (fabric dimension).
+        link: u32,
     },
     /// Campaign cell boundary marker (merged traces only).
     Cell {
@@ -155,7 +174,7 @@ impl TraceRecord {
     /// fixed — byte identity is part of the determinism contract.
     pub fn to_json(&self) -> String {
         match *self {
-            TraceRecord::Arrival { t, flow, len } => format!(
+            TraceRecord::Arrival { t, flow, len, .. } => format!(
                 "{{\"ev\":\"arr\",\"t\":{},\"flow\":{},\"len\":{}}}",
                 t.as_nanos(),
                 flow.0,
@@ -167,6 +186,7 @@ impl TraceRecord {
                 len,
                 q,
                 tot,
+                ..
             } => format!(
                 "{{\"ev\":\"enq\",\"t\":{},\"flow\":{},\"len\":{},\"q\":{},\"tot\":{}}}",
                 t.as_nanos(),
@@ -180,6 +200,7 @@ impl TraceRecord {
                 flow,
                 len,
                 reason,
+                ..
             } => format!(
                 "{{\"ev\":\"drop\",\"t\":{},\"flow\":{},\"len\":{},\"cause\":\"{}\"}}",
                 t.as_nanos(),
@@ -192,6 +213,7 @@ impl TraceRecord {
                 flow,
                 len,
                 sojourn_ns,
+                ..
             } => format!(
                 "{{\"ev\":\"dep\",\"t\":{},\"flow\":{},\"len\":{},\"sojourn\":{}}}",
                 t.as_nanos(),
@@ -205,6 +227,7 @@ impl TraceRecord {
                 q,
                 limit,
                 up,
+                ..
             } => format!(
                 "{{\"ev\":\"thr\",\"t\":{},\"flow\":{},\"q\":{},\"limit\":{},\"up\":{}}}",
                 t.as_nanos(),
@@ -213,7 +236,9 @@ impl TraceRecord {
                 limit,
                 up
             ),
-            TraceRecord::Sharing { t, holes, headroom } => format!(
+            TraceRecord::Sharing {
+                t, holes, headroom, ..
+            } => format!(
                 "{{\"ev\":\"share\",\"t\":{},\"holes\":{},\"headroom\":{}}}",
                 t.as_nanos(),
                 holes,
@@ -223,6 +248,34 @@ impl TraceRecord {
                 format!("{{\"ev\":\"cell\",\"t\":0,\"cell\":{cell},\"seed\":{seed}}}")
             }
         }
+    }
+
+    /// The record's link index, if it carries one (`cell` markers are
+    /// global and do not).
+    pub fn link(&self) -> Option<u32> {
+        match *self {
+            TraceRecord::Arrival { link, .. }
+            | TraceRecord::Enqueue { link, .. }
+            | TraceRecord::Drop { link, .. }
+            | TraceRecord::Departure { link, .. }
+            | TraceRecord::Threshold { link, .. }
+            | TraceRecord::Sharing { link, .. } => Some(link),
+            TraceRecord::Cell { .. } => None,
+        }
+    }
+
+    /// [`TraceRecord::to_json`] with the link dimension appended as a
+    /// final `"link":N` field (event records only — `cell` markers are
+    /// global). Used by link-dimensioned tracers; plain tracers call
+    /// [`TraceRecord::to_json`] so single-link traces keep their exact
+    /// pre-fabric bytes.
+    pub fn to_json_with_link(&self) -> String {
+        let mut s = self.to_json();
+        if let Some(link) = self.link() {
+            s.pop();
+            s.push_str(&format!(",\"link\":{link}}}"));
+        }
+        s
     }
 }
 
@@ -376,6 +429,16 @@ pub fn verify_trace(text: &str) -> Result<TraceSummary, TraceError> {
                 return Err(bad(&format!("missing {key}")));
             }
         }
+        // The optional fabric dimension: if present it must be a valid
+        // link index, and `cell` markers (global) must not carry it.
+        if field(line, "link").is_some() {
+            if ev == "\"cell\"" {
+                return Err(bad("cell marker with a link field"));
+            }
+            if field_u64(line, "link").is_none() {
+                return Err(bad("link must be an integer"));
+            }
+        }
         if ev != "\"cell\"" {
             if t < last_t {
                 return Err(bad("timestamp went backwards"));
@@ -397,6 +460,7 @@ mod tests {
             t: qbm_core::units::Time(t_ns),
             flow: FlowId(0),
             len: 500,
+            link: 0,
         }
     }
 
@@ -411,6 +475,7 @@ mod tests {
             flow: FlowId(3),
             len: 500,
             reason: DropReason::NoSharedSpace,
+            link: 0,
         };
         assert_eq!(
             d.to_json(),
@@ -436,7 +501,8 @@ mod tests {
                 flow: FlowId(0),
                 len: 500,
                 q: 500,
-                tot: 500
+                tot: 500,
+                link: 0
             }
             .to_json()
         );

@@ -5,6 +5,11 @@
 //! evicts oldest-first, counting evictions. The JSONL header reports
 //! the eviction count as `truncated`, so a consumer always knows
 //! whether it is looking at the whole run or its tail.
+//!
+//! Fabric traces: every record stores the link index its hook call
+//! carried, but the JSONL writer emits the `link` field only when the
+//! tracer was built with [`Tracer::with_link_dim`] — single-link traces
+//! stay byte-identical to pre-fabric output (schema v1 either way).
 
 use std::collections::VecDeque;
 
@@ -27,6 +32,8 @@ pub struct Tracer {
     truncated: u64,
     /// Highest flow index seen + 1 (header `flows` field).
     flows: usize,
+    /// Emit the per-record `link` field in JSONL output.
+    link_dim: bool,
 }
 
 impl Default for Tracer {
@@ -44,7 +51,17 @@ impl Tracer {
             buf: VecDeque::with_capacity(capacity.min(1 << 12)),
             truncated: 0,
             flows: 0,
+            link_dim: false,
         }
+    }
+
+    /// Enable the fabric dimension: JSONL output gains a `"link":N`
+    /// field on every event record (the link id each hook call
+    /// carried). Off by default so single-link traces keep their exact
+    /// historical bytes.
+    pub fn with_link_dim(mut self) -> Tracer {
+        self.link_dim = true;
+        self
     }
 
     fn push(&mut self, rec: TraceRecord) {
@@ -92,7 +109,11 @@ impl Tracer {
     /// building block for campaign-merged traces.
     fn body_jsonl(&self, out: &mut String) {
         for rec in &self.buf {
-            out.push_str(&rec.to_json());
+            if self.link_dim {
+                out.push_str(&rec.to_json_with_link());
+            } else {
+                out.push_str(&rec.to_json());
+            }
             out.push('\n');
         }
     }
@@ -120,57 +141,101 @@ impl Tracer {
         }
         out
     }
+
+    /// Merge per-link tracers of one fabric run into a single globally
+    /// time-ordered trace: one header (summed `truncated`, max
+    /// `flows`), then a k-way merge of the link streams by
+    /// `(time, link index)` with the `link` field forced on every
+    /// record. The tie-break on the deterministic link index makes the
+    /// merged trace byte-identical for any shard-thread count.
+    pub fn merged_links_jsonl(links: &[Tracer]) -> String {
+        let flows = links.iter().map(|t| t.flows).max().unwrap_or(0);
+        let truncated = links.iter().map(|t| t.truncated).sum();
+        let mut out = header(flows, truncated);
+        out.push('\n');
+        let mut pos = vec![0usize; links.len()];
+        loop {
+            let next = links
+                .iter()
+                .enumerate()
+                .filter_map(|(i, tr)| tr.buf.get(pos[i]).map(|r| (r.time(), i)))
+                .min();
+            let Some((_, i)) = next else { break };
+            out.push_str(&links[i].buf[pos[i]].to_json_with_link());
+            out.push('\n');
+            pos[i] += 1;
+        }
+        out
+    }
 }
 
 impl Observer for Tracer {
-    fn on_arrival(&mut self, now: Time, flow: FlowId, len: u32) {
+    fn on_arrival(&mut self, now: Time, flow: FlowId, len: u32, link: u32) {
         self.saw_flow(flow);
-        self.push(TraceRecord::Arrival { t: now, flow, len });
+        self.push(TraceRecord::Arrival {
+            t: now,
+            flow,
+            len,
+            link,
+        });
     }
 
-    fn on_enqueue(&mut self, now: Time, flow: FlowId, len: u32, flow_occ: u64, total_occ: u64) {
+    fn on_enqueue(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        len: u32,
+        flow_occ: u64,
+        total_occ: u64,
+        link: u32,
+    ) {
         self.push(TraceRecord::Enqueue {
             t: now,
             flow,
             len,
             q: flow_occ,
             tot: total_occ,
+            link,
         });
     }
 
-    fn on_drop(&mut self, now: Time, flow: FlowId, len: u32, reason: DropReason) {
+    fn on_drop(&mut self, now: Time, flow: FlowId, len: u32, reason: DropReason, link: u32) {
         self.push(TraceRecord::Drop {
             t: now,
             flow,
             len,
             reason,
+            link,
         });
     }
 
-    fn on_departure(&mut self, now: Time, flow: FlowId, len: u32, arrival: Time) {
+    fn on_departure(&mut self, now: Time, flow: FlowId, len: u32, arrival: Time, link: u32) {
         self.push(TraceRecord::Departure {
             t: now,
             flow,
             len,
             sojourn_ns: now.since(arrival).as_nanos(),
+            link,
         });
     }
 
-    fn on_threshold(&mut self, now: Time, flow: FlowId, occ: u64, limit: u64, up: bool) {
+    fn on_threshold(&mut self, now: Time, flow: FlowId, occ: u64, limit: u64, up: bool, link: u32) {
         self.push(TraceRecord::Threshold {
             t: now,
             flow,
             q: occ,
             limit,
             up,
+            link,
         });
     }
 
-    fn on_sharing(&mut self, now: Time, holes: u64, headroom: u64) {
+    fn on_sharing(&mut self, now: Time, holes: u64, headroom: u64, link: u32) {
         self.push(TraceRecord::Sharing {
             t: now,
             holes,
             headroom,
+            link,
         });
     }
 }
@@ -184,7 +249,7 @@ mod tests {
     fn ring_evicts_oldest_and_counts() {
         let mut tr = Tracer::new(3);
         for i in 0..5u64 {
-            tr.on_arrival(Time(i), FlowId(0), 100);
+            tr.on_arrival(Time(i), FlowId(0), 100, 0);
         }
         assert_eq!(tr.len(), 3);
         assert_eq!(tr.truncated(), 2);
@@ -195,9 +260,9 @@ mod tests {
     #[test]
     fn jsonl_roundtrips_through_verify() {
         let mut tr = Tracer::new(16);
-        tr.on_arrival(Time(5), FlowId(1), 500);
-        tr.on_enqueue(Time(5), FlowId(1), 500, 500, 500);
-        tr.on_departure(Time(90), FlowId(1), 500, Time(5));
+        tr.on_arrival(Time(5), FlowId(1), 500, 0);
+        tr.on_enqueue(Time(5), FlowId(1), 500, 500, 500, 0);
+        tr.on_departure(Time(90), FlowId(1), 500, Time(5), 0);
         let text = tr.to_jsonl();
         let sum = verify_trace(&text).expect("tracer output must verify");
         assert_eq!(sum.records, 3);
@@ -208,12 +273,45 @@ mod tests {
     #[test]
     fn merged_trace_verifies_across_cells() {
         let mut a = Tracer::new(4);
-        a.on_arrival(Time(100), FlowId(0), 1);
+        a.on_arrival(Time(100), FlowId(0), 1, 0);
         let mut b = Tracer::new(4);
-        b.on_arrival(Time(10), FlowId(0), 1); // earlier than a's last
+        b.on_arrival(Time(10), FlowId(0), 1, 0); // earlier than a's last
         let text = Tracer::merged_jsonl(&[(11, a), (12, b)]);
         let sum = verify_trace(&text).expect("cell markers reset the watermark");
         assert_eq!(sum.cells, 2);
         assert_eq!(sum.arrivals, 2);
+    }
+
+    #[test]
+    fn link_dim_adds_field_without_changing_plain_output() {
+        let mut plain = Tracer::new(4);
+        plain.on_arrival(Time(5), FlowId(1), 500, 3);
+        let mut dim = Tracer::new(4).with_link_dim();
+        dim.on_arrival(Time(5), FlowId(1), 500, 3);
+        let plain_text = plain.to_jsonl();
+        let dim_text = dim.to_jsonl();
+        assert!(plain_text.contains("{\"ev\":\"arr\",\"t\":5,\"flow\":1,\"len\":500}\n"));
+        assert!(dim_text.contains("{\"ev\":\"arr\",\"t\":5,\"flow\":1,\"len\":500,\"link\":3}\n"));
+        verify_trace(&plain_text).expect("plain form verifies");
+        verify_trace(&dim_text).expect("link form verifies");
+    }
+
+    #[test]
+    fn merged_links_trace_interleaves_by_time_and_verifies() {
+        let mut a = Tracer::new(4);
+        a.on_arrival(Time(50), FlowId(0), 1, 0);
+        a.on_arrival(Time(200), FlowId(0), 1, 0);
+        let mut b = Tracer::new(4);
+        b.on_departure(Time(100), FlowId(0), 1, Time(40), 1);
+        let text = Tracer::merged_links_jsonl(&[a, b]);
+        let sum = verify_trace(&text).expect("merged link trace verifies");
+        assert_eq!(sum.records, 3);
+        // Global time order: link 0 @50, link 1 @100, link 0 @200.
+        let links: Vec<&str> = text
+            .lines()
+            .skip(1)
+            .map(|l| &l[l.find("\"link\":").unwrap() + 7..l.len() - 1])
+            .collect();
+        assert_eq!(links, ["0", "1", "0"]);
     }
 }

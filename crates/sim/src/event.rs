@@ -134,6 +134,12 @@ pub trait EventCore {
     /// Remove and return the earliest event, ordering ties as
     /// `(time, departure-first, flow index)`.
     fn pop(&mut self) -> Option<(Time, Event)>;
+    /// Time of the earliest pending event without removing it — the
+    /// horizon gate of a resumable event loop: an epoch-bounded run
+    /// peeks before popping so an event at or past the horizon stays
+    /// queued (and its flow's source stays unpulled) for the next
+    /// epoch.
+    fn peek_time(&self) -> Option<Time>;
     /// [`EventCore::pop`] fused with the router's pull discipline: when
     /// the popped event is an arrival, `refill(flow)` is invoked once
     /// to pull the flow's next emission instant, and the returned time
@@ -173,6 +179,10 @@ impl EventCore for EventQueue {
 
     fn pop(&mut self) -> Option<(Time, Event)> {
         EventQueue::pop(self)
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        EventQueue::peek_time(self)
     }
 }
 
@@ -304,6 +314,18 @@ impl EventCore for IndexedTimers {
         debug_assert!(time != Time::MAX, "Time::MAX is the empty sentinel");
         debug_assert!(self.departure == Time::MAX, "departure already pending");
         self.departure = time;
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<Time> {
+        // Earliest of the departure slot and the tournament winner;
+        // the departure-first tie-break is irrelevant to the *time*.
+        let arrival = self.peek_arrival().map(|(t, _)| t);
+        if self.departure != Time::MAX {
+            Some(arrival.map_or(self.departure, |t| t.min(self.departure)))
+        } else {
+            arrival
+        }
     }
 
     #[inline]
@@ -654,7 +676,9 @@ mod proptests {
                         }
                     }
                     _ => {
+                        let peeked = timers.peek_time();
                         let got = timers.pop();
+                        prop_assert_eq!(peeked, got.map(|(t, _)| t), "peek/pop time mismatch");
                         prop_assert_eq!(got, model.pop(), "cores diverged");
                         match got {
                             Some((_, Event::Arrival(f))) => pending[f.index()] = false,
@@ -666,7 +690,9 @@ mod proptests {
             }
             // Full drain must agree too.
             loop {
+                let peeked = timers.peek_time();
                 let got = timers.pop();
+                prop_assert_eq!(peeked, got.map(|(t, _)| t), "peek/pop time mismatch");
                 prop_assert_eq!(got, model.pop(), "cores diverged during drain");
                 if got.is_none() {
                     break;

@@ -23,9 +23,13 @@
 //!   runner that shards a (point × replication) grid across a scoped
 //!   thread pool with bit-identical results for any thread count;
 //! * [`scenarios`] — the §3.2 schemes, §3.3 sharing setups and §4.2
-//!   hybrid cases as ready-made configurations;
-//! * [`tandem`] — feed-forward multi-hop lines (extension beyond the
-//!   paper's single link), showing the guarantees compose.
+//!   hybrid cases as ready-made configurations, plus topology
+//!   generators (aggregation tree, incast fan-in) for the fabric;
+//! * [`fabric`] — a DAG of links advanced in deterministic
+//!   mailbox-exchange epochs, with link-level sharding across threads
+//!   (extension beyond the paper's single link);
+//! * [`tandem`] — feed-forward multi-hop lines, now a degenerate
+//!   path-graph [`Fabric`].
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -33,6 +37,7 @@
 pub mod arena;
 pub mod event;
 pub mod experiment;
+pub mod fabric;
 pub mod router;
 pub mod scenarios;
 pub mod stats;
@@ -41,5 +46,6 @@ pub mod tandem;
 pub use arena::SimArena;
 pub use event::{EventCore, EventQueue, IndexedTimers};
 pub use experiment::{Campaign, ExperimentConfig, MultiRun, PolicySpec, SeedMode, Summary};
+pub use fabric::Fabric;
 pub use router::Router;
 pub use stats::{FlowStats, SimResult};

@@ -21,7 +21,7 @@
 //! [`EventQueue`](crate::event::EventQueue) heap remains available via
 //! [`Router::run_reference`] for differential testing. The
 //! `hot-path-alloc` qbm-lint rule enforces the no-allocation property
-//! on `run_inner`/`start_transmission` going forward.
+//! on `LinkEngine::advance`/`start_transmission` going forward.
 
 use crate::event::{Event, EventCore, IndexedTimers};
 use crate::stats::{SimResult, StatsCollector};
@@ -78,6 +78,11 @@ where
     P: BufferPolicy,
     S: Scheduler,
 {
+    /// Number of flows this router multiplexes.
+    pub(crate) fn n_flows(&self) -> usize {
+        self.lanes.sources.len()
+    }
+
     /// Assemble a router. `sources[i]` feeds `FlowId(i)`.
     ///
     /// Accepts anything convertible into [`SourceKind`]: concrete
@@ -225,38 +230,6 @@ where
         (res, traces.expect("recording requested"))
     }
 
-    /// [`Router::run_recording_with`] writing into recycled per-flow
-    /// buffers (cleared, capacity kept) and returning the spent sources
-    /// alongside — the tandem runner ping-pongs trace buffers between
-    /// hops through this entry point instead of reallocating per hop.
-    pub(crate) fn run_recording_recycled<O: Observer>(
-        self,
-        warmup: Time,
-        end: Time,
-        seed: u64,
-        obs: &mut O,
-        buffers: Vec<Vec<Emission>>,
-    ) -> (SimResult, Vec<Vec<Emission>>, Vec<SourceKind>) {
-        let events = IndexedTimers::with_flows(self.lanes.sources.len());
-        let (res, traces, lanes, _) = self.run_inner(warmup, end, seed, Some(buffers), obs, events);
-        (res, traces.expect("recording requested"), lanes.sources)
-    }
-
-    /// Consume the router and return the spent sources along with the
-    /// statistics — lets the tandem runner recover trace buffers from
-    /// the final hop too.
-    pub(crate) fn run_returning_sources<O: Observer>(
-        self,
-        warmup: Time,
-        end: Time,
-        seed: u64,
-        obs: &mut O,
-    ) -> (SimResult, Vec<SourceKind>) {
-        let events = IndexedTimers::with_flows(self.lanes.sources.len());
-        let (res, _, lanes, _) = self.run_inner(warmup, end, seed, None, obs, events);
-        (res, lanes.sources)
-    }
-
     /// The event loop, generic over observer and event core. `traces`
     /// `Some(buffers)` requests departure recording into the supplied
     /// per-flow buffers (resized/cleared to fit, capacity reused).
@@ -265,26 +238,100 @@ where
     /// campaign arena recycles). The caller supplies `events` sized
     /// for `sources.len()` flows.
     ///
-    /// Invariant the cores rely on: each flow has at most one pending
-    /// arrival (pull discipline) and the link at most one pending
-    /// departure.
+    /// The loop itself lives in [`LinkEngine`]: a single-link run is
+    /// one engine primed and advanced to `end` in a single epoch, while
+    /// the fabric (`crate::fabric`) advances many engines in bounded
+    /// mailbox-exchange epochs. Either way the event sequence is
+    /// identical.
     fn run_inner<O: Observer, E: EventCore>(
-        mut self,
+        self,
+        warmup: Time,
+        end: Time,
+        seed: u64,
+        traces: Option<Vec<Vec<Emission>>>,
+        obs: &mut O,
+        events: E,
+    ) -> (SimResult, Option<Vec<Vec<Emission>>>, FlowLanes, E) {
+        let mut engine = LinkEngine::new(self, warmup, end, seed, traces, events, 0);
+        engine.prime(obs);
+        engine.advance(end, obs);
+        engine.finish(obs)
+    }
+}
+
+/// A resumable single-link event loop: [`Router`] state plus its
+/// in-progress run (statistics window, event core, recording buffers).
+///
+/// `Router::run_inner` used to own this loop start-to-finish; the
+/// fabric needs to *pause* a link at an epoch horizon, exchange
+/// recorded departures with downstream links, and resume — so the loop
+/// state lives in a struct and [`LinkEngine::advance`] processes
+/// exactly the events strictly before a caller-chosen horizon.
+/// Peeking before popping keeps a horizon-straddling event (and its
+/// flow's source) untouched for the next epoch; with the horizon at
+/// `end` the processed event sequence is identical to the historical
+/// pop-then-break loop, because the event a pop would have discarded
+/// at `end` never reached statistics or observers anyway.
+///
+/// Invariant the cores rely on: each flow has at most one pending
+/// arrival (pull discipline) and the link at most one pending
+/// departure.
+pub(crate) struct LinkEngine<P, S, E = IndexedTimers>
+where
+    P: BufferPolicy,
+    S: Scheduler,
+    E: EventCore,
+{
+    link_rate: Rate,
+    policy: P,
+    scheduler: S,
+    lanes: FlowLanes,
+    in_flight: Option<PacketRef>,
+    seq: u64,
+    stats: StatsCollector,
+    /// Per-flow departure recording buffers (`Some` = this link feeds
+    /// downstream links or a tandem hop).
+    traces: Option<Vec<Vec<Emission>>>,
+    /// Conservation ledger (debug builds): bytes admitted and not yet
+    /// departed, independently of the policy's own accounting. Any
+    /// drift between the two is a silent buffer leak.
+    queued_bytes: u64,
+    /// Observer state: the last reported sharing pools, so `share`
+    /// records are emitted only on transitions (the per-flow leg
+    /// lives in `lanes.over`). None when the observer is disabled.
+    prev_sharing: Option<(u64, u64)>,
+    events: E,
+    end: Time,
+    /// This link's index in its fabric (0 for single-router runs),
+    /// forwarded on every observer hook.
+    link: u32,
+}
+
+impl<P, S, E> LinkEngine<P, S, E>
+where
+    P: BufferPolicy,
+    S: Scheduler,
+    E: EventCore,
+{
+    /// Wrap a router into a paused engine measuring `[warmup, end)`.
+    /// `traces: Some(buffers)` enables departure recording (buffers are
+    /// resized/cleared to fit, capacity reused).
+    pub(crate) fn new(
+        router: Router<P, S>,
         warmup: Time,
         end: Time,
         seed: u64,
         mut traces: Option<Vec<Vec<Emission>>>,
-        obs: &mut O,
-        mut events: E,
-    ) -> (SimResult, Option<Vec<Vec<Emission>>>, FlowLanes, E) {
-        let n = self.lanes.sources.len();
-        let mut stats = StatsCollector::new(n, warmup, end, seed);
+        events: E,
+        link: u32,
+    ) -> LinkEngine<P, S, E> {
+        let n = router.lanes.sources.len();
         if let Some(bufs) = traces.as_mut() {
             bufs.resize_with(n, Vec::new);
             // Pre-size fresh buffers for the expected departure count:
             // an even split of the link's packet capacity over the run
             // (recycled buffers already carry their capacity).
-            let est = (end.0 as u128 * self.link_rate.bps() as u128
+            let est = (end.0 as u128 * router.link_rate.bps() as u128
                 / (qbm_traffic::PACKET_BYTES as u128 * 8 * 1_000_000_000))
                 as usize
                 / n
@@ -296,29 +343,46 @@ where
                 }
             }
         }
-        // Conservation ledger (debug builds): bytes admitted and not yet
-        // departed, independently of the policy's own accounting. Any
-        // drift between the two is a silent buffer leak.
-        let mut queued_bytes: u64 = 0;
-        // Observer state: the last reported sharing pools, so `share`
-        // records are emitted only on transitions (the per-flow leg
-        // lives in `lanes.over`). None when the observer is disabled.
-        let mut prev_sharing: Option<(u64, u64)> = None;
+        LinkEngine {
+            link_rate: router.link_rate,
+            policy: router.policy,
+            scheduler: router.scheduler,
+            lanes: router.lanes,
+            in_flight: router.in_flight,
+            seq: router.seq,
+            stats: StatsCollector::new(n, warmup, end, seed),
+            traces,
+            queued_bytes: 0,
+            prev_sharing: None,
+            events,
+            end,
+            link,
+        }
+    }
+
+    /// Emit the initial sharing state and schedule one pending emission
+    /// per source. Call exactly once, before the first `advance`.
+    pub(crate) fn prime<O: Observer>(&mut self, obs: &mut O) {
         if O::ENABLED {
             if let Some((holes, headroom)) = self.policy.sharing_state() {
-                prev_sharing = Some((holes, headroom));
-                obs.on_sharing(Time::ZERO, holes, headroom);
+                self.prev_sharing = Some((holes, headroom));
+                obs.on_sharing(Time::ZERO, holes, headroom, self.link);
             }
         }
-
-        // Prime one pending emission per source.
-        for i in 0..n {
+        for i in 0..self.lanes.sources.len() {
             if let Some(e) = self.lanes.sources[i].next_emission() {
                 self.lanes.pending[i] = Some(e.len);
-                events.schedule_arrival(FlowId(i as u32), e.time);
+                self.events.schedule_arrival(FlowId(i as u32), e.time);
             }
         }
+    }
 
+    /// Process every pending event with time strictly before `horizon`,
+    /// then pause. Resumable: the fabric calls this once per epoch with
+    /// an increasing horizon; a single-link run calls it once with
+    /// `horizon = end`.
+    pub(crate) fn advance<O: Observer>(&mut self, horizon: Time, obs: &mut O) {
+        let horizon = horizon.min(self.end);
         // Fused pop: when the popped event is an arrival, the flow's
         // next emission is pulled *inside* the core — on the
         // [`IndexedTimers`] fast path the refill time lands straight in
@@ -327,8 +391,12 @@ where
         // popped emission's length out of the closure.
         let mut arrived_len: u32 = 0;
         loop {
+            match self.events.peek_time() {
+                Some(t) if t < horizon => {}
+                _ => break,
+            }
             let lanes = &mut self.lanes;
-            let popped = events.pop_refill(|flow| {
+            let popped = self.events.pop_refill(|flow| {
                 let f = flow.index();
                 arrived_len = lanes.pending[f].expect("arrival without pending emission");
                 match lanes.sources[f].next_emission() {
@@ -343,14 +411,11 @@ where
                 }
             });
             let Some((now, ev)) = popped else { break };
-            if now >= end {
-                break;
-            }
             match ev {
                 Event::Arrival(flow) => {
                     let len = arrived_len;
                     if O::ENABLED {
-                        obs.on_arrival(now, flow, len);
+                        obs.on_arrival(now, flow, len, self.link);
                     }
                     // Remark-1 coloring: a packet is green iff it fits
                     // the flow's declared envelope at this instant
@@ -359,7 +424,7 @@ where
                         Some(m) => m[flow.index()].try_consume(now, len as u64),
                         None => true,
                     };
-                    stats.on_color(now, flow, len, green);
+                    self.stats.on_color(now, flow, len, green);
                     let q_before = if O::ENABLED {
                         self.policy.flow_occupancy(flow)
                     } else {
@@ -367,8 +432,8 @@ where
                     };
                     match self.policy.admit(flow, len) {
                         Verdict::Admit => {
-                            queued_bytes += len as u64;
-                            stats.on_arrival(now, flow, len, None);
+                            self.queued_bytes += len as u64;
+                            self.stats.on_arrival(now, flow, len, None);
                             if O::ENABLED {
                                 let q_after = q_before + len as u64;
                                 obs.on_enqueue(
@@ -377,13 +442,16 @@ where
                                     len,
                                     q_after,
                                     self.policy.total_occupancy(),
+                                    self.link,
                                 );
                                 // Upward crossing via a sharing borrow:
                                 // occupancy lands above the threshold.
                                 if let Some(limit) = self.policy.threshold(flow) {
                                     if !self.lanes.over[flow.index()] && q_after > limit {
                                         self.lanes.over[flow.index()] = true;
-                                        obs.on_threshold(now, flow, q_after, limit, true);
+                                        obs.on_threshold(
+                                            now, flow, q_after, limit, true, self.link,
+                                        );
                                     }
                                 }
                             }
@@ -397,13 +465,13 @@ where
                             self.seq += 1;
                             self.scheduler.enqueue(now, pkt);
                             if self.in_flight.is_none() {
-                                self.start_transmission(now, &mut events);
+                                self.start_transmission(now);
                             }
                         }
                         Verdict::Drop(reason) => {
-                            stats.on_arrival(now, flow, len, Some(reason));
+                            self.stats.on_arrival(now, flow, len, Some(reason));
                             if O::ENABLED {
-                                obs.on_drop(now, flow, len, reason);
+                                obs.on_drop(now, flow, len, reason, self.link);
                                 // Upward crossing via refusal: the flow
                                 // hit its limit without ever exceeding
                                 // it (partitioned policies refuse at
@@ -421,6 +489,7 @@ where
                                                 q_before + len as u64,
                                                 limit,
                                                 true,
+                                                self.link,
                                             );
                                         }
                                     }
@@ -430,20 +499,21 @@ where
                     }
                     if O::ENABLED {
                         if let Some(state) = self.policy.sharing_state() {
-                            if prev_sharing != Some(state) {
-                                prev_sharing = Some(state);
-                                obs.on_sharing(now, state.0, state.1);
+                            if self.prev_sharing != Some(state) {
+                                self.prev_sharing = Some(state);
+                                obs.on_sharing(now, state.0, state.1, self.link);
                             }
                         }
                     }
                 }
                 Event::Departure => {
                     let pkt = self.in_flight.take().expect("departure with idle link");
-                    queued_bytes -= pkt.len as u64;
+                    self.queued_bytes -= pkt.len as u64;
                     self.policy.release(pkt.flow, pkt.len);
-                    stats.on_departure_colored(now, pkt.flow, pkt.len, pkt.arrival, pkt.green);
+                    self.stats
+                        .on_departure_colored(now, pkt.flow, pkt.len, pkt.arrival, pkt.green);
                     if O::ENABLED {
-                        obs.on_departure(now, pkt.flow, pkt.len, pkt.arrival);
+                        obs.on_departure(now, pkt.flow, pkt.len, pkt.arrival, self.link);
                         // Downward crossing once the flow drains to
                         // half its threshold (hysteresis: one record
                         // per sustained over-threshold episode).
@@ -451,24 +521,24 @@ where
                             let q = self.policy.flow_occupancy(pkt.flow);
                             if self.lanes.over[pkt.flow.index()] && q <= limit / 2 {
                                 self.lanes.over[pkt.flow.index()] = false;
-                                obs.on_threshold(now, pkt.flow, q, limit, false);
+                                obs.on_threshold(now, pkt.flow, q, limit, false, self.link);
                             }
                         }
                         if let Some(state) = self.policy.sharing_state() {
-                            if prev_sharing != Some(state) {
-                                prev_sharing = Some(state);
-                                obs.on_sharing(now, state.0, state.1);
+                            if self.prev_sharing != Some(state) {
+                                self.prev_sharing = Some(state);
+                                obs.on_sharing(now, state.0, state.1, self.link);
                             }
                         }
                     }
-                    if let Some(tr) = traces.as_mut() {
+                    if let Some(tr) = self.traces.as_mut() {
                         tr[pkt.flow.index()].push(Emission {
                             time: now,
                             len: pkt.len,
                         });
                     }
                     if !self.scheduler.is_empty() {
-                        self.start_transmission(now, &mut events);
+                        self.start_transmission(now);
                     }
                 }
             }
@@ -478,7 +548,7 @@ where
             // must never exceed B.
             debug_assert_eq!(
                 self.policy.total_occupancy(),
-                queued_bytes,
+                self.queued_bytes,
                 "policy occupancy drifted from queued bytes"
             );
             debug_assert!(
@@ -486,18 +556,56 @@ where
                 "policy occupancy above capacity"
             );
         }
-        if O::ENABLED {
-            obs.on_end(end);
-        }
-        (stats.finish(), traces, self.lanes, events)
     }
 
-    fn start_transmission<E: EventCore>(&mut self, now: Time, events: &mut E) {
+    /// Hand a fresh batch of upstream departures to relay flow `flow`
+    /// (which must be trace-fed) and re-arm its pending arrival if the
+    /// flow had gone idle. The fabric's mailbox delivery: `batch` is
+    /// swapped against the spent replay buffer, so the steady state
+    /// recycles the same two allocations per edge.
+    pub(crate) fn deliver(&mut self, flow: FlowId, batch: &mut Vec<Emission>) {
+        let f = flow.index();
+        match &mut self.lanes.sources[f] {
+            SourceKind::Trace(ts) => ts.refill_recycling(batch),
+            other => panic!("relay flow {f} is not trace-fed (got {other:?})"),
+        }
+        // Re-arm: a relay flow exhausts its mailbox within each epoch
+        // (every delivered emission precedes the epoch horizon), so the
+        // pull discipline has parked it with no pending arrival; pull
+        // the first delivered emission and schedule it.
+        if self.lanes.pending[f].is_none() {
+            if let Some(e) = self.lanes.sources[f].next_emission() {
+                self.lanes.pending[f] = Some(e.len);
+                self.events.schedule_arrival(flow, e.time);
+            }
+        }
+    }
+
+    /// Mutable access to relay flow `flow`'s recording buffer — the
+    /// fabric takes it (`mem::take`), delivers it downstream, and puts
+    /// the swapped-out spare back.
+    pub(crate) fn trace_buf_mut(&mut self, flow: usize) -> &mut Vec<Emission> {
+        &mut self.traces.as_mut().expect("link does not record")[flow]
+    }
+
+    /// Close the run: final observer flush, statistics reduction, and
+    /// the spent parts for arena/tandem recycling.
+    pub(crate) fn finish<O: Observer>(
+        self,
+        obs: &mut O,
+    ) -> (SimResult, Option<Vec<Vec<Emission>>>, FlowLanes, E) {
+        if O::ENABLED {
+            obs.on_end(self.end, self.link);
+        }
+        (self.stats.finish(), self.traces, self.lanes, self.events)
+    }
+
+    fn start_transmission(&mut self, now: Time) {
         debug_assert!(self.in_flight.is_none());
         if let Some(pkt) = self.scheduler.dequeue(now) {
             let done = now + self.link_rate.transmission_time(pkt.len as u64);
             self.in_flight = Some(pkt);
-            events.schedule_departure(done);
+            self.events.schedule_departure(done);
         }
     }
 }

@@ -7,16 +7,24 @@
 //!   H = 2 MBytes, same sweep; Figure 7 sweeps H at B = 1 MByte;
 //! * §4.2 (Figures 8–13): the 3-queue hybrid on Table 1 (Case 1) and
 //!   Table 2 (Case 2), with Prop-3 rate assignment and per-queue
-//!   thresholds `σⱼ + ρⱼ·Bᵢ/Rᵢ`.
+//!   thresholds `σⱼ + ρⱼ·Bᵢ/Rᵢ`;
+//! * topology generators for the [`Fabric`]: an ISP-style
+//!   [`aggregation_tree`] (site → access points → subscribers, download
+//!   direction) and a datacenter [`incast_fanin`] (N sender links into
+//!   one aggregator) — multi-link shapes the paper's single-point
+//!   guarantees are evaluated on.
 
-use crate::experiment::{ExperimentConfig, PolicySpec};
+use crate::experiment::{derive_cell_seed, ExperimentConfig, PolicySpec};
+use crate::fabric::Fabric;
+use crate::router::Router;
 use qbm_core::analysis::hybrid::{
     optimal_alphas, per_queue_buffer_eq18, rate_assignment_eq16, Grouping,
 };
-use qbm_core::flow::FlowSpec;
+use qbm_core::flow::{FlowId, FlowSpec};
 use qbm_core::policy::PolicyKind;
 use qbm_core::units::{ByteSize, Dur, Rate};
 use qbm_sched::SchedKind;
+use qbm_traffic::{build_source_kind, SourceKind, TraceSource};
 
 /// The paper's link rate: 48 Mb/s ("a little over T3 capacity").
 pub const LINK_RATE: Rate = Rate::from_bps(48_000_000);
@@ -254,6 +262,181 @@ pub fn paper_experiment(
     }
 }
 
+/// Per-link knobs shared by the topology generators: every link gets
+/// the same scheduler/policy family and buffer, sized by its own rate
+/// and flow set.
+#[derive(Debug, Clone)]
+pub struct LinkProfile {
+    /// Buffer at each link, bytes.
+    pub buffer_bytes: u64,
+    /// Scheduler family at each link.
+    pub sched: SchedKind,
+    /// Admission policy family at each link.
+    pub policy: PolicySpec,
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        LinkProfile {
+            buffer_bytes: ByteSize::from_mib(1).bytes(),
+            sched: SchedKind::Fifo,
+            policy: PolicySpec::Kind(PolicyKind::Threshold),
+        }
+    }
+}
+
+/// Renumber `specs` so flow ids are the per-link indices `0..n` — each
+/// fabric link's statistics and scheduler lanes are indexed by its own
+/// flow ids, not any global numbering.
+fn renumber(specs: &[FlowSpec]) -> Vec<FlowSpec> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut s = s.clone();
+            s.id = FlowId(i as u32);
+            s
+        })
+        .collect()
+}
+
+/// An empty replay source — the stub behind every relay flow; the
+/// fabric fills it from its upstream mailbox each epoch.
+fn relay_stub() -> SourceKind {
+    SourceKind::Trace(TraceSource::from_recorded(Vec::new()))
+}
+
+/// Build one fabric link from its (renumbered) spec list.
+fn topology_link(
+    rate: Rate,
+    specs: &[FlowSpec],
+    sources: Vec<SourceKind>,
+    p: &LinkProfile,
+) -> Router {
+    let policy = p.policy.build(p.buffer_bytes, rate, specs);
+    let sched = p.sched.build(rate, specs);
+    Router::new(rate, policy, sched, sources)
+}
+
+/// An ISP-style aggregation tree in the download direction (the
+/// LibreQoS shape): one site link fans out to `aps` access-point
+/// links, each fanning out to `subs_per_ap` subscriber links. Every
+/// subscriber receives one copy of `specs` (its download mix), so the
+/// site link multiplexes `aps·subs_per_ap·specs.len()` flows, each AP
+/// `subs_per_ap·specs.len()`, each subscriber `specs.len()`.
+///
+/// Traffic originates at the site link: flow `(d, k)` (subscriber `d`,
+/// spec `k`) gets an independent source stream seeded with the pure
+/// derivation `derive_cell_seed(seed, d, k)` — the same discipline
+/// campaign cells use, so topology size and shard count never
+/// influence any stream. AP and subscriber links relay.
+///
+/// Link indices: 0 = site, `1..=aps` = APs, then subscribers in
+/// `(ap, sub)` order.
+pub fn aggregation_tree(
+    aps: usize,
+    subs_per_ap: usize,
+    specs: &[FlowSpec],
+    rates: [Rate; 3],
+    profile: &LinkProfile,
+    seed: u64,
+) -> Fabric {
+    assert!(
+        aps > 0 && subs_per_ap > 0 && !specs.is_empty(),
+        "empty tree"
+    );
+    let [site_rate, ap_rate, sub_rate] = rates;
+    let k = specs.len();
+    let mut fabric = Fabric::new();
+
+    // Site link: every subscriber's mix, with per-(subscriber, spec)
+    // seeded sources.
+    let site_specs: Vec<FlowSpec> = (0..aps * subs_per_ap)
+        .flat_map(|_| specs.iter().cloned())
+        .collect();
+    let site_specs = renumber(&site_specs);
+    let site_sources: Vec<SourceKind> = site_specs
+        .iter()
+        .map(|s| {
+            let (d, kk) = (s.id.index() / k, s.id.index() % k);
+            build_source_kind(s, derive_cell_seed(seed, d as u64, kk as u64))
+        })
+        .collect();
+    let site = fabric.add_link(topology_link(site_rate, &site_specs, site_sources, profile));
+
+    // AP links relay their subscribers' flows.
+    let ap_specs = renumber(
+        &(0..subs_per_ap)
+            .flat_map(|_| specs.iter().cloned())
+            .collect::<Vec<_>>(),
+    );
+    let mut ap_links = Vec::with_capacity(aps);
+    for a in 0..aps {
+        let sources = ap_specs.iter().map(|_| relay_stub()).collect();
+        let ap = fabric.add_link(topology_link(ap_rate, &ap_specs, sources, profile));
+        ap_links.push(ap);
+        for h in 0..ap_specs.len() as u32 {
+            fabric.connect(site, (a * subs_per_ap * k) as u32 + h, ap, h);
+        }
+    }
+
+    // Subscriber links relay their own mix from their AP.
+    let sub_specs = renumber(specs);
+    for a in 0..aps {
+        for s in 0..subs_per_ap {
+            let sources = sub_specs.iter().map(|_| relay_stub()).collect();
+            let sub = fabric.add_link(topology_link(sub_rate, &sub_specs, sources, profile));
+            for f in 0..k as u32 {
+                fabric.connect(ap_links[a], (s * k) as u32 + f, sub, f);
+            }
+        }
+    }
+    fabric
+}
+
+/// A datacenter incast fan-in (the shape of partition/aggregate
+/// traffic): `senders` independent links each carrying one copy of
+/// `specs`, all draining into a single aggregator link that
+/// multiplexes every flow through one shared buffer — the
+/// configuration where buffer management earns its keep.
+///
+/// Sources live on the sender links, seeded
+/// `derive_cell_seed(seed, sender, spec)`; the aggregator relays.
+/// Link indices: `0..senders` = senders, `senders` = aggregator.
+pub fn incast_fanin(
+    senders: usize,
+    specs: &[FlowSpec],
+    sender_rate: Rate,
+    agg_rate: Rate,
+    profile: &LinkProfile,
+    seed: u64,
+) -> Fabric {
+    assert!(senders > 0 && !specs.is_empty(), "empty incast");
+    let k = specs.len();
+    let mut fabric = Fabric::new();
+    let sender_specs = renumber(specs);
+    for i in 0..senders {
+        let sources: Vec<SourceKind> = sender_specs
+            .iter()
+            .map(|s| build_source_kind(s, derive_cell_seed(seed, i as u64, s.id.index() as u64)))
+            .collect();
+        fabric.add_link(topology_link(sender_rate, &sender_specs, sources, profile));
+    }
+    let agg_specs = renumber(
+        &(0..senders)
+            .flat_map(|_| specs.iter().cloned())
+            .collect::<Vec<_>>(),
+    );
+    let agg_sources = agg_specs.iter().map(|_| relay_stub()).collect();
+    let agg = fabric.add_link(topology_link(agg_rate, &agg_specs, agg_sources, profile));
+    for i in 0..senders as u32 {
+        for f in 0..k as u32 {
+            fabric.connect(i, f, agg, i * k as u32 + f);
+        }
+    }
+    fabric
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +509,55 @@ mod tests {
         let res = cfg.run_once(1);
         let delivered: u64 = res.flows.iter().map(|f| f.delivered_pkts).sum();
         assert!(delivered > 100, "hybrid delivered only {delivered} packets");
+    }
+
+    #[test]
+    fn aggregation_tree_is_shard_invariant_and_conserves() {
+        use qbm_core::units::Time;
+        let specs = &table1()[..3];
+        let rates = [LINK_RATE, Rate::from_mbps(24.0), Rate::from_mbps(16.0)];
+        let run = |threads| {
+            aggregation_tree(2, 2, specs, rates, &LinkProfile::default(), 7).run(
+                7,
+                Time::from_secs_f64(0.2),
+                Time::from_secs(1),
+                threads,
+            )
+        };
+        let (serial, sharded) = (run(1), run(4));
+        assert_eq!(serial, sharded, "shard count changed tree results");
+        assert_eq!(serial.len(), 1 + 2 + 4);
+        // Conservation: subscribers deliver what the site sent them
+        // (minus in-flight edge packets per relay stage).
+        let site: u64 = serial[0].flows.iter().map(|f| f.delivered_pkts).sum();
+        let subs: u64 = serial[3..]
+            .iter()
+            .flat_map(|r| r.flows.iter().map(|f| f.delivered_pkts))
+            .sum();
+        assert!(site > 100, "site barely delivered: {site}");
+        assert!(
+            site.abs_diff(subs) <= (3 * specs.len() * 4) as u64 * 2,
+            "tree lost packets without dropping: site {site} vs subs {subs}"
+        );
+    }
+
+    #[test]
+    fn incast_aggregator_multiplexes_all_senders() {
+        use qbm_core::units::Time;
+        let specs = &table1()[..2];
+        let fabric = incast_fanin(
+            3,
+            specs,
+            LINK_RATE,
+            Rate::from_mbps(40.0),
+            &LinkProfile::default(),
+            11,
+        );
+        let res = fabric.run(11, Time::from_secs_f64(0.2), Time::from_secs(1), 2);
+        assert_eq!(res.len(), 4);
+        assert_eq!(res[3].flows.len(), 6);
+        let agg: u64 = res[3].flows.iter().map(|f| f.delivered_pkts).sum();
+        assert!(agg > 100, "aggregator barely delivered: {agg}");
     }
 
     #[test]

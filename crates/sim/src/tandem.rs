@@ -15,8 +15,17 @@
 //! * at a slower downstream bottleneck, per-hop thresholds keep
 //!   protecting conformant flows, provided each hop passes its own
 //!   Eq. 9 admission check with the *downstream* rates.
+//!
+//! A line is the degenerate path graph of the general
+//! [`Fabric`](crate::fabric::Fabric): these entry points are thin
+//! shims that wire hop `i`'s flow `f` to hop `i+1`'s flow `f` and run
+//! the fabric single-threaded. The epoch/mailbox execution processes
+//! the exact event sequence the historical run-to-completion
+//! hop-by-hop runner did (see the fabric module docs), so existing
+//! results — including recorded traces — are byte-identical.
 
 use crate::experiment::PolicySpec;
+use crate::fabric::Fabric;
 use crate::router::Router;
 use crate::stats::SimResult;
 use qbm_core::flow::FlowSpec;
@@ -24,7 +33,7 @@ use qbm_core::policy::BufferPolicy;
 use qbm_core::units::{Rate, Time};
 use qbm_obs::{NullObserver, Observer};
 use qbm_sched::{SchedKind, Scheduler};
-use qbm_traffic::{build_source_kind, Emission, SourceKind, TraceSource};
+use qbm_traffic::{build_source_kind, SourceKind, TraceSource};
 
 /// One hop of a tandem line.
 #[derive(Debug, Clone)]
@@ -95,55 +104,32 @@ where
     P: BufferPolicy,
     S: Scheduler,
     F: FnMut(usize, Vec<SourceKind>) -> Router<P, S>,
-    O: Observer,
+    O: Observer + Send,
 {
     assert!(n_hops > 0, "empty line");
     assert_eq!(observers.len(), n_hops, "one observer per hop");
-    let mut results = Vec::with_capacity(n_hops);
-    // Hop i+1 replays hop i's recorded departures; `spare` holds the
-    // emission buffers recovered from hop i−1's spent replay sources,
-    // recycled as hop i's recording buffers. Two buffer sets ping-pong
-    // down the whole line — allocation is amortized over every hop
-    // after the first two.
-    let mut feed: Option<Vec<Vec<Emission>>> = None;
-    let mut spare: Option<Vec<Vec<Emission>>> = None;
-    for (i, obs) in observers.iter_mut().enumerate() {
-        let sources: Vec<SourceKind> = match feed.take() {
+    let mut fabric = Fabric::new();
+    for i in 0..n_hops {
+        let sources: Vec<SourceKind> = if i == 0 {
             // qbm-lint: allow(hot-path-alloc) — per-hop setup, not per-event
-            None => specs.iter().map(|s| build_source_kind(s, seed)).collect(),
-            // Recorded departures are time-sorted by construction —
-            // `from_recorded` skips the O(n) validation re-scan.
-            Some(traces) => traces
-                .into_iter()
-                .map(|t| SourceKind::Trace(TraceSource::from_recorded(t)))
-                // qbm-lint: allow(hot-path-alloc) — per-hop setup, not per-event
-                .collect(),
-        };
-        let router = make(i, sources);
-        if i + 1 < n_hops {
-            let (res, traces, spent) = router.run_recording_recycled(
-                warmup,
-                end,
-                seed,
-                obs,
-                spare.take().unwrap_or_default(),
-            );
-            results.push(res);
-            feed = Some(traces);
-            let recovered: Vec<Vec<Emission>> = spent
-                .into_iter()
-                .filter_map(SourceKind::into_trace_buffer)
-                // qbm-lint: allow(hot-path-alloc) — per-hop setup, not per-event
-                .collect();
-            if !recovered.is_empty() {
-                spare = Some(recovered);
-            }
+            specs.iter().map(|s| build_source_kind(s, seed)).collect()
         } else {
-            let (res, _spent) = router.run_returning_sources(warmup, end, seed, obs);
-            results.push(res);
+            // Relay hops start empty; the fabric fills each flow's
+            // replay source from its upstream mailbox every epoch.
+            specs
+                .iter()
+                .map(|_| SourceKind::Trace(TraceSource::from_recorded(Vec::new())))
+                // qbm-lint: allow(hot-path-alloc) — per-hop setup, not per-event
+                .collect()
+        };
+        let link = fabric.add_link(make(i, sources));
+        if i > 0 {
+            for f in 0..specs.len() as u32 {
+                fabric.connect(link - 1, f, link, f);
+            }
         }
     }
-    results
+    fabric.run_observed(seed, warmup, end, 1, observers)
 }
 
 #[cfg(test)]

@@ -401,6 +401,196 @@ fn pooled_campaign_with_mixed_flow_counts_is_thread_count_invariant() {
 }
 
 #[test]
+fn path_fabric_reproduces_pre_refactor_tandem_goldens() {
+    // Captured from the pre-fabric tandem runner (hop-by-hop
+    // run-to-completion with full-trace replay) on a 3-hop
+    // 48/44/40 Mb/s threshold line at seed 17. The epoch/mailbox
+    // fabric the line now runs on must reproduce both the per-hop
+    // statistics and the per-hop JSONL traces byte-for-byte.
+    use qos_buffer_mgmt::core::units::{Rate, Time};
+    use qos_buffer_mgmt::sim::tandem::{run_line, run_line_observed, Hop};
+    use qos_buffer_mgmt::sim::Router;
+    let specs = table1();
+    let hops: Vec<Hop> = [48.0, 44.0, 40.0]
+        .iter()
+        .map(|&m| Hop {
+            link_rate: Rate::from_mbps(m),
+            buffer_bytes: 1 << 20,
+            sched: SchedKind::Fifo,
+            policy: PolicySpec::Kind(PolicyKind::Threshold),
+        })
+        .collect();
+    let (warmup, end) = (Time::from_secs(1), Time::from_secs(5));
+    let res = run_line(&hops, &specs, 17, warmup, end);
+    let stats_golden = [
+        0xd2cd17612077d565u64,
+        0x9edc29f704242eef,
+        0x7c050d4f1443efdc,
+    ];
+    for (i, (r, g)) in res.iter().zip(&stats_golden).enumerate() {
+        assert_eq!(
+            fnv64(&format!("{r:?}")),
+            *g,
+            "hop {i} statistics drifted from pre-fabric goldens"
+        );
+    }
+    let mut tracers = vec![
+        Tracer::new(1 << 20),
+        Tracer::new(1 << 20),
+        Tracer::new(1 << 20),
+    ];
+    let observed = run_line_observed(
+        3,
+        &specs,
+        17,
+        warmup,
+        end,
+        |i, sources| {
+            let hop = &hops[i];
+            let policy = hop.policy.build(hop.buffer_bytes, hop.link_rate, &specs);
+            let sched = hop.sched.build(hop.link_rate, &specs);
+            Router::new(hop.link_rate, policy, sched, sources)
+        },
+        &mut tracers,
+    );
+    assert_eq!(res, observed, "observed tandem run diverges from plain run");
+    let trace_golden = [
+        (0x5e3a4b9dc2eb4771u64, 11_469_759usize),
+        (0x33362c6ab7977db5, 9_823_109),
+        (0xc948036c59621700, 9_363_045),
+    ];
+    for (i, (t, (g, len))) in tracers.iter().zip(&trace_golden).enumerate() {
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.len(), *len, "hop {i} trace length drifted");
+        assert_eq!(
+            fnv64(&jsonl),
+            *g,
+            "hop {i} trace drifted from pre-fabric goldens"
+        );
+    }
+}
+
+/// Run a topology fabric with per-link link-dim tracers; returns the
+/// statistics debug digest and the merged per-link trace text.
+fn fabric_digests(
+    fabric: qos_buffer_mgmt::sim::Fabric,
+    seed: u64,
+    threads: usize,
+) -> (u64, String) {
+    use qos_buffer_mgmt::core::units::Time;
+    let mut tracers = vec![Tracer::new(1 << 16).with_link_dim(); fabric.n_links()];
+    let res = fabric.run_observed(
+        seed,
+        Time::from_secs(1),
+        Time::from_secs(4),
+        threads,
+        &mut tracers,
+    );
+    (
+        fnv64(&format!("{res:?}")),
+        Tracer::merged_links_jsonl(&tracers),
+    )
+}
+
+#[test]
+fn tree_fabric_golden_and_shard_thread_invariant() {
+    // A 2-AP × 2-subscriber aggregation tree: merged statistics and
+    // the merged per-link trace must be byte-identical at 1 vs 8 shard
+    // threads, and must match the golden capture (so the schedule
+    // itself, not just its invariance, is pinned).
+    use qos_buffer_mgmt::core::units::Rate;
+    use qos_buffer_mgmt::sim::scenarios::{aggregation_tree, LinkProfile, LINK_RATE};
+    let specs = &table1()[..3];
+    let rates = [LINK_RATE, Rate::from_mbps(24.0), Rate::from_mbps(16.0)];
+    let build = || aggregation_tree(2, 2, specs, rates, &LinkProfile::default(), 7);
+    let (stats1, trace1) = fabric_digests(build(), 7, 1);
+    let (stats8, trace8) = fabric_digests(build(), 7, 8);
+    assert_eq!(stats1, stats8, "tree stats depend on shard threads");
+    assert_eq!(trace1, trace8, "tree trace depends on shard threads");
+    verify_trace(&trace1).expect("merged tree trace must pass the schema check");
+    assert_eq!(stats1, 0x6ddc_2dae_2186_2606, "tree stats digest drifted");
+    assert_eq!(
+        fnv64(&trace1),
+        0x1d0d_4375_fa52_6238,
+        "tree trace digest drifted"
+    );
+}
+
+#[test]
+fn incast_fabric_golden_and_shard_thread_invariant() {
+    use qos_buffer_mgmt::core::units::Rate;
+    use qos_buffer_mgmt::sim::scenarios::{incast_fanin, LinkProfile, LINK_RATE};
+    let specs = &table1()[..2];
+    let build = || {
+        incast_fanin(
+            3,
+            specs,
+            LINK_RATE,
+            Rate::from_mbps(40.0),
+            &LinkProfile::default(),
+            11,
+        )
+    };
+    let (stats1, trace1) = fabric_digests(build(), 11, 1);
+    let (stats8, trace8) = fabric_digests(build(), 11, 8);
+    assert_eq!(stats1, stats8, "incast stats depend on shard threads");
+    assert_eq!(trace1, trace8, "incast trace depends on shard threads");
+    verify_trace(&trace1).expect("merged incast trace must pass the schema check");
+    assert_eq!(stats1, 0xc017_4c3c_fe1b_3279, "incast stats digest drifted");
+    assert_eq!(
+        fnv64(&trace1),
+        0x9750_6948_2927_4546,
+        "incast trace digest drifted"
+    );
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+
+    // The mailbox-handoff ordering invariant, fuzzed over topology
+    // shape, seed and epoch length: for ANY aggregation tree, the
+    // merged statistics and the merged per-link trace text are
+    // byte-identical whether level-mates advance on 1, 2 or 8 shard
+    // threads — the fabric's schedule is a pure function of
+    // (topology, seed), never of the thread interleaving.
+    #[test]
+    fn tree_fabric_shard_invariance_holds_for_any_shape(
+        aps in 1usize..4,
+        subs in 1usize..3,
+        k in 1usize..4,
+        seed in 0u64..1000,
+        epoch_idx in 0usize..3,
+    ) {
+        let epoch_ms = [50u64, 250, 1000][epoch_idx];
+        use qos_buffer_mgmt::core::units::{Dur, Rate, Time};
+        use qos_buffer_mgmt::sim::scenarios::{aggregation_tree, LinkProfile, LINK_RATE};
+        let specs = table1();
+        let specs = &specs[..k];
+        let rates = [LINK_RATE, Rate::from_mbps(24.0), Rate::from_mbps(16.0)];
+        let run = |threads: usize| {
+            let fabric = aggregation_tree(aps, subs, specs, rates, &LinkProfile::default(), seed)
+                .with_epoch(Dur::from_millis(epoch_ms));
+            let mut tracers = vec![Tracer::new(4096).with_link_dim(); fabric.n_links()];
+            let res = fabric.run_observed(
+                seed,
+                Time::from_secs_f64(0.1),
+                Time::from_secs_f64(0.6),
+                threads,
+                &mut tracers,
+            );
+            (res, Tracer::merged_links_jsonl(&tracers))
+        };
+        let (res1, trace1) = run(1);
+        let (res2, trace2) = run(2);
+        let (res8, trace8) = run(8);
+        proptest::prop_assert_eq!(&res1, &res2, "1 vs 2 shard threads diverged");
+        proptest::prop_assert_eq!(&res1, &res8, "1 vs 8 shard threads diverged");
+        proptest::prop_assert_eq!(&trace1, &trace2, "trace 1 vs 2 shard threads diverged");
+        proptest::prop_assert_eq!(&trace1, &trace8, "trace 1 vs 8 shard threads diverged");
+    }
+}
+
+#[test]
 fn every_combination_moves_traffic() {
     // Sanity floor: each scheduler × policy pairing delivers a
     // substantial fraction of the link over the window.
