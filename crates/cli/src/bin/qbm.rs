@@ -223,7 +223,7 @@ fn run_topology(s: &Scenario, opts: &Options) {
     let profile = LinkProfile {
         buffer_bytes: s.buffer_bytes,
         sched: s.sched.clone(),
-        policy: qbm_sim::PolicySpec::Kind(s.policy.clone()),
+        policy: qbm_sim::PolicySpec::Kind(s.policy),
     };
     let kind = opts.topology.as_deref().unwrap_or("tree");
     let (fabric, labels): (_, Vec<String>) = if kind == "tree" {

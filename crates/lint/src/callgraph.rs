@@ -1,0 +1,449 @@
+//! Conservative call graph over the [`crate::model::Workspace`] item
+//! model, plus reachability from named root specifications.
+//!
+//! Resolution policy (DESIGN.md §13): a call site resolves to workspace
+//! functions by *name*, erring toward over-approximation everywhere
+//! except one deliberate carve-out — a call qualified by an
+//! uppercase-initial path segment (`Vec::new(…)`, `Time::from_secs(…)`)
+//! resolves **only** to functions whose impl owner matches that
+//! segment. Without the carve-out, every `Type::new(…)` in the
+//! workspace would alias std's constructors and drag the entire
+//! workspace into every hot set. Method calls (`.helper(…)`) and
+//! module-qualified calls (`rules::find_word(…)`) resolve broadly to
+//! every same-named function, which over-approximates across unrelated
+//! impls — acceptable for an audit that wants no false negatives.
+//!
+//! Functions carrying a `qbm-lint: cold(<reason>)` pragma are pruned
+//! from traversal: they declare setup/teardown frequency. The prune is
+//! recorded so the report can surface the cold surface like any other
+//! suppression.
+
+use crate::model::Workspace;
+
+/// A traversal root: where the transitive audits start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootSpec {
+    /// A function (by bare name) that must exist in a specific file.
+    InFile {
+        /// Repository-relative path, forward slashes.
+        file: &'static str,
+        /// Bare function name.
+        name: &'static str,
+    },
+    /// Every implementation of `Trait::name` across the workspace.
+    TraitMethod {
+        /// Trait name as written in `impl Trait for …`.
+        trait_name: &'static str,
+        /// Method name.
+        name: &'static str,
+    },
+}
+
+impl RootSpec {
+    /// Human-readable form for drift diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            RootSpec::InFile { file, name } => format!("fn {name} in {file}"),
+            RootSpec::TraitMethod { trait_name, name } => format!("{trait_name}::{name} impls"),
+        }
+    }
+}
+
+/// The resolved call graph: per-caller adjacency with call-site lines.
+#[derive(Debug)]
+pub struct Graph {
+    /// `edges[caller]` = sorted, deduped `(callee, line)` pairs.
+    pub edges: Vec<Vec<(usize, usize)>>,
+}
+
+impl Graph {
+    /// Resolve every call site in `ws` against the workspace name index.
+    pub fn build(ws: &Workspace) -> Graph {
+        // Name index over live (non-test), bodied functions.
+        let mut by_name: std::collections::HashMap<&str, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, f) in ws.fns.iter().enumerate() {
+            if !f.in_test && !f.decl {
+                by_name.entry(f.name.as_str()).or_default().push(i);
+            }
+        }
+
+        let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); ws.fns.len()];
+        for (ci, caller) in ws.fns.iter().enumerate() {
+            if caller.in_test || caller.decl {
+                continue;
+            }
+            for call in &caller.calls {
+                let Some(cands) = by_name.get(call.name.as_str()) else {
+                    continue;
+                };
+                let recv = call.recv.as_deref().map(|r| {
+                    if r == "Self" {
+                        caller.owner.clone().unwrap_or_default()
+                    } else {
+                        r.to_string()
+                    }
+                });
+                let strict = recv
+                    .as_deref()
+                    .is_some_and(|r| r.starts_with(|c: char| c.is_ascii_uppercase()));
+                for &callee in cands {
+                    if callee == ci {
+                        continue;
+                    }
+                    if strict {
+                        // Owner must match exactly; no fallback, so std
+                        // paths (`Vec::new`) create no edges.
+                        if ws.fns[callee].owner.as_deref() != recv.as_deref() {
+                            continue;
+                        }
+                    }
+                    // A name match across crates that don't depend on
+                    // each other cannot be a real edge.
+                    if !crate::rules::crate_edge_allowed(
+                        &ws.files[caller.file].rel,
+                        &ws.files[ws.fns[callee].file].rel,
+                    ) {
+                        continue;
+                    }
+                    edges[ci].push((callee, call.line));
+                }
+            }
+            edges[ci].sort_unstable();
+            edges[ci].dedup_by_key(|(callee, _)| *callee);
+        }
+        Graph { edges }
+    }
+}
+
+/// Result of a reachability sweep from a root set.
+#[derive(Debug)]
+pub struct Reach {
+    /// Per-fn flag: reachable from (and including) a matched root.
+    pub reachable: Vec<bool>,
+    /// Functions skipped because of a `cold(<reason>)` pragma, with the
+    /// line (0-based) of their signature for reporting.
+    pub cold_pruned: Vec<usize>,
+    /// Root specs that matched no live function — hard drift errors.
+    pub unmatched: Vec<String>,
+}
+
+/// Breadth-first reachability over `graph` from `roots`, pruning
+/// cold-marked functions (they and their exclusive callees drop out).
+pub fn reach(ws: &Workspace, graph: &Graph, roots: &[RootSpec]) -> Reach {
+    let mut reachable = vec![false; ws.fns.len()];
+    let mut cold_pruned = Vec::new();
+    let mut unmatched = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+
+    for spec in roots {
+        // A root only *drifts* when its anchor exists: the named file
+        // for `InFile`, any mention of the trait for `TraitMethod`.
+        // Partial workspaces (lint fixtures) skip absent anchors; in
+        // the real tree deleting the whole file breaks the build long
+        // before the linter runs.
+        let anchored = match spec {
+            RootSpec::InFile { file, .. } => ws.files.iter().any(|f| f.rel == *file),
+            RootSpec::TraitMethod { trait_name, .. } => ws
+                .fns
+                .iter()
+                .any(|f| f.trait_name.as_deref() == Some(*trait_name)),
+        };
+        if !anchored {
+            continue;
+        }
+        let mut hit = false;
+        for (i, f) in ws.fns.iter().enumerate() {
+            if f.in_test || f.decl {
+                continue;
+            }
+            let matches = match spec {
+                RootSpec::InFile { file, name } => ws.files[f.file].rel == *file && f.name == *name,
+                RootSpec::TraitMethod { trait_name, name } => {
+                    f.trait_name.as_deref() == Some(*trait_name) && f.name == *name
+                }
+            };
+            if !matches {
+                continue;
+            }
+            hit = true;
+            if f.cold.is_some() {
+                cold_pruned.push(i);
+            } else if !reachable[i] {
+                reachable[i] = true;
+                queue.push_back(i);
+            }
+        }
+        if !hit {
+            unmatched.push(spec.describe());
+        }
+    }
+
+    while let Some(ci) = queue.pop_front() {
+        for &(callee, _) in &graph.edges[ci] {
+            if reachable[callee] {
+                continue;
+            }
+            if ws.fns[callee].cold.is_some() {
+                cold_pruned.push(callee);
+                continue;
+            }
+            reachable[callee] = true;
+            queue.push_back(callee);
+        }
+    }
+
+    cold_pruned.sort_unstable();
+    cold_pruned.dedup();
+    Reach {
+        reachable,
+        cold_pruned,
+        unmatched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Workspace;
+
+    fn ws_of(files: &[(&str, &str)]) -> Workspace {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        Workspace::build(&owned)
+    }
+
+    fn fn_idx(ws: &Workspace, qname: &str) -> usize {
+        ws.fns
+            .iter()
+            .position(|f| f.qname() == qname)
+            .unwrap_or_else(|| panic!("no fn {qname}"))
+    }
+
+    #[test]
+    fn transitive_reachability_through_helpers() {
+        let ws = ws_of(&[(
+            "crates/sim/src/router.rs",
+            "fn run_inner() { step(); }\n\
+             fn step() { leaf(); }\n\
+             fn leaf() {}\n\
+             fn unrelated() {}\n",
+        )]);
+        let g = Graph::build(&ws);
+        let r = reach(
+            &ws,
+            &g,
+            &[RootSpec::InFile {
+                file: "crates/sim/src/router.rs",
+                name: "run_inner",
+            }],
+        );
+        assert!(r.reachable[fn_idx(&ws, "run_inner")]);
+        assert!(r.reachable[fn_idx(&ws, "step")]);
+        assert!(r.reachable[fn_idx(&ws, "leaf")]);
+        assert!(!r.reachable[fn_idx(&ws, "unrelated")]);
+        assert!(r.unmatched.is_empty());
+    }
+
+    #[test]
+    fn uppercase_qualified_calls_resolve_by_owner_only() {
+        let ws = ws_of(&[(
+            "crates/a/src/x.rs",
+            "impl Engine { fn new() { helper(); } }\n\
+             impl Other { fn new() {} }\n\
+             fn helper() {}\n\
+             fn root() { let e = Engine::new(); let v = Vec::new(); }\n",
+        )]);
+        let g = Graph::build(&ws);
+        let r = reach(
+            &ws,
+            &g,
+            &[RootSpec::InFile {
+                file: "crates/a/src/x.rs",
+                name: "root",
+            }],
+        );
+        // Engine::new and its callee are in; Other::new is not dragged
+        // in by `Vec::new`.
+        assert!(r.reachable[fn_idx(&ws, "Engine::new")]);
+        assert!(r.reachable[fn_idx(&ws, "helper")]);
+        assert!(!r.reachable[fn_idx(&ws, "Other::new")]);
+    }
+
+    #[test]
+    fn method_calls_resolve_broadly_across_impls() {
+        let ws = ws_of(&[(
+            "crates/a/src/x.rs",
+            "impl A { fn poll(&self) { self.work() } fn work(&self) {} }\n\
+             impl B { fn work(&self) { deep() } }\n\
+             fn deep() {}\n\
+             fn root(a: &A) { a.poll(); }\n",
+        )]);
+        let g = Graph::build(&ws);
+        let r = reach(
+            &ws,
+            &g,
+            &[RootSpec::InFile {
+                file: "crates/a/src/x.rs",
+                name: "root",
+            }],
+        );
+        // `.work()` is a method call: both impls count (conservative).
+        assert!(r.reachable[fn_idx(&ws, "A::work")]);
+        assert!(r.reachable[fn_idx(&ws, "B::work")]);
+        assert!(r.reachable[fn_idx(&ws, "deep")]);
+    }
+
+    #[test]
+    fn self_qualified_calls_bind_to_the_callers_impl() {
+        let ws = ws_of(&[(
+            "crates/a/src/x.rs",
+            "impl A { fn go(&self) { Self::leaf() } fn leaf() {} }\n\
+             impl B { fn leaf() {} }\n",
+        )]);
+        let g = Graph::build(&ws);
+        let r = reach(
+            &ws,
+            &g,
+            &[RootSpec::InFile {
+                file: "crates/a/src/x.rs",
+                name: "go",
+            }],
+        );
+        assert!(r.reachable[fn_idx(&ws, "A::leaf")]);
+        assert!(!r.reachable[fn_idx(&ws, "B::leaf")]);
+    }
+
+    #[test]
+    fn trait_method_roots_cover_every_impl() {
+        let ws = ws_of(&[
+            (
+                "crates/sched/src/wfq.rs",
+                "impl Scheduler for Wfq { fn enqueue(&mut self) { self.bump() } }\n\
+                 impl Wfq { fn bump(&mut self) {} }\n",
+            ),
+            (
+                "crates/sched/src/fifo.rs",
+                "impl Scheduler for Fifo { fn enqueue(&mut self) {} }\n\
+                 impl Fifo { fn idle(&self) {} }\n",
+            ),
+        ]);
+        let g = Graph::build(&ws);
+        let r = reach(
+            &ws,
+            &g,
+            &[RootSpec::TraitMethod {
+                trait_name: "Scheduler",
+                name: "enqueue",
+            }],
+        );
+        assert!(r.reachable[fn_idx(&ws, "Wfq::enqueue")]);
+        assert!(r.reachable[fn_idx(&ws, "Fifo::enqueue")]);
+        assert!(r.reachable[fn_idx(&ws, "Wfq::bump")]);
+        assert!(!r.reachable[fn_idx(&ws, "Fifo::idle")]);
+    }
+
+    #[test]
+    fn cold_pragma_prunes_a_subtree() {
+        let ws = ws_of(&[(
+            "crates/sim/src/router.rs",
+            "fn run_inner() { setup(); step(); }\n\
+             // qbm-lint: cold(runs once per simulation)\n\
+             fn setup() { build_tables(); }\n\
+             fn build_tables() {}\n\
+             fn step() {}\n",
+        )]);
+        let g = Graph::build(&ws);
+        let r = reach(
+            &ws,
+            &g,
+            &[RootSpec::InFile {
+                file: "crates/sim/src/router.rs",
+                name: "run_inner",
+            }],
+        );
+        assert!(r.reachable[fn_idx(&ws, "step")]);
+        assert!(!r.reachable[fn_idx(&ws, "setup")]);
+        // Exclusive callees of a cold fn drop out with it.
+        assert!(!r.reachable[fn_idx(&ws, "build_tables")]);
+        assert_eq!(r.cold_pruned, vec![fn_idx(&ws, "setup")]);
+    }
+
+    #[test]
+    fn unmatched_roots_are_reported() {
+        let ws = ws_of(&[(
+            "crates/a/src/x.rs",
+            "fn present() {}\n\
+             impl Gone for Y { fn other(&self) {} }\n",
+        )]);
+        let g = Graph::build(&ws);
+        let r = reach(
+            &ws,
+            &g,
+            &[
+                RootSpec::InFile {
+                    file: "crates/a/src/x.rs",
+                    name: "renamed_away",
+                },
+                RootSpec::TraitMethod {
+                    trait_name: "Gone",
+                    name: "poll",
+                },
+            ],
+        );
+        assert_eq!(r.unmatched.len(), 2);
+        assert!(r.unmatched[0].contains("renamed_away"));
+        assert!(r.unmatched[1].contains("Gone::poll"));
+    }
+
+    #[test]
+    fn unanchored_roots_are_skipped_not_drifted() {
+        // Partial workspaces (fixtures) must not report drift for
+        // files/traits they simply don't contain.
+        let ws = ws_of(&[("crates/a/src/x.rs", "fn present() {}\n")]);
+        let g = Graph::build(&ws);
+        let r = reach(
+            &ws,
+            &g,
+            &[
+                RootSpec::InFile {
+                    file: "crates/sim/src/router.rs",
+                    name: "run_inner",
+                },
+                RootSpec::TraitMethod {
+                    trait_name: "Scheduler",
+                    name: "enqueue",
+                },
+            ],
+        );
+        assert!(r.unmatched.is_empty());
+    }
+
+    #[test]
+    fn test_fns_neither_roots_nor_targets() {
+        let ws = ws_of(&[(
+            "crates/a/src/x.rs",
+            "fn root() { helper(); }\n\
+             fn helper() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             fn root() { secret(); }\n\
+             fn secret() {}\n\
+             }\n",
+        )]);
+        let g = Graph::build(&ws);
+        let r = reach(
+            &ws,
+            &g,
+            &[RootSpec::InFile {
+                file: "crates/a/src/x.rs",
+                name: "root",
+            }],
+        );
+        assert!(r.reachable[fn_idx(&ws, "helper")]);
+        let secret = fn_idx(&ws, "secret");
+        assert!(!r.reachable[secret]);
+    }
+}

@@ -31,6 +31,9 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod callgraph;
+pub mod emit;
+pub mod model;
 pub mod rules;
 pub mod scan;
 
@@ -74,7 +77,9 @@ pub struct Suppression {
     pub line: usize,
     /// The rule that would have fired.
     pub rule: &'static str,
-    /// `"pragma"` or `"allowlist"`.
+    /// `"pragma"`, `"allowlist"`, `"cold"` (a `qbm-lint: cold(...)`
+    /// pragma pruned the function from a transitive audit), or
+    /// `"baseline"` (the finding is covered by the committed baseline).
     pub via: &'static str,
 }
 
@@ -151,29 +156,11 @@ pub fn scan_file(rel: &str, src: &str) -> FileScan {
         }
     };
 
-    // Hot-path allocation audit: precompute which lines sit inside the
-    // audited event-loop functions (None for files outside the table).
-    let hot_lines = rules::hot_path_fns(rel).map(|names| scan::mark_fn_regions(&lines, names));
-
     for (i, line) in lines.iter().enumerate() {
         if line.in_test {
             continue;
         }
         let code = line.code.as_str();
-
-        if hot_lines.as_ref().is_some_and(|hot| hot[i]) {
-            for pat in rules::HOT_PATH_ALLOC_PATTERNS {
-                if rules::find_word(code, pat) {
-                    emit(
-                        &mut out,
-                        i,
-                        rules::HOT_PATH_ALLOC,
-                        format!("`{pat}` inside a hot-path event-loop function"),
-                        rules::HOT_PATH_ALLOC_HINT,
-                    );
-                }
-            }
-        }
 
         if rules::determinism_applies(rel) {
             for pat in rules::WALL_CLOCK_PATTERNS {
@@ -310,22 +297,350 @@ pub fn scan_file(rel: &str, src: &str) -> FileScan {
     out
 }
 
-/// Walk `<root>/crates` and `<root>/src`, scan every `.rs` file, and
-/// aggregate the per-file results. `tests/`, `benches/` and `target/`
-/// directories are skipped: the rules guard shipping library code, and
-/// integration tests are all test code by construction.
+/// Reference material the exhaustiveness cross-checks read: the
+/// equivalence suite, the differential tests, the generated rule docs,
+/// and the fixture-corpus directory listing. A `None` field skips the
+/// checks that need it (partial fixture workspaces); `Some("")` — what
+/// [`run_repo`] produces when a reference file is *missing* — makes
+/// them all fire, so deleting the suite is maximal drift, not silence.
+#[derive(Debug, Default)]
+pub struct RefSet {
+    /// `tests/determinism.rs` — the 56-combo suite and golden snapshots.
+    pub suite: Option<String>,
+    /// `crates/sched/tests/differential.rs` — float-reference coverage.
+    pub differential: Option<String>,
+    /// `RULES.md` — the generated rule documentation.
+    pub rules_md: Option<String>,
+    /// Directory names under `crates/lint/tests/fixtures/`.
+    pub fixture_ids: Option<Vec<String>>,
+}
+
+/// The workspace-level analysis pass: item model → call graph →
+/// transitive hot-path/panic/index audit, sharding-safety audit, and
+/// the exhaustiveness cross-checks. Complements the per-file
+/// [`scan_file`] rules; [`run_repo`] runs both.
+pub fn analyze_workspace(files: &[(String, String)], refs: &RefSet) -> FileScan {
+    let ws = model::Workspace::build(files);
+    let graph = callgraph::Graph::build(&ws);
+    let hot = callgraph::reach(&ws, &graph, rules::HOT_ROOTS);
+    let shard = callgraph::reach(&ws, &graph, rules::SHARD_ROOTS);
+    let mut out = FileScan::default();
+
+    // Root drift is a hard error with no pragma escape: a root that
+    // matches nothing silently disarms everything downstream of it.
+    let mut drifted: Vec<&String> = hot.unmatched.iter().chain(shard.unmatched.iter()).collect();
+    drifted.sort();
+    drifted.dedup();
+    for desc in drifted {
+        out.findings.push(Finding {
+            file: "crates/lint/src/rules.rs".to_string(),
+            line: 1,
+            rule: rules::ROOT_DRIFT,
+            message: format!("audit root `{desc}` matches no live function"),
+            hint: rules::ROOT_DRIFT_HINT,
+        });
+    }
+
+    // Cold-pruned functions are a visible suppression surface, exactly
+    // like pragmas: the audit deliberately looked away.
+    for (pruned, rule) in [
+        (&hot.cold_pruned, rules::HOT_PATH_ALLOC),
+        (&shard.cold_pruned, rules::SHARD_SAFETY),
+    ] {
+        for &fi in pruned.iter() {
+            let f = &ws.fns[fi];
+            out.suppressions.push(Suppression {
+                file: ws.files[f.file].rel.clone(),
+                line: f.first_line + 1,
+                rule,
+                via: "cold",
+            });
+        }
+    }
+
+    // Line pass over every fn the audits reach.
+    for fm in &ws.files {
+        let mut allowed: Vec<Vec<String>> = vec![Vec::new(); fm.lines.len()];
+        for (i, line) in fm.lines.iter().enumerate() {
+            for rule in scan::pragma_rules(&line.comment) {
+                allowed[i].push(rule.clone());
+                if i + 1 < fm.lines.len() {
+                    allowed[i + 1].push(rule);
+                }
+            }
+        }
+        for (li, line) in fm.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let Some(fni) = fm.fn_of_line[li] else {
+                continue;
+            };
+            let mut emit = |rule: &'static str, message: String, hint: &'static str| {
+                if allowed[li].iter().any(|r| r == rule) {
+                    out.suppressions.push(Suppression {
+                        file: fm.rel.clone(),
+                        line: li + 1,
+                        rule,
+                        via: "pragma",
+                    });
+                } else {
+                    out.findings.push(Finding {
+                        file: fm.rel.clone(),
+                        line: li + 1,
+                        rule,
+                        message,
+                        hint,
+                    });
+                }
+            };
+            let qn = ws.fns[fni].qname();
+            let code = line.code.as_str();
+            if hot.reachable[fni] {
+                for pat in rules::HOT_PATH_ALLOC_PATTERNS {
+                    if rules::find_word(code, pat) {
+                        emit(
+                            rules::HOT_PATH_ALLOC,
+                            format!("`{pat}` in hot-path fn `{qn}`"),
+                            rules::HOT_PATH_ALLOC_HINT,
+                        );
+                    }
+                }
+                for pat in rules::PANIC_METHOD_PATTERNS {
+                    if code.contains(pat) {
+                        emit(
+                            rules::HOT_PATH_PANIC,
+                            format!("`{pat}…)` in hot-path fn `{qn}`"),
+                            rules::HOT_PATH_PANIC_HINT,
+                        );
+                    }
+                }
+                for pat in rules::PANIC_MACRO_PATTERNS {
+                    if rules::find_word(code, pat) {
+                        emit(
+                            rules::HOT_PATH_PANIC,
+                            format!("`{pat}` in hot-path fn `{qn}`"),
+                            rules::HOT_PATH_PANIC_HINT,
+                        );
+                    }
+                }
+                for _ in 0..rules::index_exprs(code) {
+                    emit(
+                        rules::HOT_PATH_INDEX,
+                        format!("indexing expression in hot-path fn `{qn}`"),
+                        rules::HOT_PATH_INDEX_HINT,
+                    );
+                }
+            }
+            if shard.reachable[fni] {
+                for pat in rules::SHARD_SAFETY_PATTERNS {
+                    if rules::find_word(code, pat) {
+                        emit(
+                            rules::SHARD_SAFETY,
+                            format!("`{pat}` in sharded fn `{qn}`"),
+                            rules::SHARD_SAFETY_HINT,
+                        );
+                    }
+                }
+                if rules::find_word(code, "static mut") {
+                    emit(
+                        rules::SHARD_SAFETY,
+                        format!("`static mut` in sharded fn `{qn}`"),
+                        rules::SHARD_SAFETY_HINT,
+                    );
+                }
+                if rules::has_atomic_token(code) {
+                    emit(
+                        rules::SHARD_SAFETY,
+                        format!("`Atomic*` type in sharded fn `{qn}`"),
+                        rules::SHARD_SAFETY_HINT,
+                    );
+                }
+            }
+        }
+    }
+
+    exhaustiveness(&ws, refs, &mut out);
+    out.findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+/// The cross-file exhaustiveness checks (tentpole part 2): scheduler
+/// and policy coverage in the equivalence suite, source dispatch
+/// coverage, and the linter's own doc/fixture coverage.
+fn exhaustiveness(ws: &model::Workspace, refs: &RefSet, out: &mut FileScan) {
+    if let Some(suite) = refs.suite.as_deref() {
+        let differential = refs.differential.as_deref();
+        for im in ws.impls.iter().filter(|im| {
+            im.trait_name.as_deref() == Some("Scheduler") && !im.in_test && im.type_name != "Box"
+        }) {
+            let is_reference = im.type_name.ends_with("Reference");
+            let (hay, home) = if is_reference {
+                // Float baselines live in the differential tests, not
+                // the production suite.
+                match differential {
+                    Some(d) => (d, "crates/sched/tests/differential.rs"),
+                    None => continue,
+                }
+            } else {
+                (suite, "tests/determinism.rs")
+            };
+            if !rules::find_word(hay, &im.type_name) {
+                out.findings.push(Finding {
+                    file: ws.files[im.file].rel.clone(),
+                    line: im.line + 1,
+                    rule: rules::EXHAUSTIVE_SCHED,
+                    message: format!(
+                        "`impl Scheduler for {}` is not exercised by {home}",
+                        im.type_name
+                    ),
+                    hint: rules::EXHAUSTIVE_SCHED_HINT,
+                });
+            }
+        }
+        for (ename, rule, hint) in [
+            (
+                "SchedKind",
+                rules::EXHAUSTIVE_SCHED,
+                rules::EXHAUSTIVE_SCHED_HINT,
+            ),
+            (
+                "PolicyKind",
+                rules::EXHAUSTIVE_POLICY,
+                rules::EXHAUSTIVE_POLICY_HINT,
+            ),
+        ] {
+            let Some(e) = ws.enum_def(ename) else {
+                continue;
+            };
+            for (v, vline) in &e.variants {
+                if !rules::find_word(suite, &format!("{ename}::{v}")) {
+                    out.findings.push(Finding {
+                        file: ws.files[e.file].rel.clone(),
+                        line: vline + 1,
+                        rule,
+                        message: format!(
+                            "enum variant `{ename}::{v}` never appears in tests/determinism.rs"
+                        ),
+                        hint,
+                    });
+                }
+            }
+        }
+    }
+
+    // Source dispatch coverage is workspace-internal: the enum, the
+    // dispatch fn, and the impls are all in the tree being analyzed.
+    if let Some(e) = ws.enum_def("SourceKind") {
+        let kind_file = &ws.files[e.file];
+        let dispatch = ws.fns.iter().find(|f| {
+            f.name == "next_emission" && f.owner.as_deref() == Some("SourceKind") && !f.decl
+        });
+        match dispatch {
+            Some(d) => {
+                let body: String = ws.files[d.file].lines[d.first_line..=d.last_line]
+                    .iter()
+                    .map(|l| l.code.as_str())
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                for (v, vline) in &e.variants {
+                    if !body.contains(&format!("SourceKind::{v}")) {
+                        out.findings.push(Finding {
+                            file: kind_file.rel.clone(),
+                            line: vline + 1,
+                            rule: rules::EXHAUSTIVE_SOURCE,
+                            message: format!(
+                                "variant `SourceKind::{v}` is not dispatched in next_emission (wildcard arm?)"
+                            ),
+                            hint: rules::EXHAUSTIVE_SOURCE_HINT,
+                        });
+                    }
+                }
+            }
+            None => out.findings.push(Finding {
+                file: kind_file.rel.clone(),
+                line: 1,
+                rule: rules::EXHAUSTIVE_SOURCE,
+                message: "`SourceKind` has no `next_emission` dispatch impl".to_string(),
+                hint: rules::EXHAUSTIVE_SOURCE_HINT,
+            }),
+        }
+        let kind_code: String = kind_file
+            .lines
+            .iter()
+            .map(|l| l.code.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        for im in ws.impls.iter().filter(|im| {
+            im.trait_name.as_deref() == Some("Source")
+                && !im.in_test
+                && im.type_name != "Box"
+                && im.type_name != "SourceKind"
+        }) {
+            if !rules::find_word(&kind_code, &im.type_name) {
+                out.findings.push(Finding {
+                    file: ws.files[im.file].rel.clone(),
+                    line: im.line + 1,
+                    rule: rules::EXHAUSTIVE_SOURCE,
+                    message: format!(
+                        "`impl Source for {}` is not wired into the SourceKind dispatch enum",
+                        im.type_name
+                    ),
+                    hint: rules::EXHAUSTIVE_SOURCE_HINT,
+                });
+            }
+        }
+    }
+
+    // The linter checks itself: every registry entry needs its RULES.md
+    // section and its fixture pair.
+    if let Some(md) = refs.rules_md.as_deref() {
+        for m in rules::REGISTRY {
+            if !rules::find_word(md, m.id) {
+                out.findings.push(Finding {
+                    file: "RULES.md".to_string(),
+                    line: 1,
+                    rule: rules::EXHAUSTIVE_RULE_DOC,
+                    message: format!("rule `{}` has no RULES.md entry", m.id),
+                    hint: rules::EXHAUSTIVE_RULE_DOC_HINT,
+                });
+            }
+        }
+    }
+    if let Some(ids) = &refs.fixture_ids {
+        for m in rules::REGISTRY {
+            if !ids.iter().any(|i| i == m.id) {
+                out.findings.push(Finding {
+                    file: "crates/lint/tests/fixtures".to_string(),
+                    line: 1,
+                    rule: rules::EXHAUSTIVE_RULE_DOC,
+                    message: format!("rule `{}` has no fixture pair under tests/fixtures/", m.id),
+                    hint: rules::EXHAUSTIVE_RULE_DOC_HINT,
+                });
+            }
+        }
+    }
+}
+
+/// Walk `<root>/crates` and `<root>/src`, scan every `.rs` file, run
+/// the workspace analysis over the collected set, and aggregate.
+/// `tests/`, `benches/` and `target/` directories are skipped: the
+/// rules guard shipping library code, and integration tests are all
+/// test code by construction (the exhaustiveness pass reads the test
+/// suites as *reference text* via [`RefSet`], not as lint subjects).
 pub fn run_repo(root: &Path) -> io::Result<Report> {
-    let mut files: Vec<PathBuf> = Vec::new();
+    let mut paths: Vec<PathBuf> = Vec::new();
     for top in ["crates", "src"] {
         let dir = root.join(top);
         if dir.is_dir() {
-            collect_rs(&dir, &mut files)?;
+            collect_rs(&dir, &mut paths)?;
         }
     }
-    files.sort();
+    paths.sort();
 
-    let mut report = Report::default();
-    for path in &files {
+    let mut files: Vec<(String, String)> = Vec::with_capacity(paths.len());
+    for path in &paths {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
@@ -333,12 +648,29 @@ pub fn run_repo(root: &Path) -> io::Result<Report> {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        let src = fs::read_to_string(path)?;
-        let scan = scan_file(&rel, &src);
+        files.push((rel, fs::read_to_string(path)?));
+    }
+
+    let mut report = Report::default();
+    for (rel, src) in &files {
+        let scan = scan_file(rel, src);
         report.findings.extend(scan.findings);
         report.suppressions.extend(scan.suppressions);
         report.files_scanned += 1;
     }
+
+    let refs = RefSet {
+        suite: Some(read_or_empty(&root.join("tests/determinism.rs"))),
+        differential: Some(read_or_empty(
+            &root.join("crates/sched/tests/differential.rs"),
+        )),
+        rules_md: Some(read_or_empty(&root.join("RULES.md"))),
+        fixture_ids: Some(list_dirs(&root.join("crates/lint/tests/fixtures"))),
+    };
+    let ws_scan = analyze_workspace(&files, &refs);
+    report.findings.extend(ws_scan.findings);
+    report.suppressions.extend(ws_scan.suppressions);
+
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -346,6 +678,28 @@ pub fn run_repo(root: &Path) -> io::Result<Report> {
         .suppressions
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(report)
+}
+
+/// Read a reference file, mapping *absence* to the empty string so the
+/// dependent exhaustiveness checks all fire (deleting the suite is the
+/// loudest possible drift, not a silent skip).
+fn read_or_empty(path: &Path) -> String {
+    fs::read_to_string(path).unwrap_or_default()
+}
+
+/// Sorted subdirectory names (the fixture corpus layout is one
+/// directory per rule ID).
+fn list_dirs(dir: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if entry.path().is_dir() {
+                out.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+    }
+    out.sort();
+    out
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -629,77 +983,282 @@ mod tests {
         assert!(findings_of("crates/lint/src/main.rs", src).is_empty());
     }
 
+    fn analyze(files: &[(&str, &str)], refs: &RefSet) -> FileScan {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        analyze_workspace(&owned, refs)
+    }
+
+    const NO_REFS: RefSet = RefSet {
+        suite: None,
+        differential: None,
+        rules_md: None,
+        fixture_ids: None,
+    };
+
+    fn rules_hit(scan: &FileScan, rule: &str) -> Vec<usize> {
+        scan.findings
+            .iter()
+            .filter(|f| f.rule == rule)
+            .map(|f| f.line)
+            .collect()
+    }
+
     #[test]
-    fn hot_path_alloc_flagged_inside_audited_fns_only() {
-        // `vec!` inside `advance` fires; the same token in a sibling
-        // function of the same file does not.
-        let src = "\
-            fn setup() { let _ = vec![1, 2]; }\n\
-            fn advance(&mut self) {\n\
-                let b = Box::new(3);\n\
-                let v = items.iter().collect();\n\
-            }\n";
-        let f = scan_file("crates/sim/src/router.rs", src).findings;
-        let rules_hit: Vec<_> = f.iter().map(|x| (x.rule, x.line)).collect();
-        assert_eq!(
-            rules_hit,
-            vec![(rules::HOT_PATH_ALLOC, 3), (rules::HOT_PATH_ALLOC, 4)]
+    fn hot_path_alloc_is_transitive_two_calls_deep() {
+        // The acceptance scenario: a `vec!` two calls below `run_inner`
+        // must fire even though neither helper is named in any root.
+        let scan = analyze(
+            &[(
+                "crates/sim/src/router.rs",
+                "impl Router { fn run_inner(&mut self) { helper_a(); } }\n\
+                 fn helper_a() { helper_b(); }\n\
+                 fn helper_b() { let v = vec![1, 2]; }\n\
+                 fn unrelated() { let v = vec![3]; }\n",
+            )],
+            &NO_REFS,
         );
-        // Same text in a file outside the audit table: clean.
-        assert!(findings_of("crates/sim/src/stats.rs", src).is_empty());
+        assert_eq!(rules_hit(&scan, rules::HOT_PATH_ALLOC), vec![3]);
     }
 
     #[test]
-    fn hot_path_alloc_spans_multiline_signatures_and_ends_at_brace() {
-        let src = "\
-            fn advance<O: Observer, E: EventCore>(\n\
-                mut self,\n\
-            ) -> SimResult {\n\
-                let v = x.to_vec();\n\
-            }\n\
-            fn after() { let _ = vec![0]; }\n";
-        let f = scan_file("crates/sim/src/router.rs", src).findings;
-        assert_eq!(f.len(), 1);
-        assert_eq!((f[0].rule, f[0].line), (rules::HOT_PATH_ALLOC, 4));
+    fn hot_path_panic_flags_unwrap_in_scheduler_dequeue() {
+        let scan = analyze(
+            &[(
+                "crates/sched/src/wfq.rs",
+                "impl Scheduler for Wfq {\n\
+                     fn dequeue(&mut self, now: Time) -> Option<PacketRef> {\n\
+                         let head = self.heap.peek().unwrap();\n\
+                         Some(head.pkt)\n\
+                     }\n\
+                 }\n",
+            )],
+            &NO_REFS,
+        );
+        assert_eq!(rules_hit(&scan, rules::HOT_PATH_PANIC), vec![3]);
     }
 
     #[test]
-    fn hot_path_alloc_pragma_allows_setup_lines() {
-        let src = "\
-            fn start_transmission(&mut self) {\n\
-                // qbm-lint: allow(hot-path-alloc) — one-time setup\n\
-                let v: Vec<u32> = (0..4).collect();\n\
-                let b = Box::new(v);\n\
-            }\n";
-        let s = scan_file("crates/sim/src/router.rs", src);
+    fn hot_path_index_counts_expressions_not_attributes() {
+        let scan = analyze(
+            &[(
+                "crates/sim/src/router.rs",
+                "#[inline]\n\
+                 fn advance(&mut self) {\n\
+                     let x = lanes.pending[f];\n\
+                     let y = [0u64; 4];\n\
+                 }\n",
+            )],
+            &NO_REFS,
+        );
+        assert_eq!(rules_hit(&scan, rules::HOT_PATH_INDEX), vec![3]);
+    }
+
+    #[test]
+    fn shard_safety_flags_interior_mutability_under_advance_level() {
+        let scan = analyze(
+            &[(
+                "crates/sim/src/fabric.rs",
+                "fn advance_level(engines: &mut [E]) { per_shard(); }\n\
+                 fn per_shard() { let c = RefCell::new(0); }\n\
+                 fn outside() { let c = RefCell::new(0); }\n",
+            )],
+            &NO_REFS,
+        );
+        assert_eq!(rules_hit(&scan, rules::SHARD_SAFETY), vec![2]);
+    }
+
+    #[test]
+    fn cold_pragma_prunes_and_is_counted() {
+        let scan = analyze(
+            &[(
+                "crates/sim/src/router.rs",
+                "impl Router { fn run_inner(&mut self) { setup(); step(); } }\n\
+                 // qbm-lint: cold(one-time table build)\n\
+                 fn setup() { let v = vec![0; 64]; }\n\
+                 fn step() { let b = Box::new(1); }\n",
+            )],
+            &NO_REFS,
+        );
+        // The cold fn's alloc is silent; the hot callee still fires.
+        assert_eq!(rules_hit(&scan, rules::HOT_PATH_ALLOC), vec![4]);
+        assert!(scan
+            .suppressions
+            .iter()
+            .any(|s| s.via == "cold" && s.line == 3));
+    }
+
+    #[test]
+    fn workspace_rules_honor_allow_pragmas() {
+        let scan = analyze(
+            &[(
+                "crates/sim/src/router.rs",
+                "fn advance(&mut self) {\n\
+                     // qbm-lint: allow(hot-path-alloc) — amortized growth\n\
+                     let v: Vec<u32> = (0..4).collect();\n\
+                     let b = Box::new(v);\n\
+                 }\n",
+            )],
+            &NO_REFS,
+        );
         // The pragma covers line 3 (`collect`) but not line 4.
-        assert_eq!(s.suppressions.len(), 1);
-        assert_eq!(s.suppressions[0].line, 3);
-        assert_eq!(s.findings.len(), 1);
-        assert_eq!(s.findings[0].line, 4);
+        assert_eq!(rules_hit(&scan, rules::HOT_PATH_ALLOC), vec![4]);
+        assert!(scan
+            .suppressions
+            .iter()
+            .any(|s| s.via == "pragma" && s.line == 3));
     }
 
     #[test]
-    fn hot_path_alloc_audits_the_tandem_loop() {
-        let src = "\
-            pub fn run_line_observed() {\n\
-                let sources: Vec<S> = specs.iter().map(f).collect();\n\
-            }\n";
+    fn root_drift_is_a_hard_error() {
+        // router.rs exists but `run_inner` was renamed away.
+        let scan = analyze(
+            &[(
+                "crates/sim/src/router.rs",
+                "impl Router { fn run_inner_v2(&mut self) {} }\n\
+                 fn advance() {}\n\
+                 fn start_transmission() {}\n\
+                 fn deliver() {}\n",
+            )],
+            &NO_REFS,
+        );
+        let drift = rules_hit(&scan, rules::ROOT_DRIFT);
+        assert_eq!(drift.len(), 1);
+        assert!(scan
+            .findings
+            .iter()
+            .any(|f| f.rule == rules::ROOT_DRIFT && f.message.contains("run_inner")));
+    }
+
+    #[test]
+    fn exhaustive_sched_flags_missing_suite_coverage() {
+        let files = [(
+            "crates/sched/src/fancy.rs",
+            "impl Scheduler for Fancy {\n fn name(&self) -> &'static str { \"fancy\" }\n}\n",
+        )];
+        let covered = RefSet {
+            suite: Some("(\"fancy\", SchedKind::Fancy { x: 1 }), Fancy".to_string()),
+            differential: Some(String::new()),
+            ..Default::default()
+        };
+        assert!(rules_hit(&analyze(&files, &covered), rules::EXHAUSTIVE_SCHED).is_empty());
+        // Deleting the scheduler from the suite text → finding.
+        let dropped = RefSet {
+            suite: Some("(\"wfq\", SchedKind::Wfq)".to_string()),
+            differential: Some(String::new()),
+            ..Default::default()
+        };
         assert_eq!(
-            findings_of("crates/sim/src/tandem.rs", src),
-            vec![rules::HOT_PATH_ALLOC]
+            rules_hit(&analyze(&files, &dropped), rules::EXHAUSTIVE_SCHED),
+            vec![1]
         );
     }
 
     #[test]
-    fn hot_path_alloc_audits_the_fabric_exchange() {
-        let src = "\
-            fn exchange(engines: &mut [LinkEngine<P, S>]) {\n\
-                let batch: Vec<Emission> = pending.to_vec();\n\
-            }\n";
+    fn exhaustive_sched_routes_references_to_differential() {
+        let files = [(
+            "crates/sched/src/reference.rs",
+            "impl Scheduler for WfqReference {\n fn name(&self) -> &'static str { \"r\" }\n}\n",
+        )];
+        let ok = RefSet {
+            suite: Some(String::new()),
+            differential: Some("check(WfqReference::new())".to_string()),
+            ..Default::default()
+        };
+        assert!(rules_hit(&analyze(&files, &ok), rules::EXHAUSTIVE_SCHED).is_empty());
+        let missing = RefSet {
+            suite: Some("WfqReference mentioned here does not count".to_string()),
+            differential: Some(String::new()),
+            ..Default::default()
+        };
         assert_eq!(
-            findings_of("crates/sim/src/fabric.rs", src),
-            vec![rules::HOT_PATH_ALLOC]
+            rules_hit(&analyze(&files, &missing), rules::EXHAUSTIVE_SCHED),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn exhaustive_policy_flags_unlisted_variants() {
+        let files = [(
+            "crates/core/src/policy/mod.rs",
+            "pub enum PolicyKind {\n    Threshold,\n    Red { seed: u64 },\n}\n",
+        )];
+        let partial = RefSet {
+            suite: Some("PolicyKind::Threshold".to_string()),
+            ..Default::default()
+        };
+        assert_eq!(
+            rules_hit(&analyze(&files, &partial), rules::EXHAUSTIVE_POLICY),
+            vec![3]
+        );
+    }
+
+    #[test]
+    fn exhaustive_source_flags_wildcard_dispatch_and_unwired_impls() {
+        let scan = analyze(
+            &[
+                (
+                    "crates/traffic/src/kind.rs",
+                    "pub enum SourceKind {\n\
+                         Cbr(CbrSource),\n\
+                         Poisson(PoissonSource),\n\
+                     }\n\
+                     impl Source for SourceKind {\n\
+                         fn next_emission(&mut self) -> Option<Emission> {\n\
+                             match self {\n\
+                                 SourceKind::Cbr(s) => s.next_emission(),\n\
+                                 _ => None,\n\
+                             }\n\
+                         }\n\
+                     }\n",
+                ),
+                (
+                    "crates/traffic/src/burst.rs",
+                    "impl Source for BurstSource {\n\
+                         fn next_emission(&mut self) -> Option<Emission> { None }\n\
+                     }\n",
+                ),
+            ],
+            &NO_REFS,
+        );
+        let f = rules_hit(&scan, rules::EXHAUSTIVE_SOURCE);
+        // Poisson falls into the wildcard arm; BurstSource is unwired.
+        assert_eq!(f.len(), 2);
+        assert!(scan
+            .findings
+            .iter()
+            .any(|x| x.message.contains("SourceKind::Poisson")));
+        assert!(scan
+            .findings
+            .iter()
+            .any(|x| x.message.contains("BurstSource")));
+    }
+
+    #[test]
+    fn exhaustive_rule_doc_covers_registry() {
+        let all_ids: Vec<String> = rules::REGISTRY.iter().map(|m| m.id.to_string()).collect();
+        let full_md = all_ids
+            .iter()
+            .map(|i| format!("## `{i}`"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let ok = RefSet {
+            rules_md: Some(full_md.clone()),
+            fixture_ids: Some(all_ids.clone()),
+            ..Default::default()
+        };
+        assert!(rules_hit(&analyze(&[], &ok), rules::EXHAUSTIVE_RULE_DOC).is_empty());
+        // Empty docs/fixtures → one finding per registry entry each.
+        let none = RefSet {
+            rules_md: Some(String::new()),
+            fixture_ids: Some(Vec::new()),
+            ..Default::default()
+        };
+        assert_eq!(
+            rules_hit(&analyze(&[], &none), rules::EXHAUSTIVE_RULE_DOC).len(),
+            2 * rules::REGISTRY.len()
         );
     }
 

@@ -1,33 +1,117 @@
 //! `qbm-lint` driver binary.
 //!
-//! Usage: `cargo run -p qbm-lint [--verbose] [ROOT]`
+//! Usage: `cargo run -p qbm-lint [FLAGS] [ROOT]`
 //!
-//! Walks `ROOT` (default: the enclosing workspace root) and prints
-//! every unsuppressed finding as `file:line [rule] message` plus a fix
-//! hint. Exit status: 0 clean, 1 findings, 2 driver error. With
-//! `--verbose`, also lists the suppressions in effect.
+//! Walks `ROOT` (default: the enclosing workspace root), runs the
+//! per-file rules and the workspace analysis, applies the committed
+//! findings baseline (`lint-baseline.tsv` at the root, if present), and
+//! prints every remaining finding as `file:line [rule] message` plus a
+//! fix hint. Exit status: 0 clean, 1 findings (or stale baseline
+//! entries), 2 driver error.
+//!
+//! Flags:
+//! * `--json <path>` — write the findings report as JSON (`-` = stdout);
+//! * `--sarif <path>` — write SARIF 2.1.0 (`-` = stdout);
+//! * `--summary` — print the per-rule markdown table (for CI job summaries);
+//! * `--baseline <path>` — use a specific baseline file;
+//! * `--no-baseline` — report raw findings, baseline ignored;
+//! * `--write-baseline` — regenerate the baseline from the current raw
+//!   findings and exit 0 (the triage workflow);
+//! * `--rules-md` — print the generated `RULES.md` to stdout and exit;
+//! * `--verbose` — also list the suppressions in effect.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::env;
+use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let mut verbose = false;
-    let mut root: Option<PathBuf> = None;
-    for arg in env::args().skip(1) {
+struct Opts {
+    verbose: bool,
+    summary: bool,
+    json: Option<String>,
+    sarif: Option<String>,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: bool,
+    rules_md: bool,
+    root: Option<PathBuf>,
+}
+
+fn usage() {
+    println!(
+        "usage: qbm-lint [--verbose] [--summary] [--json PATH] [--sarif PATH]\n\
+         \x20               [--baseline PATH | --no-baseline] [--write-baseline]\n\
+         \x20               [--rules-md] [ROOT]"
+    );
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut o = Opts {
+        verbose: false,
+        summary: false,
+        json: None,
+        sarif: None,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: false,
+        rules_md: false,
+        root: None,
+    };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--verbose" | "-v" => verbose = true,
-            "--help" | "-h" => {
-                println!("usage: qbm-lint [--verbose] [ROOT]");
-                return ExitCode::SUCCESS;
+            "--verbose" | "-v" => o.verbose = true,
+            "--summary" => o.summary = true,
+            "--json" => o.json = Some(args.next().ok_or("--json needs a path")?),
+            "--sarif" => o.sarif = Some(args.next().ok_or("--sarif needs a path")?),
+            "--baseline" => {
+                o.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a path")?));
             }
-            other => root = Some(PathBuf::from(other)),
+            "--no-baseline" => o.no_baseline = true,
+            "--write-baseline" => o.write_baseline = true,
+            "--rules-md" => o.rules_md = true,
+            "--help" | "-h" => {
+                usage();
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            other => o.root = Some(PathBuf::from(other)),
         }
     }
-    let root = match root.or_else(find_workspace_root) {
+    Ok(o)
+}
+
+/// Write `text` to `path`, with `-` meaning stdout.
+fn write_out(path: &str, text: &str) -> std::io::Result<()> {
+    if path == "-" {
+        print!("{text}");
+        Ok(())
+    } else {
+        fs::write(path, text)
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("qbm-lint: {e}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.rules_md {
+        print!("{}", qbm_lint::emit::rules_md());
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root.clone().or_else(find_workspace_root) {
         Some(r) => r,
         None => {
             eprintln!(
@@ -37,7 +121,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match qbm_lint::run_repo(&root) {
+    let mut report = match qbm_lint::run_repo(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("qbm-lint: scan failed under {}: {e}", root.display());
@@ -45,10 +129,49 @@ fn main() -> ExitCode {
         }
     };
 
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.tsv"));
+
+    if opts.write_baseline {
+        let text = qbm_lint::emit::write_baseline(&report);
+        if let Err(e) = fs::write(&baseline_path, &text) {
+            eprintln!("qbm-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "qbm-lint: wrote {} ({} finding(s) recorded)",
+            baseline_path.display(),
+            report.findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut stale = 0;
+    if !opts.no_baseline {
+        if let Ok(text) = fs::read_to_string(&baseline_path) {
+            stale = qbm_lint::emit::apply_baseline(&mut report, &text);
+        }
+    }
+
+    if let Some(path) = &opts.json {
+        if let Err(e) = write_out(path, &qbm_lint::emit::json(&report)) {
+            eprintln!("qbm-lint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &opts.sarif {
+        if let Err(e) = write_out(path, &qbm_lint::emit::sarif(&report)) {
+            eprintln!("qbm-lint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
     for f in &report.findings {
         println!("{f}");
     }
-    if verbose {
+    if opts.verbose {
         for s in &report.suppressions {
             println!(
                 "{}:{} [{}] suppressed via {}",
@@ -56,13 +179,22 @@ fn main() -> ExitCode {
             );
         }
     }
+    if opts.summary {
+        println!("{}", qbm_lint::emit::summary_table(&report));
+    }
     println!(
         "qbm-lint: {} files scanned, {} finding(s), {} suppression(s) in effect",
         report.files_scanned,
         report.findings.len(),
         report.suppressions.len()
     );
-    if report.is_clean() {
+    if stale > 0 {
+        eprintln!(
+            "qbm-lint: {stale} stale baseline record(s) match nothing — \
+             regenerate with --write-baseline (the baseline may only shrink)"
+        );
+    }
+    if report.is_clean() && stale == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

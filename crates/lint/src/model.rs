@@ -1,0 +1,747 @@
+//! Workspace item model: a structural pass over the cleaned token
+//! stream that recovers functions (with impl/trait context and line
+//! spans), `impl` blocks, enums (with variants), and per-line function
+//! attribution — the substrate for the call-graph and the
+//! workspace-level rules.
+//!
+//! The parser is a brace-depth machine over [`crate::scan::preprocess`]
+//! output, not a grammar: it recognizes item headers (`fn name`,
+//! `impl … for T`, `enum Name`, `trait Name`) and tracks the scope
+//! stack by `{`/`}` depth. Everything it cannot classify (struct
+//! literals, closures, match arms) becomes an anonymous scope that
+//! nests transparently, so line→function attribution survives
+//! arbitrary expression nesting. Known approximations are documented
+//! in DESIGN.md §13: notably, functions passed *by value* (e.g.
+//! `.map(helper)`) are not call edges — only `name(…)`, `Type::name(…)`
+//! and `.name(…)` call forms are.
+
+use crate::scan::{self, SrcLine};
+
+/// A function (or method) definition — or a bodiless trait-method
+/// declaration, flagged by [`FnDef::decl`].
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Bare name (`advance`, not `LinkEngine::advance`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name (`LinkEngine`, `Box`), if any.
+    pub owner: Option<String>,
+    /// Trait being implemented, for `impl Trait for Type` methods and
+    /// trait-body items.
+    pub trait_name: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub first_line: usize,
+    /// 0-based last line of the body (inclusive). Equals `first_line`
+    /// for declarations.
+    pub last_line: usize,
+    /// Inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Bodiless trait-method declaration (`fn f(…);`).
+    pub decl: bool,
+    /// `qbm-lint: cold(<reason>)` pragma on/above the signature.
+    pub cold: Option<String>,
+    /// Call sites found in the signature+body lines.
+    pub calls: Vec<Call>,
+}
+
+impl FnDef {
+    /// `Owner::name` when the fn sits in an impl/trait, else the bare
+    /// name.
+    pub fn qname(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// Callee's bare name.
+    pub name: String,
+    /// Qualifying path segment directly before `::name(` — a type
+    /// (`Time`), `Self`, or a module segment (`rules`). `None` for
+    /// method calls and unqualified calls.
+    pub recv: Option<String>,
+    /// 0-based line of the call.
+    pub line: usize,
+}
+
+/// An enum definition with its variant names.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Enum name.
+    pub name: String,
+    /// `(variant, 0-based line)` pairs in declaration order.
+    pub variants: Vec<(String, usize)>,
+    /// Inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// An `impl` block header.
+#[derive(Debug, Clone)]
+pub struct ImplDef {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Implementing type's last path segment (`Box` for `Box<S>`).
+    pub type_name: String,
+    /// Trait's last path segment for `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    /// 0-based line of the block's opening `{`.
+    pub line: usize,
+    /// Inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// One scanned file: its cleaned lines plus per-line fn attribution.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Repository-relative path, forward slashes.
+    pub rel: String,
+    /// Preprocessed source lines.
+    pub lines: Vec<SrcLine>,
+    /// Innermost enclosing fn (index into [`Workspace::fns`]) per line.
+    pub fn_of_line: Vec<Option<usize>>,
+}
+
+/// The whole-workspace item model.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All scanned files, in input order.
+    pub files: Vec<FileModel>,
+    /// Every function definition/declaration found.
+    pub fns: Vec<FnDef>,
+    /// Every enum found.
+    pub enums: Vec<EnumDef>,
+    /// Every impl-block header found.
+    pub impls: Vec<ImplDef>,
+}
+
+impl Workspace {
+    /// Build the model from `(rel_path, source_text)` pairs.
+    pub fn build(files: &[(String, String)]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (rel, src) in files {
+            let lines = scan::preprocess(src);
+            parse_file(&mut ws, rel, lines);
+        }
+        ws
+    }
+
+    /// Look up a file by its repo-relative path.
+    pub fn file(&self, rel: &str) -> Option<&FileModel> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+
+    /// The enum named `name` (outside test code), if declared anywhere.
+    pub fn enum_def(&self, name: &str) -> Option<&EnumDef> {
+        self.enums.iter().find(|e| e.name == name && !e.in_test)
+    }
+}
+
+/// Rust keywords and keyword-like idents never treated as call names.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "fn", "let",
+    "mut", "ref", "move", "as", "in", "impl", "dyn", "where", "pub", "use", "mod", "struct",
+    "enum", "trait", "type", "const", "static", "crate", "super", "unsafe", "async", "await",
+    "Some", "None", "Ok", "Err",
+];
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Punct(String),
+}
+
+impl Tok {
+    fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            Tok::Punct(_) => None,
+        }
+    }
+    fn is(&self, p: &str) -> bool {
+        matches!(self, Tok::Punct(s) if s == p)
+    }
+}
+
+/// Tokenize one cleaned line into identifiers and punctuation (`::`
+/// fused; everything else single-char, whitespace dropped).
+fn line_tokens(code: &str) -> Vec<Tok> {
+    let cs: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < cs.len() {
+        let c = cs[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < cs.len() && (cs[i].is_alphanumeric() || cs[i] == '_') {
+                i += 1;
+            }
+            out.push(Tok::Ident(cs[start..i].iter().collect()));
+        } else if c == ':' && cs.get(i + 1) == Some(&':') {
+            out.push(Tok::Punct("::".to_string()));
+            i += 2;
+        } else {
+            out.push(Tok::Punct(c.to_string()));
+            i += 1;
+        }
+    }
+    out
+}
+
+#[derive(Debug)]
+enum Scope {
+    /// `impl …` or `trait …` body.
+    Impl {
+        type_name: String,
+        trait_name: Option<String>,
+        floor: i64,
+    },
+    /// A fn body; `idx` indexes [`Workspace::fns`].
+    Fn { idx: usize, floor: i64 },
+    /// An enum body; `idx` indexes [`Workspace::enums`].
+    Enum {
+        idx: usize,
+        floor: i64,
+        expect_variant: bool,
+    },
+    /// Anything else with braces (struct literal, match, closure, mod).
+    Other { floor: i64 },
+}
+
+impl Scope {
+    fn floor(&self) -> i64 {
+        match self {
+            Scope::Impl { floor, .. }
+            | Scope::Fn { floor, .. }
+            | Scope::Enum { floor, .. }
+            | Scope::Other { floor } => *floor,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Pending {
+    Fn { idx: usize },
+    Enum { idx: usize },
+    Impl { toks: Vec<Tok> },
+    Trait { name: String },
+    Other,
+}
+
+/// Parse an impl header's post-`impl` tokens into (type, trait).
+fn parse_impl_header(toks: &[Tok]) -> (String, Option<String>) {
+    let mut i = 0;
+    // Skip the generic parameter list directly after `impl`.
+    if toks.get(i).is_some_and(|t| t.is("<")) {
+        i = skip_generics(toks, i);
+    }
+    let (first, mut j) = read_path(toks, i);
+    if toks.get(j).and_then(Tok::ident) == Some("for") {
+        j += 1;
+        let (second, _) = read_path(toks, j);
+        (second.unwrap_or_default(), first)
+    } else {
+        (first.unwrap_or_default(), None)
+    }
+}
+
+/// Read a `seg::seg::Last<…>` path starting at `i`; returns the last
+/// segment and the index after the path (generics skipped).
+fn read_path(toks: &[Tok], mut i: usize) -> (Option<String>, usize) {
+    let mut last = None;
+    loop {
+        // Leading `&`, `?`, lifetimes etc. before the path proper.
+        while toks
+            .get(i)
+            .is_some_and(|t| t.is("&") || t.is("?") || t.is("'"))
+        {
+            i += 1;
+        }
+        match toks.get(i).and_then(Tok::ident) {
+            Some(id) if id != "for" && id != "where" && id != "dyn" => {
+                last = Some(id.to_string());
+                i += 1;
+            }
+            Some("dyn") => {
+                i += 1;
+                continue;
+            }
+            _ => break,
+        }
+        if toks.get(i).is_some_and(|t| t.is("<")) {
+            i = skip_generics(toks, i);
+        }
+        if toks.get(i).is_some_and(|t| t.is("::")) {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    (last, i)
+}
+
+/// Skip a balanced `<…>` starting at the `<` in `toks[i]`.
+fn skip_generics(toks: &[Tok], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        if toks[i].is("<") {
+            depth += 1;
+        } else if toks[i].is(">") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn innermost_fn(scopes: &[Scope]) -> Option<usize> {
+    scopes.iter().rev().find_map(|s| match s {
+        Scope::Fn { idx, .. } => Some(*idx),
+        _ => None,
+    })
+}
+
+fn innermost_impl(scopes: &[Scope]) -> (Option<String>, Option<String>) {
+    for s in scopes.iter().rev() {
+        if let Scope::Impl {
+            type_name,
+            trait_name,
+            ..
+        } = s
+        {
+            return (Some(type_name.clone()), trait_name.clone());
+        }
+    }
+    (None, None)
+}
+
+fn parse_file(ws: &mut Workspace, rel: &str, lines: Vec<SrcLine>) {
+    let file_idx = ws.files.len();
+    let mut fn_of_line: Vec<Option<usize>> = vec![None; lines.len()];
+    let mut depth: i64 = 0;
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut pending: Option<Pending> = None;
+
+    for (li, line) in lines.iter().enumerate() {
+        let toks = line_tokens(&line.code);
+        // Attribute the line to the innermost fn (or the fn whose
+        // multi-line signature is still pending).
+        let mut attr = match &pending {
+            Some(Pending::Fn { idx }) => Some(*idx),
+            _ => innermost_fn(&scopes),
+        };
+
+        let mut i = 0;
+        while i < toks.len() {
+            let t = &toks[i];
+            if pending.is_none() {
+                match t.ident() {
+                    Some("fn") if toks.get(i + 1).and_then(Tok::ident).is_some() => {
+                        let name = toks[i + 1].ident().unwrap_or_default().to_string();
+                        let (owner, trait_name) = innermost_impl(&scopes);
+                        // A cold pragma counts from the signature line
+                        // itself, or from a standalone comment line
+                        // directly above (a trailing comment on the
+                        // previous *code* line belongs to that line).
+                        let cold = scan::pragma_cold(&line.comment).or_else(|| {
+                            li.checked_sub(1)
+                                .map(|p| &lines[p])
+                                .filter(|p| p.code.trim().is_empty())
+                                .and_then(|p| scan::pragma_cold(&p.comment))
+                        });
+                        ws.fns.push(FnDef {
+                            file: file_idx,
+                            name,
+                            owner,
+                            trait_name,
+                            first_line: li,
+                            last_line: li,
+                            in_test: line.in_test,
+                            decl: false,
+                            cold,
+                            calls: Vec::new(),
+                        });
+                        let idx = ws.fns.len() - 1;
+                        pending = Some(Pending::Fn { idx });
+                        attr = Some(idx);
+                        i += 2;
+                        continue;
+                    }
+                    Some("enum") if toks.get(i + 1).and_then(Tok::ident).is_some() => {
+                        ws.enums.push(EnumDef {
+                            file: file_idx,
+                            name: toks[i + 1].ident().unwrap_or_default().to_string(),
+                            variants: Vec::new(),
+                            in_test: line.in_test,
+                        });
+                        pending = Some(Pending::Enum {
+                            idx: ws.enums.len() - 1,
+                        });
+                        i += 2;
+                        continue;
+                    }
+                    Some("trait") if toks.get(i + 1).and_then(Tok::ident).is_some() => {
+                        pending = Some(Pending::Trait {
+                            name: toks[i + 1].ident().unwrap_or_default().to_string(),
+                        });
+                        i += 2;
+                        continue;
+                    }
+                    Some("impl") => {
+                        pending = Some(Pending::Impl { toks: Vec::new() });
+                        i += 1;
+                        continue;
+                    }
+                    Some("struct") | Some("union") | Some("mod") => {
+                        // Consumed structurally: braces (if any) become
+                        // an anonymous scope via Pending::Other.
+                        pending = Some(Pending::Other);
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+
+            match &mut pending {
+                Some(p) => {
+                    if t.is("{") {
+                        let scope = match p {
+                            Pending::Fn { idx } => Scope::Fn {
+                                idx: *idx,
+                                floor: depth,
+                            },
+                            Pending::Enum { idx } => Scope::Enum {
+                                idx: *idx,
+                                floor: depth,
+                                expect_variant: true,
+                            },
+                            Pending::Impl { toks } => {
+                                let (type_name, trait_name) = parse_impl_header(toks);
+                                ws.impls.push(ImplDef {
+                                    file: file_idx,
+                                    type_name: type_name.clone(),
+                                    trait_name: trait_name.clone(),
+                                    line: li,
+                                    in_test: line.in_test,
+                                });
+                                Scope::Impl {
+                                    type_name,
+                                    trait_name,
+                                    floor: depth,
+                                }
+                            }
+                            Pending::Trait { name } => Scope::Impl {
+                                type_name: name.clone(),
+                                trait_name: Some(name.clone()),
+                                floor: depth,
+                            },
+                            Pending::Other => Scope::Other { floor: depth },
+                        };
+                        scopes.push(scope);
+                        depth += 1;
+                        pending = None;
+                    } else if t.is(";") {
+                        if let Pending::Fn { idx } = p {
+                            ws.fns[*idx].decl = true;
+                            ws.fns[*idx].last_line = li;
+                        }
+                        pending = None;
+                    } else if let Pending::Impl { toks: acc } = p {
+                        acc.push(t.clone());
+                    }
+                }
+                None => {
+                    if t.is("{") {
+                        scopes.push(Scope::Other { floor: depth });
+                        depth += 1;
+                    } else if t.is("}") {
+                        depth -= 1;
+                        if scopes.last().is_some_and(|s| s.floor() == depth) {
+                            if let Some(Scope::Fn { idx, .. }) = scopes.pop() {
+                                ws.fns[idx].last_line = li;
+                            }
+                        }
+                    } else if let Some(Scope::Enum {
+                        idx,
+                        floor,
+                        expect_variant,
+                    }) = scopes.last_mut()
+                    {
+                        // Variant heads sit at exactly floor+1.
+                        if depth == *floor + 1 {
+                            if t.is(",") {
+                                *expect_variant = true;
+                            } else if *expect_variant {
+                                if let Some(id) = t.ident() {
+                                    if id.starts_with(|c: char| c.is_ascii_uppercase()) {
+                                        ws.enums[*idx].variants.push((id.to_string(), li));
+                                        *expect_variant = false;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Call-site extraction happens per token so each call
+            // binds to the fn scope active *at that token*, not to
+            // whichever fn a shared line ended up attributed to.
+            if let Some((name, recv)) = call_head(&toks, i) {
+                let cur = match &pending {
+                    Some(Pending::Fn { idx }) => Some(*idx),
+                    _ => innermost_fn(&scopes),
+                };
+                if let Some(idx) = cur {
+                    ws.fns[idx].calls.push(Call {
+                        name,
+                        recv,
+                        line: li,
+                    });
+                }
+            }
+            i += 1;
+        }
+
+        fn_of_line[li] = attr;
+    }
+
+    ws.files.push(FileModel {
+        rel: rel.to_string(),
+        lines,
+        fn_of_line,
+    });
+}
+
+/// Is `toks[i]` the head of a call site — `name(…)`, `name::<…>(…)`,
+/// `Path::name(…)`, `.name(…)`? Macros (`name!`), definitions
+/// (`fn name`), and keywords are not calls. Returns `(name, recv)`.
+fn call_head(toks: &[Tok], i: usize) -> Option<(String, Option<String>)> {
+    let name = toks[i].ident()?;
+    if KEYWORDS.contains(&name) {
+        return None;
+    }
+    if i > 0 && toks[i - 1].ident() == Some("fn") {
+        return None;
+    }
+    // Find the token after an optional `::<…>` turbofish.
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is("::")) && toks.get(j + 1).is_some_and(|t| t.is("<")) {
+        j = skip_generics(toks, j + 1);
+    }
+    if !toks.get(j).is_some_and(|t| t.is("(")) {
+        return None;
+    }
+    let recv = if i >= 2 && toks[i - 1].is("::") {
+        toks[i - 2].ident().map(|s| s.to_string())
+    } else {
+        None
+    };
+    Some((name.to_string(), recv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_of(src: &str) -> Workspace {
+        Workspace::build(&[("crates/x/src/a.rs".to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn free_fn_and_method_with_spans() {
+        let src = "\
+fn alpha() {
+    beta();
+}
+impl Engine {
+    fn advance(&mut self, x: u32) -> u32 {
+        self.helper(x)
+    }
+}
+";
+        let ws = ws_of(src);
+        assert_eq!(ws.fns.len(), 2);
+        assert_eq!(ws.fns[0].qname(), "alpha");
+        assert_eq!((ws.fns[0].first_line, ws.fns[0].last_line), (0, 2));
+        assert_eq!(ws.fns[1].qname(), "Engine::advance");
+        assert_eq!((ws.fns[1].first_line, ws.fns[1].last_line), (4, 6));
+        assert_eq!(ws.fns[0].calls.len(), 1);
+        assert_eq!(ws.fns[0].calls[0].name, "beta");
+        assert_eq!(ws.fns[1].calls[0].name, "helper");
+        let file = &ws.files[0];
+        assert_eq!(file.fn_of_line[1], Some(0));
+        assert_eq!(file.fn_of_line[5], Some(1));
+        assert_eq!(file.fn_of_line[3], None);
+    }
+
+    #[test]
+    fn trait_impls_carry_the_trait_name() {
+        let src = "\
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn enqueue(&mut self, now: Time, pkt: PacketRef) {
+        (**self).enqueue(now, pkt)
+    }
+}
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }
+}
+";
+        let ws = ws_of(src);
+        assert_eq!(ws.impls.len(), 2);
+        assert_eq!(ws.impls[0].type_name, "Box");
+        assert_eq!(ws.impls[0].trait_name.as_deref(), Some("Scheduler"));
+        assert_eq!(ws.impls[1].type_name, "Finding");
+        assert_eq!(ws.impls[1].trait_name.as_deref(), Some("Display"));
+        assert_eq!(ws.fns[0].owner.as_deref(), Some("Box"));
+        assert_eq!(ws.fns[0].trait_name.as_deref(), Some("Scheduler"));
+    }
+
+    #[test]
+    fn multiline_signatures_and_where_clauses() {
+        let src = "\
+impl<P, S, E> LinkEngine<P, S, E>
+where
+    P: BufferPolicy,
+{
+    fn advance<O: Observer>(
+        &mut self,
+        horizon: Time,
+    ) -> u32 {
+        work()
+    }
+}
+";
+        let ws = ws_of(src);
+        assert_eq!(ws.fns.len(), 1);
+        assert_eq!(ws.fns[0].qname(), "LinkEngine::advance");
+        assert_eq!((ws.fns[0].first_line, ws.fns[0].last_line), (4, 9));
+        // Signature lines attribute to the fn.
+        assert_eq!(ws.files[0].fn_of_line[6], Some(0));
+        assert_eq!(
+            ws.fns[0].calls,
+            vec![Call {
+                name: "work".into(),
+                recv: None,
+                line: 8
+            }]
+        );
+    }
+
+    #[test]
+    fn trait_method_decls_are_flagged_not_bodied() {
+        let src = "\
+trait Scheduler {
+    fn enqueue(&mut self, now: Time, pkt: PacketRef);
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+";
+        let ws = ws_of(src);
+        assert_eq!(ws.fns.len(), 2);
+        assert!(ws.fns[0].decl);
+        assert!(!ws.fns[1].decl);
+        assert_eq!(ws.fns[1].owner.as_deref(), Some("Scheduler"));
+        assert_eq!(ws.fns[1].trait_name.as_deref(), Some("Scheduler"));
+    }
+
+    #[test]
+    fn enum_variants_with_payloads() {
+        let src = "\
+pub enum SourceKind {
+    Cbr(CbrSource),
+    OnOff(OnOffSource),
+    Hybrid {
+        assignment: Vec<usize>,
+        queue_rates_bps: Vec<u64>,
+    },
+    Dyn(Box<dyn Source>),
+}
+";
+        let ws = ws_of(src);
+        assert_eq!(ws.enums.len(), 1);
+        let names: Vec<&str> = ws.enums[0]
+            .variants
+            .iter()
+            .map(|(v, _)| v.as_str())
+            .collect();
+        assert_eq!(names, vec!["Cbr", "OnOff", "Hybrid", "Dyn"]);
+    }
+
+    #[test]
+    fn qualified_and_turbofish_calls() {
+        let src = "\
+fn t() {
+    let a = Time::from_secs(1);
+    let b = Self::helper(a);
+    let c = items.iter().collect::<Vec<_>>();
+    let d = crate::rules::find_word(x, y);
+}
+";
+        let ws = ws_of(src);
+        let calls = &ws.fns[0].calls;
+        let find = |n: &str| calls.iter().find(|c| c.name == n).unwrap();
+        assert_eq!(find("from_secs").recv.as_deref(), Some("Time"));
+        assert_eq!(find("helper").recv.as_deref(), Some("Self"));
+        assert_eq!(find("collect").recv, None);
+        assert_eq!(find("find_word").recv.as_deref(), Some("rules"));
+    }
+
+    #[test]
+    fn test_regions_mark_fns() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+";
+        let ws = ws_of(src);
+        assert!(!ws.fns[0].in_test);
+        assert!(ws.fns[1].in_test);
+    }
+
+    #[test]
+    fn cold_pragma_above_or_on_signature() {
+        let src = "\
+// qbm-lint: cold(runs once per simulation)
+fn setup() {}
+fn hot() {} // qbm-lint: cold(inline)
+fn plain() {}
+";
+        let ws = ws_of(src);
+        assert_eq!(ws.fns[0].cold.as_deref(), Some("runs once per simulation"));
+        assert_eq!(ws.fns[1].cold.as_deref(), Some("inline"));
+        assert_eq!(ws.fns[2].cold, None);
+    }
+
+    #[test]
+    fn closures_and_struct_literals_do_not_break_attribution() {
+        let src = "\
+fn outer() {
+    let r = Router { link_rate, policy };
+    list.iter().map(|x| {
+        inner(x)
+    });
+}
+fn after() {}
+";
+        let ws = ws_of(src);
+        assert_eq!(ws.fns.len(), 2);
+        assert_eq!((ws.fns[0].first_line, ws.fns[0].last_line), (0, 5));
+        assert_eq!(ws.files[0].fn_of_line[3], Some(0));
+        assert!(ws.fns[0].calls.iter().any(|c| c.name == "inner"));
+    }
+}

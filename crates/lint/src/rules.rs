@@ -12,7 +12,18 @@
 //! | `crate-hygiene` | crate roots | `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` |
 //! | `print-hygiene` | library sources | no `println!`/`dbg!` — output goes through the report layer |
 //! | `obs-hygiene` | cli (except `profile.rs`), sim, obs | no wall clock outside the profiling module; no ad-hoc `writeln!` tracing — events go through `qbm_obs::Observer` |
-//! | `hot-path-alloc` | link engine `advance`/`start_transmission`, fabric `advance_level`/`exchange`, tandem `run_line_observed` | no `Box::new` / `vec!` / `to_vec` / `collect` in the event loop — preallocate/recycle outside it |
+//! | `hot-path-alloc` | everything reachable from [`HOT_ROOTS`] | no `Box::new` / `vec!` / `to_vec` / `collect` in the event loop — preallocate/recycle outside it |
+//! | `hot-path-panic` | everything reachable from [`HOT_ROOTS`] | no `unwrap`/`expect`/`panic!` family in the event loop |
+//! | `hot-path-index` | everything reachable from [`HOT_ROOTS`] | indexing expressions are baselined; new ones fail |
+//! | `shard-safety` | everything reachable from [`SHARD_ROOTS`] | no `static mut`/`Cell`/`RefCell`/`Rc`/`Mutex`/atomics inside fabric shard scopes |
+//! | `exhaustive-sched` | workspace | every `Scheduler` impl appears in the equivalence suite / differential tests |
+//! | `exhaustive-source` | workspace | every `SourceKind` variant dispatches; every `Source` impl is wired into the enum |
+//! | `exhaustive-policy` | workspace | every `PolicyKind` variant appears in the equivalence suite |
+//! | `exhaustive-rule-doc` | workspace | every rule has a RULES.md entry and a fixture pair |
+//! | `root-drift` | workspace | every audit root matches a live function (hard error) |
+//!
+//! The full registry — with rationale, fix hint, and pragma form per
+//! rule — is [`REGISTRY`]; `RULES.md` is generated from it.
 
 /// Rule name: wall-clock reads in determinism-critical crates.
 pub const WALL_CLOCK: &str = "wall-clock";
@@ -98,26 +109,199 @@ pub const HOT_PATH_ALLOC_HINT: &str =
 /// stays legal because it amortizes.
 pub const HOT_PATH_ALLOC_PATTERNS: &[&str] = &["Box::new", "vec!", "to_vec", "collect"];
 
-/// The functions the allocation ban covers, per file: the link
-/// engine's event loop and transmission starter, the fabric's level
-/// advance and mailbox exchange, and the tandem shim. Setup code
-/// inside them carries `qbm-lint: allow(hot-path-alloc)` pragmas,
-/// which keeps the allow-surface visible in the report.
-pub const HOT_PATH_FNS: &[(&str, &[&str])] = &[
-    (
-        "crates/sim/src/router.rs",
-        &["advance", "start_transmission"],
-    ),
-    ("crates/sim/src/fabric.rs", &["advance_level", "exchange"]),
-    ("crates/sim/src/tandem.rs", &["run_line_observed"]),
+/// Rule name: panic paths inside the simulator's hot path.
+pub const HOT_PATH_PANIC: &str = "hot-path-panic";
+/// Hint for [`HOT_PATH_PANIC`].
+pub const HOT_PATH_PANIC_HINT: &str =
+    "restructure to an infallible match/if-let (debug_assert! the invariant), or justify with `qbm-lint: allow(hot-path-panic)` when failure means a config error that must abort";
+/// Panic-capable method patterns for [`HOT_PATH_PANIC`] (substring
+/// match — the receiver character before `.` is part of the idiom).
+pub const PANIC_METHOD_PATTERNS: &[&str] = &[".unwrap()", ".expect("];
+/// Panic-capable macro patterns for [`HOT_PATH_PANIC`] (word match).
+/// `debug_assert!` stays legal: it compiles out of release builds.
+pub const PANIC_MACRO_PATTERNS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// Rule name: indexing expressions inside the simulator's hot path.
+pub const HOT_PATH_INDEX: &str = "hot-path-index";
+/// Hint for [`HOT_PATH_INDEX`].
+pub const HOT_PATH_INDEX_HINT: &str =
+    "prefer get()/iterators or prove the bound with a debug_assert!; existing sites live in the committed baseline — new ones fail the gate";
+
+/// Rule name: shared-mutability hazards in per-level sharded code.
+pub const SHARD_SAFETY: &str = "shard-safety";
+/// Hint for [`SHARD_SAFETY`].
+pub const SHARD_SAFETY_HINT: &str =
+    "fabric shards exchange state only through the mailbox swap in `exchange`; interior mutability or ad-hoc synchronization reintroduces scheduling-order dependence";
+/// Banned tokens for [`SHARD_SAFETY`] (word match). `Atomic` types are
+/// matched by prefix in [`has_atomic_token`].
+pub const SHARD_SAFETY_PATTERNS: &[&str] =
+    &["RefCell", "Cell", "UnsafeCell", "Rc", "Mutex", "RwLock"];
+
+/// Rule name: a `Scheduler` impl missing from the 56-combo equivalence
+/// suite (or, for float baselines, from the differential tests).
+pub const EXHAUSTIVE_SCHED: &str = "exhaustive-sched";
+/// Hint for [`EXHAUSTIVE_SCHED`].
+pub const EXHAUSTIVE_SCHED_HINT: &str =
+    "add the scheduler to tests/determinism.rs::all_combinations (production) or crates/sched/tests/differential.rs (reference baseline)";
+
+/// Rule name: a `SourceKind` variant missing from the `next_emission`
+/// dispatch, or a `Source` impl not wired into the enum.
+pub const EXHAUSTIVE_SOURCE: &str = "exhaustive-source";
+/// Hint for [`EXHAUSTIVE_SOURCE`].
+pub const EXHAUSTIVE_SOURCE_HINT: &str =
+    "wire the variant/type through crates/traffic/src/kind.rs — a wildcard arm or missing variant silently demotes it to dyn dispatch or drops it";
+
+/// Rule name: a `PolicyKind` variant missing from the equivalence
+/// suite.
+pub const EXHAUSTIVE_POLICY: &str = "exhaustive-policy";
+/// Hint for [`EXHAUSTIVE_POLICY`].
+pub const EXHAUSTIVE_POLICY_HINT: &str =
+    "add the policy to tests/determinism.rs::all_combinations so it gets golden snapshots and shard-invariance coverage";
+
+/// Rule name: a lint rule missing its RULES.md entry or its fixtures.
+pub const EXHAUSTIVE_RULE_DOC: &str = "exhaustive-rule-doc";
+/// Hint for [`EXHAUSTIVE_RULE_DOC`].
+pub const EXHAUSTIVE_RULE_DOC_HINT: &str =
+    "regenerate RULES.md (`cargo run -p qbm-lint -- --rules-md`) and add crates/lint/tests/fixtures/<rule>/{flag.rs,clean.rs}";
+
+/// Rule name: an audit root that matches no live function.
+pub const ROOT_DRIFT: &str = "root-drift";
+/// Hint for [`ROOT_DRIFT`].
+pub const ROOT_DRIFT_HINT: &str =
+    "a renamed/deleted hot-path function disarms the transitive audit — update rules::HOT_ROOTS/SHARD_ROOTS to match the code";
+
+/// Where the transitive hot-path audits start: the event-loop drivers,
+/// the link engine, the fabric's level advance and mailbox exchange,
+/// the tandem shim, and every scheduler's enqueue/dequeue.
+pub const HOT_ROOTS: &[crate::callgraph::RootSpec] = &[
+    crate::callgraph::RootSpec::InFile {
+        file: "crates/sim/src/router.rs",
+        name: "run_inner",
+    },
+    crate::callgraph::RootSpec::InFile {
+        file: "crates/sim/src/router.rs",
+        name: "advance",
+    },
+    crate::callgraph::RootSpec::InFile {
+        file: "crates/sim/src/router.rs",
+        name: "start_transmission",
+    },
+    crate::callgraph::RootSpec::InFile {
+        file: "crates/sim/src/router.rs",
+        name: "deliver",
+    },
+    crate::callgraph::RootSpec::InFile {
+        file: "crates/sim/src/fabric.rs",
+        name: "advance_level",
+    },
+    crate::callgraph::RootSpec::InFile {
+        file: "crates/sim/src/fabric.rs",
+        name: "exchange",
+    },
+    crate::callgraph::RootSpec::TraitMethod {
+        trait_name: "Scheduler",
+        name: "enqueue",
+    },
+    crate::callgraph::RootSpec::TraitMethod {
+        trait_name: "Scheduler",
+        name: "dequeue",
+    },
 ];
 
-/// Returns the hot-path function names audited in `rel`, if any.
-pub fn hot_path_fns(rel: &str) -> Option<&'static [&'static str]> {
-    HOT_PATH_FNS
-        .iter()
-        .find(|(p, _)| *p == rel)
-        .map(|(_, fns)| *fns)
+/// Where the sharding-safety audit starts: everything that runs inside
+/// the fabric's per-level `std::thread::scope` (its reachable set
+/// covers `LinkEngine::advance` and the schedulers).
+pub const SHARD_ROOTS: &[crate::callgraph::RootSpec] = &[crate::callgraph::RootSpec::InFile {
+    file: "crates/sim/src/fabric.rs",
+    name: "advance_level",
+}];
+
+/// Workspace crate dependencies (`crates/<name>` → direct deps), used
+/// to gate broad call-graph resolution: a name-only match cannot be a
+/// real edge into a crate the caller does not (transitively) depend
+/// on. Keep in sync with the crate `Cargo.toml`s — over-listing is
+/// safe (more conservative), under-listing loses audit edges.
+pub const CRATE_DEPS: &[(&str, &[&str])] = &[
+    ("core", &[]),
+    ("lint", &[]),
+    ("fluid", &["core"]),
+    ("obs", &["core"]),
+    ("sched", &["core"]),
+    ("traffic", &["core"]),
+    ("sim", &["core", "traffic", "sched", "obs"]),
+    ("cli", &["core", "traffic", "sched", "sim", "obs", "fluid"]),
+    (
+        "bench",
+        &["core", "traffic", "sched", "sim", "obs", "fluid"],
+    ),
+];
+
+/// May code in `caller_rel` call code in `callee_rel`? True when both
+/// sit in the same crate, when the callee's crate is a transitive
+/// dependency of the caller's, or when either path is outside
+/// `crates/` (the facade root crate depends on everything).
+pub fn crate_edge_allowed(caller_rel: &str, callee_rel: &str) -> bool {
+    let (Some(from), Some(to)) = (crate_of(caller_rel), crate_of(callee_rel)) else {
+        return true;
+    };
+    if from == to {
+        return true;
+    }
+    // Transitive closure over the small fixed table.
+    let mut stack = vec![from];
+    let mut seen = vec![from];
+    while let Some(c) = stack.pop() {
+        let deps = CRATE_DEPS
+            .iter()
+            .find(|(name, _)| *name == c)
+            .map(|(_, d)| *d)
+            .unwrap_or(&[]);
+        for &d in deps {
+            if d == to {
+                return true;
+            }
+            if !seen.contains(&d) {
+                seen.push(d);
+                stack.push(d);
+            }
+        }
+    }
+    false
+}
+
+/// Count indexing expressions on a cleaned code line: a `[` directly
+/// after an identifier character, `)`, or `]` is an `Index`/`IndexMut`
+/// use (`lanes.pending[f]`, `queues[i][j]`, `f(x)[0]`). Attribute
+/// brackets (`#[inline]`), array types/literals, and `vec![…]` don't
+/// match because their `[` follows punctuation.
+pub fn index_exprs(code: &str) -> usize {
+    let mut count = 0;
+    let mut prev = ' ';
+    for c in code.chars() {
+        if c == '[' && (prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+            count += 1;
+        }
+        prev = c;
+    }
+    count
+}
+
+/// Does the line use a `std::sync::atomic` type? Matched by prefix
+/// (`AtomicUsize`, `AtomicU64`, …) at an identifier start.
+pub fn has_atomic_token(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("Atomic") {
+        let start = from + pos;
+        let pre = code[..start].chars().next_back();
+        let post = code[start + "Atomic".len()..].chars().next();
+        if pre.is_none_or(|c| !c.is_alphanumeric() && c != '_')
+            && post.is_some_and(|c| c.is_ascii_uppercase())
+        {
+            return true;
+        }
+        from = start + "Atomic".len();
+    }
+    false
 }
 
 /// Crates whose library code must be wall-clock- and entropy-free.
@@ -203,6 +387,160 @@ pub fn is_crate_root(rel: &str) -> bool {
     rel.strip_prefix("crates/")
         .and_then(|r| r.split_once('/'))
         .is_some_and(|(_, rest)| rest == "src/lib.rs")
+}
+
+/// One registry entry: everything the docs, SARIF metadata, and the
+/// exhaustiveness self-check need to know about a rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    /// Stable rule identifier (never renamed; baselines key on it).
+    pub id: &'static str,
+    /// Where the rule applies, in one line.
+    pub scope: &'static str,
+    /// Why the rule exists — the invariant it guards.
+    pub rationale: &'static str,
+    /// One-line fix hint (same text findings carry).
+    pub hint: &'static str,
+    /// The suppression channel, or `"none (hard error)"`.
+    pub pragma: &'static str,
+}
+
+/// The complete rule registry, one entry per rule ID, in report order.
+/// `RULES.md` is generated from this table and `tests/lint_gate.rs`
+/// fails on drift; the `exhaustive-rule-doc` rule cross-checks that
+/// every entry has a fixture pair.
+pub const REGISTRY: &[RuleMeta] = &[
+    RuleMeta {
+        id: WALL_CLOCK,
+        scope: "crates core, sched, sim, traffic, fluid, obs",
+        rationale: "simulated time is the only clock; a wall-clock read makes results vary across hosts and runs, breaking bit-for-bit reproducibility of Propositions 1-3",
+        hint: WALL_CLOCK_HINT,
+        pragma: "qbm-lint: allow(wall-clock)",
+    },
+    RuleMeta {
+        id: NONDET_RNG,
+        scope: "crates core, sched, sim, traffic, fluid, obs",
+        rationale: "every random stream derives from an explicit u64 seed so campaigns replay exactly; entropy seeding makes a run unreproducible",
+        hint: NONDET_RNG_HINT,
+        pragma: "qbm-lint: allow(nondet-rng)",
+    },
+    RuleMeta {
+        id: UNORDERED,
+        scope: "crate sim",
+        rationale: "stats merges must be order-independent in fact, not by luck; HashMap iteration order varies per process and would make parallel campaign merges nondeterministic",
+        hint: UNORDERED_HINT,
+        pragma: "qbm-lint: allow(unordered-container)",
+    },
+    RuleMeta {
+        id: FLOAT_EQ,
+        scope: "everywhere",
+        rationale: "float equality is rounding-fragile and NaN-capable; the workspace compares through approx_eq or integer representations",
+        hint: FLOAT_EQ_HINT,
+        pragma: "qbm-lint: allow(float-eq)",
+    },
+    RuleMeta {
+        id: FLOAT_CAST,
+        scope: "core::policy and sched sources",
+        rationale: "threshold admission (Propositions 1-2) is exact integer arithmetic; raw casts reintroduce rounding where the paper's guarantees assume none",
+        hint: FLOAT_CAST_HINT,
+        pragma: "qbm-lint: allow(float-cast), or rules::FLOAT_CAST_ALLOW with a justification",
+    },
+    RuleMeta {
+        id: SCHED_FLOAT,
+        scope: "sched sources except reference.rs",
+        rationale: "production schedulers run on the Q32.32 integer virtual clock; a stray f64 tag reintroduces NaN-capable compares and cross-platform rounding",
+        hint: SCHED_FLOAT_HINT,
+        pragma: "qbm-lint: allow(sched-float-vtime)",
+    },
+    RuleMeta {
+        id: HYGIENE,
+        scope: "crate roots",
+        rationale: "every crate forbids unsafe code and requires item docs; dropping the attributes silently relaxes both",
+        hint: HYGIENE_HINT,
+        pragma: "none (hard error)",
+    },
+    RuleMeta {
+        id: PRINT,
+        scope: "library sources (binaries exempt)",
+        rationale: "library code returns data; printing belongs to the report layer and binaries so output stays schema-stable",
+        hint: PRINT_HINT,
+        pragma: "qbm-lint: allow(print-hygiene)",
+    },
+    RuleMeta {
+        id: OBS_HYGIENE,
+        scope: "cli (except profile.rs), sim, obs",
+        rationale: "host timing lives in the one sanctioned profiling module and traces go through Observer hooks, so every emitted event carries simulated time in a fixed schema",
+        hint: OBS_WALL_HINT,
+        pragma: "qbm-lint: allow(obs-hygiene)",
+    },
+    RuleMeta {
+        id: HOT_PATH_ALLOC,
+        scope: "every fn reachable from rules::HOT_ROOTS",
+        rationale: "the paper's scalability claim is constant per-packet work; one allocation per event undoes the indexed-timer speedup and adds allocator jitter",
+        hint: HOT_PATH_ALLOC_HINT,
+        pragma: "qbm-lint: allow(hot-path-alloc), or qbm-lint: cold(<reason>) on a setup fn",
+    },
+    RuleMeta {
+        id: HOT_PATH_PANIC,
+        scope: "every fn reachable from rules::HOT_ROOTS",
+        rationale: "a panic in the event loop aborts a whole campaign cell; invariants are checked with debug_assert! and release builds run infallible code",
+        hint: HOT_PATH_PANIC_HINT,
+        pragma: "qbm-lint: allow(hot-path-panic), or qbm-lint: cold(<reason>) on a setup fn",
+    },
+    RuleMeta {
+        id: HOT_PATH_INDEX,
+        scope: "every fn reachable from rules::HOT_ROOTS",
+        rationale: "slice indexing carries a bounds-check panic path; existing audited sites are baselined, new ones need get()/iterators or a proven bound",
+        hint: HOT_PATH_INDEX_HINT,
+        pragma: "qbm-lint: allow(hot-path-index), baseline file for the audited legacy sites",
+    },
+    RuleMeta {
+        id: SHARD_SAFETY,
+        scope: "every fn reachable from rules::SHARD_ROOTS",
+        rationale: "link-level sharding is deterministic only because shards share nothing and exchange through the mailbox swap; interior mutability or ad-hoc sync reintroduces scheduling-order dependence",
+        hint: SHARD_SAFETY_HINT,
+        pragma: "qbm-lint: allow(shard-safety)",
+    },
+    RuleMeta {
+        id: EXHAUSTIVE_SCHED,
+        scope: "workspace cross-check",
+        rationale: "a scheduler outside the 56-combo suite has no golden snapshots or shard-invariance coverage, so its regressions land silently",
+        hint: EXHAUSTIVE_SCHED_HINT,
+        pragma: "none (hard error)",
+    },
+    RuleMeta {
+        id: EXHAUSTIVE_SOURCE,
+        scope: "workspace cross-check",
+        rationale: "a SourceKind variant missing from next_emission (wildcard arm) silently emits nothing; a Source impl outside the enum silently pays dyn dispatch",
+        hint: EXHAUSTIVE_SOURCE_HINT,
+        pragma: "none (hard error)",
+    },
+    RuleMeta {
+        id: EXHAUSTIVE_POLICY,
+        scope: "workspace cross-check",
+        rationale: "a buffer policy outside the suite ships without equivalence or golden coverage — exactly the drift the paper's policy comparisons must not have",
+        hint: EXHAUSTIVE_POLICY_HINT,
+        pragma: "none (hard error)",
+    },
+    RuleMeta {
+        id: EXHAUSTIVE_RULE_DOC,
+        scope: "lint self-check",
+        rationale: "an undocumented or untested rule rots: RULES.md and the fixtures corpus must cover every registry entry",
+        hint: EXHAUSTIVE_RULE_DOC_HINT,
+        pragma: "none (hard error)",
+    },
+    RuleMeta {
+        id: ROOT_DRIFT,
+        scope: "lint self-check",
+        rationale: "an audit root that matches nothing audits nothing — a rename must not silently disarm the transitive rules",
+        hint: ROOT_DRIFT_HINT,
+        pragma: "none (hard error)",
+    },
+];
+
+/// Look up a registry entry by rule ID.
+pub fn meta(id: &str) -> Option<&'static RuleMeta> {
+    REGISTRY.iter().find(|m| m.id == id)
 }
 
 /// Substring search with identifier boundaries: the character before

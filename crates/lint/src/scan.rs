@@ -263,48 +263,17 @@ fn mark_test_regions(lines: &mut [SrcLine]) {
     }
 }
 
-/// Mark every line that belongs to one of the named `fn` items. Same
-/// brace-depth approach as [`mark_test_regions`]: the region opens at
-/// the first `{` after a line containing `fn <name>` and closes when
-/// depth returns to its pre-item value. Signature lines (including
-/// multi-line signatures and `where` clauses) count as in-region.
-pub fn mark_fn_regions(lines: &[SrcLine], names: &[&str]) -> Vec<bool> {
-    let mut out = vec![false; lines.len()];
-    let mut depth: i64 = 0;
-    let mut pending = false; // saw the signature, waiting for the body's `{`
-    let mut region_floor: Option<i64> = None;
-    for (i, line) in lines.iter().enumerate() {
-        if region_floor.is_none()
-            && !pending
-            && names
-                .iter()
-                .any(|n| crate::rules::find_word(&line.code, &format!("fn {n}")))
-        {
-            pending = true;
-        }
-        let mut in_fn_here = pending || region_floor.is_some();
-        for ch in line.code.chars() {
-            match ch {
-                '{' => {
-                    if pending {
-                        region_floor = Some(depth);
-                        pending = false;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if region_floor == Some(depth) {
-                        region_floor = None;
-                        in_fn_here = true;
-                    }
-                }
-                _ => {}
-            }
-        }
-        out[i] = in_fn_here || region_floor.is_some();
-    }
-    out
+/// Parse a `qbm-lint: cold(<reason>)` pragma out of a line's comment
+/// text. A cold pragma on (or directly above) a `fn` signature prunes
+/// that function from the transitive hot-path/shard audits: it declares
+/// the function runs at setup/teardown frequency, not per event. Cold
+/// exclusions are counted in the report like every other suppression.
+pub fn pragma_cold(comment: &str) -> Option<String> {
+    let pos = comment.find("qbm-lint:")?;
+    let rest = comment[pos + "qbm-lint:".len()..].trim_start();
+    let body = rest.strip_prefix("cold(")?;
+    let end = body.find(')')?;
+    Some(body[..end].trim().to_string())
 }
 
 /// Parse `qbm-lint: allow(rule-a, rule-b)` pragmas out of a line's

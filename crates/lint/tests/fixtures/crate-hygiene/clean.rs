@@ -1,0 +1,5 @@
+//@ file: crates/sim/src/lib.rs
+//! Crate docs.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+pub fn f() {}

@@ -1,0 +1,3 @@
+//@ file: crates/sim/src/lib.rs
+//! Crate docs.
+pub fn f() {}

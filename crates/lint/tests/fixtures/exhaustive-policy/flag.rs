@@ -1,0 +1,7 @@
+//@ file: crates/core/src/policy/mod.rs
+pub enum PolicyKind {
+    Threshold { limit: u64 },
+    Red { seed: u64 },
+}
+//@ suite
+PolicyKind::Threshold

@@ -1,0 +1,2 @@
+//@ rules-md live
+//@ fixtures live

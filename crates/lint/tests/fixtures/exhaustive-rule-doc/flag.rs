@@ -1,0 +1,4 @@
+//@ rules-md
+# qbm-lint rules
+## `wall-clock`
+//@ fixtures: wall-clock

@@ -1,0 +1,10 @@
+//@ file: crates/sched/src/fancy.rs
+impl Scheduler for FancyQueue {
+    fn enqueue(&mut self, now: Time, pkt: PacketRef) {}
+    fn dequeue(&mut self, now: Time) -> Option<PacketRef> {
+        None
+    }
+}
+//@ suite
+("wfq", SchedKind::Wfq { weights: &WEIGHTS }),
+("drr", SchedKind::Drr { quantum: 512 }),

@@ -1,0 +1,14 @@
+//@ file: crates/traffic/src/kind.rs
+pub enum SourceKind {
+    Cbr(CbrSource),
+    Poisson(PoissonSource),
+}
+
+impl Source for SourceKind {
+    fn next_emission(&mut self) -> Option<Emission> {
+        match self {
+            SourceKind::Cbr(s) => s.next_emission(),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//@ file: crates/core/src/policy/none.rs
+pub fn fill_ratio(used: u64, cap: u64) -> f64 {
+    used as f64 / cap as f64
+}

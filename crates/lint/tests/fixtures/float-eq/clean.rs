@@ -1,0 +1,8 @@
+//@ file: crates/fluid/src/mux.rs
+pub fn is_drained(level: f64, eps: f64) -> bool {
+    level.abs() < eps
+}
+
+pub fn same_cell(a: (u64, u64), b: (u64, u64)) -> bool {
+    a.0 == b.0 && a.1 == b.1
+}

@@ -1,0 +1,4 @@
+//@ file: crates/fluid/src/mux.rs
+pub fn is_drained(level: f64) -> bool {
+    level == 0.0
+}

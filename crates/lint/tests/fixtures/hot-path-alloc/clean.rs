@@ -1,0 +1,20 @@
+//@ file: crates/sim/src/router.rs
+impl LinkEngine {
+    pub fn run_inner(&mut self) {
+        step();
+    }
+    pub fn advance(&mut self) {}
+    pub fn start_transmission(&mut self) {}
+    pub fn deliver(&mut self) {}
+}
+
+fn step() {}
+
+// qbm-lint: cold(one-time table build at construction)
+fn build_tables() -> Vec<u64> {
+    vec![0; 64]
+}
+
+fn outside_the_cone() -> Vec<u32> {
+    vec![3]
+}

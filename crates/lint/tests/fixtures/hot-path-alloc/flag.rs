@@ -1,0 +1,17 @@
+//@ file: crates/sim/src/router.rs
+impl LinkEngine {
+    pub fn run_inner(&mut self) {
+        helper_a();
+    }
+    pub fn advance(&mut self) {}
+    pub fn start_transmission(&mut self) {}
+    pub fn deliver(&mut self) {}
+}
+
+fn helper_a() {
+    helper_b();
+}
+
+fn helper_b() -> Vec<u32> {
+    vec![1, 2]
+}

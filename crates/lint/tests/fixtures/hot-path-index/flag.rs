@@ -1,0 +1,11 @@
+//@ file: crates/sim/src/router.rs
+impl LinkEngine {
+    pub fn run_inner(&mut self) {}
+    pub fn advance(&mut self, f: usize) {
+        let len = self.pending[f];
+        self.consume(len);
+    }
+    pub fn start_transmission(&mut self) {}
+    pub fn deliver(&mut self) {}
+    fn consume(&mut self, len: u32) {}
+}

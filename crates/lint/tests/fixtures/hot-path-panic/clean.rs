@@ -1,0 +1,15 @@
+//@ file: crates/sched/src/drr.rs
+impl Scheduler for Drr {
+    fn enqueue(&mut self, now: Time, pkt: PacketRef) {
+        self.queue.push_back(pkt);
+    }
+    fn dequeue(&mut self, now: Time) -> Option<PacketRef> {
+        let head = self.heads.peek()?;
+        debug_assert!(self.len > 0, "heads/len desync");
+        Some(head.pkt)
+    }
+}
+
+fn load_config(path: &str) -> Config {
+    parse(path).unwrap()
+}

@@ -1,0 +1,10 @@
+//@ file: crates/sched/src/drr.rs
+impl Scheduler for Drr {
+    fn enqueue(&mut self, now: Time, pkt: PacketRef) {
+        self.queue.push_back(pkt);
+    }
+    fn dequeue(&mut self, now: Time) -> Option<PacketRef> {
+        let head = self.heads.peek().unwrap();
+        Some(head.pkt)
+    }
+}

@@ -1,0 +1,6 @@
+//@ file: crates/traffic/src/onoff.rs
+pub fn jitter(seed: u64) -> u64 {
+    let banner = "thread_rng is banned here";
+    let mut r = ChaCha8Rng::seed_from_u64(seed);
+    r.next_u64()
+}

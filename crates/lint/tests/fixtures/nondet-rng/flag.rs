@@ -1,0 +1,5 @@
+//@ file: crates/traffic/src/onoff.rs
+pub fn jitter() -> u64 {
+    let mut r = rand::thread_rng();
+    r.next_u64()
+}

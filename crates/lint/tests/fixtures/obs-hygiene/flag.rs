@@ -1,0 +1,5 @@
+//@ file: crates/cli/src/report.rs
+pub fn timed() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}

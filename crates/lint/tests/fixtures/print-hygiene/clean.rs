@@ -1,0 +1,4 @@
+//@ file: crates/cli/src/bin/qbm.rs
+pub fn report(id: u32) {
+    println!("flow {id}");
+}

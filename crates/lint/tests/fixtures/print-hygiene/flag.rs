@@ -1,0 +1,4 @@
+//@ file: crates/core/src/flow.rs
+pub fn debug_dump(id: u32) {
+    println!("flow {id}");
+}

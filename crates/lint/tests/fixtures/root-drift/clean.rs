@@ -1,0 +1,10 @@
+//@ file: crates/sim/src/router.rs
+impl LinkEngine {
+    pub fn run_inner(&mut self) {}
+    pub fn advance(&mut self) {}
+    pub fn start_transmission(&mut self) {}
+    pub fn deliver(&mut self) {}
+}
+//@ file: crates/sim/src/fabric.rs
+pub fn advance_level(engines: &mut [LinkEngine]) {}
+pub fn exchange(engines: &mut [LinkEngine]) {}

@@ -1,0 +1,4 @@
+//@ file: crates/sched/src/reference.rs
+pub struct WfqReference {
+    vtime: f64,
+}

@@ -1,0 +1,4 @@
+//@ file: crates/sched/src/wfq.rs
+pub struct Wfq {
+    vtime: f64,
+}

@@ -1,0 +1,12 @@
+//@ file: crates/sim/src/stats.rs
+use std::collections::BTreeMap;
+
+pub struct Merge {
+    per_flow: BTreeMap<u32, u64>,
+}
+//@ file: crates/core/src/registry.rs
+use std::collections::HashMap;
+
+pub struct Names {
+    by_id: HashMap<u32, String>,
+}

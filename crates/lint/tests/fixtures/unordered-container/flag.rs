@@ -1,0 +1,6 @@
+//@ file: crates/sim/src/stats.rs
+use std::collections::HashMap;
+
+pub struct Merge {
+    per_flow: HashMap<u32, u64>,
+}

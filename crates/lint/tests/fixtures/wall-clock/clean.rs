@@ -1,0 +1,12 @@
+//@ file: crates/sim/src/event.rs
+//! Simulated time is the only clock; Instant::now in prose is fine.
+pub fn stamp(now: Time) -> u64 {
+    now.as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn bench_helper() {
+        let _ = std::time::Instant::now();
+    }
+}

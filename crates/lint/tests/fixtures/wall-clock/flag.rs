@@ -1,0 +1,5 @@
+//@ file: crates/sim/src/event.rs
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

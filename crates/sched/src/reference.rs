@@ -298,9 +298,8 @@ impl WfqCoreReference {
 
     pub(crate) fn dequeue_min(&mut self, _now: Time) -> Option<PacketRef> {
         let Reverse((OrdF64(f), seq, class)) = self.pkt_heap.pop()?;
-        let (pkt, tag) = self.queues[class]
-            .pop_front()
-            .expect("heap/queue desynchronized");
+        // qbm-lint: allow(hot-path-panic) — reference scheduler: clarity over infallibility
+        let (pkt, tag) = self.queues[class].pop_front().expect("heap/queue desync");
         debug_assert_eq!(pkt.seq, seq, "per-class order violated");
         debug_assert!(qbm_core::units::approx_eq(tag, f, 0.0));
         self.len -= 1;
@@ -540,6 +539,7 @@ impl Scheduler for Wf2qReference {
         if !self.any_eligible() {
             // No head is eligible: jump V to the earliest start (the
             // WF²Q+ max-rule) and promote again.
+            // qbm-lint: allow(hot-path-panic) — reference scheduler: clarity over infallibility
             let s = self.min_start().expect("backlogged but no heads indexed");
             self.vtime = self.vtime.max(s);
             self.promote();
@@ -550,6 +550,7 @@ impl Scheduler for Wf2qReference {
             if !self.head_valid(f, ep) {
                 continue;
             }
+            // qbm-lint: allow(hot-path-panic) — reference scheduler: head_valid just confirmed the queue is non-empty
             let pkt = self.queues[f].pop_front().expect("validated non-empty");
             self.len -= 1;
             // Advance V by normalized service.
@@ -612,6 +613,7 @@ impl Scheduler for VirtualClockReference {
 
     fn dequeue(&mut self, _now: Time) -> Option<PacketRef> {
         let Reverse((_, seq, f)) = self.heap.pop()?;
+        // qbm-lint: allow(hot-path-panic) — reference scheduler: clarity over infallibility
         let pkt = self.queues[f].pop_front().expect("heap/queue desync");
         debug_assert_eq!(pkt.seq, seq);
         self.len -= 1;

@@ -218,7 +218,10 @@ impl Scheduler for VirtualClock {
 
     fn dequeue(&mut self, _now: Time) -> Option<PacketRef> {
         let (f, _, seq) = self.heads.peek()?;
-        let (pkt, _) = self.queues[f].pop_front().expect("active set/queue desync");
+        let Some((pkt, _)) = self.queues[f].pop_front() else {
+            debug_assert!(false, "active set/queue desync");
+            return None;
+        };
         debug_assert_eq!(pkt.seq, seq);
         match self.queues[f].front() {
             Some(&(next, stamp)) => self.heads.set(f, stamp, next.seq),

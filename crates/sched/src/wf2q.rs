@@ -157,16 +157,22 @@ impl Scheduler for Wf2q {
         if self.eligible.is_empty() {
             // No head is eligible: jump V to the earliest start (the
             // WF²Q+ max-rule) and promote.
-            let (_, s, _) = self
-                .ineligible
-                .peek()
-                .expect("backlogged but no heads indexed");
+            let Some((_, s, _)) = self.ineligible.peek() else {
+                debug_assert!(false, "backlogged but no heads indexed");
+                return None;
+            };
             self.vtime = self.vtime.max(s);
             self.promote();
         }
         // Serve the minimum (finish tag, epoch) among eligible heads.
-        let (f, _, _) = self.eligible.peek().expect("promotion yielded no head");
-        let pkt = self.queues[f].pop_front().expect("indexed head missing");
+        let Some((f, _, _)) = self.eligible.peek() else {
+            debug_assert!(false, "promotion yielded no head");
+            return None;
+        };
+        let Some(pkt) = self.queues[f].pop_front() else {
+            debug_assert!(false, "indexed head missing");
+            return None;
+        };
         self.len -= 1;
         self.eligible.clear(f);
         // Advance V by normalized service.

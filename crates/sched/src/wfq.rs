@@ -312,9 +312,10 @@ impl WfqCore {
 
     pub(crate) fn dequeue_min(&mut self, _now: Time) -> Option<PacketRef> {
         let (class, f, seq) = self.heads.peek()?;
-        let (pkt, tag) = self.queues[class]
-            .pop_front()
-            .expect("active set/queue desynchronized");
+        let Some((pkt, tag)) = self.queues[class].pop_front() else {
+            debug_assert!(false, "active set/queue desynchronized");
+            return None;
+        };
         debug_assert_eq!(pkt.seq, seq, "per-class order violated");
         debug_assert_eq!(tag, f);
         match self.queues[class].front() {

@@ -188,8 +188,7 @@ where
         let mut seen = 0usize;
         while let Some(u) = ready.pop() {
             seen += 1;
-            for i in 0..succ[u].len() {
-                let v = succ[u][i];
+            for &v in &succ[u] {
                 level[v] = level[v].max(level[u] + 1);
                 indegree[v] -= 1;
                 if indegree[v] == 0 {

@@ -398,7 +398,13 @@ where
             let lanes = &mut self.lanes;
             let popped = self.events.pop_refill(|flow| {
                 let f = flow.index();
-                arrived_len = lanes.pending[f].expect("arrival without pending emission");
+                arrived_len = match lanes.pending[f] {
+                    Some(len) => len,
+                    None => {
+                        debug_assert!(false, "arrival without pending emission");
+                        0
+                    }
+                };
                 match lanes.sources[f].next_emission() {
                     Some(e) => {
                         lanes.pending[f] = Some(e.len);
@@ -507,7 +513,10 @@ where
                     }
                 }
                 Event::Departure => {
-                    let pkt = self.in_flight.take().expect("departure with idle link");
+                    let Some(pkt) = self.in_flight.take() else {
+                        debug_assert!(false, "departure with idle link");
+                        continue;
+                    };
                     self.queued_bytes -= pkt.len as u64;
                     self.policy.release(pkt.flow, pkt.len);
                     self.stats
@@ -567,6 +576,7 @@ where
         let f = flow.index();
         match &mut self.lanes.sources[f] {
             SourceKind::Trace(ts) => ts.refill_recycling(batch),
+            // qbm-lint: allow(hot-path-panic) — fabric wiring bug: a non-trace relay flow is a construction error, aborting beats corrupting the run
             other => panic!("relay flow {f} is not trace-fed (got {other:?})"),
         }
         // Re-arm: a relay flow exhausts its mailbox within each epoch
@@ -585,6 +595,7 @@ where
     /// fabric takes it (`mem::take`), delivers it downstream, and puts
     /// the swapped-out spare back.
     pub(crate) fn trace_buf_mut(&mut self, flow: usize) -> &mut Vec<Emission> {
+        // qbm-lint: allow(hot-path-panic, hot-path-index) — only recording links are asked for buffers; a miss is a fabric wiring error
         &mut self.traces.as_mut().expect("link does not record")[flow]
     }
 

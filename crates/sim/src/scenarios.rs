@@ -293,7 +293,7 @@ fn renumber(specs: &[FlowSpec]) -> Vec<FlowSpec> {
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            let mut s = s.clone();
+            let mut s = *s;
             s.id = FlowId(i as u32);
             s
         })
@@ -382,12 +382,12 @@ pub fn aggregation_tree(
 
     // Subscriber links relay their own mix from their AP.
     let sub_specs = renumber(specs);
-    for a in 0..aps {
+    for &ap in ap_links.iter().take(aps) {
         for s in 0..subs_per_ap {
             let sources = sub_specs.iter().map(|_| relay_stub()).collect();
             let sub = fabric.add_link(topology_link(sub_rate, &sub_specs, sources, profile));
             for f in 0..k as u32 {
-                fabric.connect(ap_links[a], (s * k) as u32 + f, sub, f);
+                fabric.connect(ap, (s * k) as u32 + f, sub, f);
             }
         }
     }

@@ -140,6 +140,7 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    // qbm-lint: cold(per-run result construction, not per-event)
     pub(crate) fn new(n_flows: usize, window: Dur, seed: u64) -> SimResult {
         SimResult {
             flows: vec![FlowStats::default(); n_flows],
@@ -259,6 +260,7 @@ impl StatsCollector {
         f.delay_sum_ns += d as u128;
         f.delay_max_ns = f.delay_max_ns.max(d);
         if f.delay_hist.is_empty() {
+            // qbm-lint: allow(hot-path-alloc) — lazy one-time histogram allocation, once per flow per run
             f.delay_hist = vec![0; 64];
         }
         let bucket = (64 - d.max(1).leading_zeros()).saturating_sub(1) as usize;

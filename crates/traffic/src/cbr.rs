@@ -50,10 +50,13 @@ impl Source for CbrSource {
     fn next_emission(&mut self) -> Option<Emission> {
         // Offset of packet k: time for k·len·8 cumulative bits.
         let bits = self.count * self.pkt_len as u64 * 8;
-        let off = self
-            .rate
-            .time_to_send_bits(bits)
-            .expect("positive rate checked at construction");
+        let Some(off) = self.rate.time_to_send_bits(bits) else {
+            // Rate positivity is checked at construction; a zero rate
+            // here would mean the source was built by other means, and
+            // the flow simply falls silent.
+            debug_assert!(false, "CBR source with non-positive rate");
+            return None;
+        };
         self.count += 1;
         Some(Emission {
             time: self.base + off,

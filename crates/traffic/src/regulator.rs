@@ -44,6 +44,7 @@ impl<S: Source> Source for ShapedSource<S> {
         let wait = self
             .bucket
             .time_until_conformant(earliest, e.len as u64)
+            // qbm-lint: allow(hot-path-panic) — a packet larger than the bucket can never conform; config error, abort
             .unwrap_or_else(|| panic!("packet of {} B larger than bucket", e.len));
         let release = earliest + wait;
         self.bucket.consume(release, e.len as u64);

@@ -19,7 +19,7 @@ fn main() {
     // from each conformance class), all converging on one 44 Mb/s
     // aggregator — oversubscribed at the fan-in, as incast always is.
     let t1 = table1();
-    let specs = [t1[0].clone(), t1[3].clone(), t1[6].clone()];
+    let specs = [t1[0], t1[3], t1[6]];
     let senders = 4usize;
     let agg_rate = Rate::from_mbps(44.0);
     println!(
