@@ -1,12 +1,13 @@
 //! `qbm` — run QoS scenarios from the command line.
 //!
 //! ```text
-//! qbm run   <scenario.qbm | table1 | table2>   admission check + simulation
-//! qbm check <scenario.qbm | table1 | table2>   admission check only
-//! qbm plan  <scenario.qbm | table1 | table2> [k]   §4 hybrid plan (default k = 3)
-//! qbm sweep <scenario.qbm | table1 | table2>   utilization/loss over buffer sizes
-//! qbm trace <scenario.qbm | table1 | table2> [out.jsonl]   traced single-seed run
-//! qbm trace-check <trace.jsonl>                validate a trace's schema
+//! qbm run    <scenario.qbm | table1 | table2>   admission check + simulation
+//! qbm report <scenario.qbm | table1 | table2>   delay/occupancy percentile report
+//! qbm check  <scenario.qbm | table1 | table2>   admission check only
+//! qbm plan   <scenario.qbm | table1 | table2> [k]   §4 hybrid plan (default k = 3)
+//! qbm sweep  <scenario.qbm | table1 | table2>   utilization/loss over buffer sizes
+//! qbm trace  <scenario.qbm | table1 | table2> [out.jsonl]   traced single-seed run
+//! qbm trace-check <trace.jsonl>                 validate a trace's schema
 //! ```
 //!
 //! Flags (anywhere on the line):
@@ -26,9 +27,12 @@
 //!   occupancy and the sharing pools every `<dur>` of simulated time
 //!   into `<path stem>.timeseries.csv` (e.g. `10ms`).
 //! * `--profile` — print per-phase wall-clock timing and events/sec.
+//! * `--stats sketch|exact|both` — percentile source for `report`
+//!   (default `sketch`), and with `run`/`run --topology`: attach
+//!   streaming quantile sketches and append the percentile block.
 
 use qbm_cli::profile::Profiler;
-use qbm_cli::report::{admission_report, simulation_report};
+use qbm_cli::report::{admission_report, percentile_report, simulation_report, StatsMode};
 use qbm_cli::units::parse_duration;
 use qbm_cli::Scenario;
 use qbm_core::analysis::hybrid::{
@@ -46,6 +50,16 @@ struct Options {
     probe_interval: Option<Dur>,
     profile: bool,
     topology: Option<String>,
+    stats: Option<StatsMode>,
+}
+
+impl Options {
+    /// Sketch parameters implied by `--stats` (none for `exact`/absent).
+    fn sketch_params(&self) -> Option<qbm_sim::SketchParams> {
+        self.stats
+            .filter(|m| *m != StatsMode::Exact)
+            .map(|_| qbm_sim::SketchParams::default())
+    }
 }
 
 fn main() {
@@ -70,15 +84,34 @@ fn main() {
         "run" if opts.topology.is_some() => {
             run_topology(&scenario, &opts);
         }
+        "report" => {
+            let mode = opts.stats.unwrap_or(StatsMode::Sketch);
+            let mut cfg = scenario.to_config();
+            cfg.stats.sketches = match mode {
+                StatsMode::Exact => None,
+                _ => Some(qbm_sim::SketchParams::default()),
+            };
+            let multi = cfg.run_many_threaded(1, scenario.seeds, opts.threads);
+            prof.phase("simulate");
+            print!("{}", percentile_report(&scenario, &multi, mode));
+            if opts.profile {
+                println!();
+                print!("{}", prof.finish(sim_events(&multi)).render());
+            }
+        }
         "run" => {
             print!("{}", admission_report(&scenario));
             println!();
             prof.phase("admission");
-            let multi = scenario
-                .to_config()
-                .run_many_threaded(1, scenario.seeds, opts.threads);
+            let mut cfg = scenario.to_config();
+            cfg.stats.sketches = opts.sketch_params();
+            let multi = cfg.run_many_threaded(1, scenario.seeds, opts.threads);
             prof.phase("simulate");
             print!("{}", simulation_report(&scenario, &multi));
+            if let Some(mode) = opts.stats {
+                println!();
+                print!("{}", percentile_report(&scenario, &multi, mode));
+            }
             let mut events = sim_events(&multi);
             if let Some(path) = &opts.trace {
                 events += traced_run(&scenario, path, opts.probe_interval);
@@ -120,7 +153,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  qbm run   <scenario.qbm|table1|table2> [--threads N] [--trace out.jsonl] [--probe-interval 10ms] [--profile]\n  qbm run   <scenario.qbm|table1|table2> --topology tree|incast [--threads N] [--trace out.jsonl]\n  qbm check <scenario.qbm|table1|table2>\n  qbm plan  <scenario.qbm|table1|table2> [k]\n  qbm sweep <scenario.qbm|table1|table2> [--threads N]\n  qbm trace <scenario.qbm|table1|table2> [out.jsonl] [--probe-interval 10ms]\n  qbm trace-check <trace.jsonl>"
+        "usage:\n  qbm run    <scenario.qbm|table1|table2> [--threads N] [--stats sketch|exact|both] [--trace out.jsonl] [--probe-interval 10ms] [--profile]\n  qbm run    <scenario.qbm|table1|table2> --topology tree|incast [--threads N] [--stats sketch|exact|both] [--trace out.jsonl]\n  qbm report <scenario.qbm|table1|table2> [--threads N] [--stats sketch|exact|both]\n  qbm check  <scenario.qbm|table1|table2>\n  qbm plan   <scenario.qbm|table1|table2> [k]\n  qbm sweep  <scenario.qbm|table1|table2> [--threads N]\n  qbm trace  <scenario.qbm|table1|table2> [out.jsonl] [--probe-interval 10ms]\n  qbm trace-check <trace.jsonl>"
     );
     std::process::exit(2)
 }
@@ -138,6 +171,7 @@ fn parse_flags(args: &[String]) -> (Options, Vec<String>) {
         probe_interval: None,
         profile: false,
         topology: None,
+        stats: None,
     };
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.iter();
@@ -159,6 +193,12 @@ fn parse_flags(args: &[String]) -> (Options, Vec<String>) {
             "--topology" => match it.next() {
                 Some(t) if t == "tree" || t == "incast" => opts.topology = Some(t.clone()),
                 _ => flag_error("--topology needs `tree` or `incast`"),
+            },
+            "--stats" => match it.next().map(String::as_str) {
+                Some("sketch") => opts.stats = Some(StatsMode::Sketch),
+                Some("exact") => opts.stats = Some(StatsMode::Exact),
+                Some("both") => opts.stats = Some(StatsMode::Both),
+                _ => flag_error("--stats needs `sketch`, `exact` or `both`"),
             },
             _ => rest.push(arg.clone()),
         }
@@ -193,7 +233,10 @@ fn traced_run(s: &Scenario, trace_path: &str, probe_interval: Option<Dur>) -> u6
     let interval = probe_interval.unwrap_or(Dur(u64::MAX));
     let mut obs = (
         Tracer::default(),
-        (TimeSeriesProbe::new(interval), CountingObserver::default()),
+        (
+            TimeSeriesProbe::new(interval).with_per_flow(),
+            CountingObserver::default(),
+        ),
     );
     let _ = s.to_config().run_once_with(seed, &mut obs);
     let (tracer, (probe, counter)) = obs;
@@ -207,6 +250,13 @@ fn traced_run(s: &Scenario, trace_path: &str, probe_interval: Option<Dur>) -> u6
         let csv_path = format!("{}.timeseries.csv", trace_path.trim_end_matches(".jsonl"));
         write_or_die(&csv_path, &probe.to_csv());
         println!("probe: {csv_path} ({} samples)", probe.samples().len());
+        if probe.truncated() {
+            eprintln!(
+                "warning: probe buffer full — dropped {} samples past the cap; \
+                 widen --probe-interval to cover the horizon",
+                probe.dropped()
+            );
+        }
     }
     counter.counts.total()
 }
@@ -220,10 +270,14 @@ fn traced_run(s: &Scenario, trace_path: &str, probe_interval: Option<Dur>) -> u6
 fn run_topology(s: &Scenario, opts: &Options) {
     use qbm_sim::scenarios::{aggregation_tree, incast_fanin, LinkProfile};
     let seed = 1;
+    let sketching = opts.sketch_params().is_some();
     let profile = LinkProfile {
         buffer_bytes: s.buffer_bytes,
         sched: s.sched.clone(),
         policy: qbm_sim::PolicySpec::Kind(s.policy),
+        stats: qbm_sim::StatsConfig {
+            sketches: opts.sketch_params(),
+        },
     };
     let kind = opts.topology.as_deref().unwrap_or("tree");
     let (fabric, labels): (_, Vec<String>) = if kind == "tree" {
@@ -278,8 +332,17 @@ fn run_topology(s: &Scenario, opts: &Options) {
         res.len()
     );
     println!(
-        "{:>12} {:>7} {:>10} {:>10} {:>9}",
-        "link", "flows", "Mb/s", "drops", "loss%"
+        "{:>12} {:>7} {:>10} {:>10} {:>9}{}",
+        "link",
+        "flows",
+        "Mb/s",
+        "drops",
+        "loss%",
+        if sketching {
+            format!(" {:>10} {:>10}", "p50 delay", "p99 delay")
+        } else {
+            String::new()
+        }
     );
     for (i, r) in res.iter().enumerate() {
         let thr: f64 = (0..r.flows.len())
@@ -288,8 +351,16 @@ fn run_topology(s: &Scenario, opts: &Options) {
             / 1e6;
         let offered: u64 = r.flows.iter().map(|f| f.offered_pkts).sum();
         let dropped: u64 = r.flows.iter().map(|f| f.dropped_pkts).sum();
+        let percentiles = match r.delay_sketch.as_ref() {
+            Some(d) if sketching => format!(
+                " {:>10} {:>10}",
+                format!("{:.3}ms", d.quantile(0.50) as f64 / 1e6),
+                format!("{:.3}ms", d.quantile(0.99) as f64 / 1e6),
+            ),
+            _ => String::new(),
+        };
         println!(
-            "{:>12} {:>7} {:>10.2} {:>10} {:>9.3}",
+            "{:>12} {:>7} {:>10.2} {:>10} {:>9.3}{percentiles}",
             labels[i],
             r.flows.len(),
             thr,

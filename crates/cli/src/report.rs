@@ -4,9 +4,23 @@ use qbm_core::admission::{admissible, AdmissionOutcome, Discipline, LinkConfig};
 use qbm_core::flow::Conformance;
 use qbm_core::policy::DropReason;
 use qbm_core::units::{ByteSize, Dur};
-use qbm_sim::MultiRun;
+use qbm_sim::{MultiRun, SimResult, StatsCollector};
 
 use crate::Scenario;
+
+/// Which percentile source the `qbm report` surface renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsMode {
+    /// Exact counters only; percentiles come from the legacy
+    /// factor-of-2 log₂ delay histogram.
+    Exact,
+    /// Streaming quantile sketches (bounded relative error, the
+    /// default for `qbm report`).
+    Sketch,
+    /// Both sources side by side, for comparing the sketch against the
+    /// legacy bound.
+    Both,
+}
 
 /// Render the §2.3 admission verdicts for a scenario.
 pub fn admission_report(s: &Scenario) -> String {
@@ -108,6 +122,109 @@ pub fn simulation_report(s: &Scenario, multi: &MultiRun) -> String {
     out
 }
 
+/// Merge every per-seed [`SimResult`] into one, using the same
+/// commutative fold the threaded campaign runner uses. The merged result
+/// carries the summed exact counters and, when sketches were attached,
+/// the merged quantile sketches.
+fn merge_runs(s: &Scenario, multi: &MultiRun) -> SimResult {
+    let mut acc = StatsCollector::merger(s.flows.len(), 0);
+    for r in &multi.runs {
+        acc.merge(r);
+    }
+    acc.finish()
+}
+
+fn ms(nanos: u64) -> String {
+    format!("{:.3}ms", nanos as f64 / 1e6)
+}
+
+/// Render delay and occupancy percentiles per flow plus the aggregate,
+/// from the merged sketches (`Sketch`), the legacy factor-of-2 log₂
+/// histogram (`Exact`), or both.
+pub fn percentile_report(s: &Scenario, multi: &MultiRun, mode: StatsMode) -> String {
+    let merged = merge_runs(s, multi);
+    let mut out = String::new();
+    if mode != StatsMode::Exact {
+        match merged.delay_sketch.as_ref() {
+            Some(agg) => {
+                out.push_str(&format!(
+                    "delay/occupancy percentiles — sketch, rel. error ≤ {:.2}% ({} seeds merged)\n\n",
+                    agg.relative_error() * 100.0,
+                    multi.runs.len(),
+                ));
+                out.push_str(&format!(
+                    "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    "flow", "p50", "p90", "p99", "p999", "occ p50", "occ p99"
+                ));
+                for (i, f) in merged.flows.iter().enumerate() {
+                    let (Some(d), Some(o)) = (f.delay_sketch.as_ref(), f.occ_sketch.as_ref())
+                    else {
+                        continue; // per-flow sketches disabled
+                    };
+                    out.push_str(&format!(
+                        "{:>5} {:>10} {:>10} {:>10} {:>10} {:>9}B {:>9}B\n",
+                        i,
+                        ms(d.quantile(0.50)),
+                        ms(d.quantile(0.90)),
+                        ms(d.quantile(0.99)),
+                        ms(d.quantile(0.999)),
+                        o.quantile(0.50),
+                        o.quantile(0.99),
+                    ));
+                }
+                let occ = merged.occ_sketch.as_ref();
+                out.push_str(&format!(
+                    "{:>5} {:>10} {:>10} {:>10} {:>10} {:>9}B {:>9}B\n",
+                    "all",
+                    ms(agg.quantile(0.50)),
+                    ms(agg.quantile(0.90)),
+                    ms(agg.quantile(0.99)),
+                    ms(agg.quantile(0.999)),
+                    occ.map_or(0, |o| o.quantile(0.50)),
+                    occ.map_or(0, |o| o.quantile(0.99)),
+                ));
+            }
+            None => out.push_str(
+                "no sketches attached — run with `--stats sketch` (or `both`) to record them\n",
+            ),
+        }
+    }
+    if mode != StatsMode::Sketch {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("delay percentiles — legacy log₂ histogram (factor-of-2 bound)\n\n");
+        out.push_str(&format!(
+            "{:>5} {:>10} {:>10} {:>10} {:>10}\n",
+            "flow", "p50", "p90", "p99", "p999"
+        ));
+        for (i, f) in merged.flows.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>5} {:>10} {:>10} {:>10} {:>10}\n",
+                i,
+                ms(f.delay_percentile(0.50).as_nanos()),
+                ms(f.delay_percentile(0.90).as_nanos()),
+                ms(f.delay_percentile(0.99).as_nanos()),
+                ms(f.delay_percentile(0.999).as_nanos()),
+            ));
+        }
+    }
+    let by = |reason| {
+        multi
+            .runs
+            .iter()
+            .map(|r| r.drops_by_reason(reason))
+            .sum::<u64>()
+    };
+    out.push_str(&format!(
+        "\ndrops by cause: threshold {} | buffer-full {} | headroom-denied {}\n",
+        by(DropReason::OverThreshold),
+        by(DropReason::BufferFull),
+        by(DropReason::NoSharedSpace),
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +253,47 @@ mod tests {
         let r = admission_report(&s);
         assert!(r.contains("buffer limited"), "{r}");
         assert!(r.contains("needs"));
+    }
+
+    #[test]
+    fn percentile_report_renders_sketch_rows() {
+        let s = scenario();
+        let mut cfg = s.to_config();
+        cfg.stats.sketches = Some(qbm_sim::SketchParams::default());
+        let multi = cfg.run_many(1, s.seeds);
+        let r = percentile_report(&s, &multi, StatsMode::Sketch);
+        assert!(r.contains("sketch, rel. error"), "{r}");
+        assert!(r.contains("drops by cause:"), "{r}");
+        // Two flow rows plus the aggregate "all" row under the header.
+        assert_eq!(r.lines().filter(|l| l.contains('B')).count(), 3, "{r}");
+    }
+
+    #[test]
+    fn percentile_report_exact_mode_uses_legacy_histogram() {
+        let s = scenario();
+        let multi = s.to_config().run_many(1, s.seeds);
+        let r = percentile_report(&s, &multi, StatsMode::Exact);
+        assert!(r.contains("legacy log₂ histogram"), "{r}");
+        assert!(!r.contains("sketch"), "{r}");
+    }
+
+    #[test]
+    fn percentile_report_without_sketches_says_so() {
+        let s = scenario();
+        let multi = s.to_config().run_many(1, s.seeds);
+        let r = percentile_report(&s, &multi, StatsMode::Sketch);
+        assert!(r.contains("no sketches attached"), "{r}");
+    }
+
+    #[test]
+    fn percentile_report_both_renders_both_sections() {
+        let s = scenario();
+        let mut cfg = s.to_config();
+        cfg.stats.sketches = Some(qbm_sim::SketchParams::default());
+        let multi = cfg.run_many(1, s.seeds);
+        let r = percentile_report(&s, &multi, StatsMode::Both);
+        assert!(r.contains("sketch, rel. error"), "{r}");
+        assert!(r.contains("legacy log₂ histogram"), "{r}");
     }
 
     #[test]

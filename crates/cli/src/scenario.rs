@@ -262,6 +262,7 @@ impl Scenario {
             warmup: self.warmup,
             duration: self.duration,
             sojourns: Default::default(),
+            stats: Default::default(),
         }
     }
 }

@@ -172,7 +172,9 @@ pub const ROOT_DRIFT_HINT: &str =
 
 /// Where the transitive hot-path audits start: the event-loop drivers,
 /// the link engine, the fabric's level advance and mailbox exchange,
-/// the tandem shim, and every scheduler's enqueue/dequeue.
+/// the tandem shim, every scheduler's enqueue/dequeue, and the
+/// streaming-telemetry update paths (sketch/heatmap `record`, called
+/// per event when sketches are attached).
 pub const HOT_ROOTS: &[crate::callgraph::RootSpec] = &[
     crate::callgraph::RootSpec::InFile {
         file: "crates/sim/src/router.rs",
@@ -205,6 +207,14 @@ pub const HOT_ROOTS: &[crate::callgraph::RootSpec] = &[
     crate::callgraph::RootSpec::TraitMethod {
         trait_name: "Scheduler",
         name: "dequeue",
+    },
+    crate::callgraph::RootSpec::InFile {
+        file: "crates/obs/src/sketch.rs",
+        name: "record",
+    },
+    crate::callgraph::RootSpec::InFile {
+        file: "crates/obs/src/heatmap.rs",
+        name: "record",
     },
 ];
 

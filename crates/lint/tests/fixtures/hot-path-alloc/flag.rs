@@ -15,3 +15,14 @@ fn helper_a() {
 fn helper_b() -> Vec<u32> {
     vec![1, 2]
 }
+
+//@ file: crates/obs/src/sketch.rs
+impl QuantileSketch {
+    pub fn record(&mut self, v: u64) {
+        note(v);
+    }
+}
+
+fn note(v: u64) -> Vec<u64> {
+    vec![v]
+}

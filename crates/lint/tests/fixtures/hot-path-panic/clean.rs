@@ -13,3 +13,14 @@ impl Scheduler for Drr {
 fn load_config(path: &str) -> Config {
     parse(path).unwrap()
 }
+
+//@ file: crates/obs/src/heatmap.rs
+impl TemporalHeatmap {
+    pub fn record(&mut self, now: Time, v: u64) {
+        let Some(cell) = self.cell_for(now) else {
+            debug_assert!(false, "slot out of window");
+            return;
+        };
+        cell.record(v);
+    }
+}

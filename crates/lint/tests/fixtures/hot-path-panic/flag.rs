@@ -8,3 +8,11 @@ impl Scheduler for Drr {
         Some(head.pkt)
     }
 }
+
+//@ file: crates/obs/src/heatmap.rs
+impl TemporalHeatmap {
+    pub fn record(&mut self, now: Time, v: u64) {
+        let cell = self.cell_for(now).expect("slot out of window");
+        cell.record(v);
+    }
+}

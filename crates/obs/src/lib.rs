@@ -30,6 +30,9 @@
 //!   occupancy-vs-time plots (CSV/JSON export).
 //! - [`CountingObserver`] — cheap event counters (events/sec in the
 //!   CLI's self-profiling report).
+//! - [`HeatmapObserver`] — bounded-memory temporal heatmaps (time ×
+//!   quantile-sketch cells with tiered eviction) over delay, occupancy,
+//!   and drops; built on the mergeable [`QuantileSketch`].
 //!
 //! Observers compose: `(A, B)` is itself an [`Observer`] fanning every
 //! hook out to both halves.
@@ -37,12 +40,16 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod heatmap;
 pub mod probe;
 pub mod record;
+pub mod sketch;
 pub mod tracer;
 
+pub use heatmap::{HeatmapObserver, HeatmapParams, TemporalHeatmap, MAX_TIERS};
 pub use probe::{Sample, TimeSeriesProbe};
 pub use record::{verify_trace, TraceError, TraceRecord, TraceSummary, SCHEMA_VERSION};
+pub use sketch::{QuantileSketch, SketchParams};
 pub use tracer::Tracer;
 
 use qbm_core::flow::FlowId;

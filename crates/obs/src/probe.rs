@@ -24,7 +24,9 @@ pub struct Sample {
     /// The grid instant.
     pub t: Time,
     /// Per-flow buffer occupancy, bytes (indexed by flow; flows first
-    /// seen later in the run make later samples longer).
+    /// seen later in the run make later samples longer). Empty unless
+    /// the probe was built [`with_per_flow`](TimeSeriesProbe::with_per_flow)
+    /// — cloning a vector per sample is too expensive to pay by default.
     pub per_flow: Vec<u64>,
     /// Aggregate occupancy, bytes.
     pub total: u64,
@@ -41,10 +43,14 @@ pub struct TimeSeriesProbe {
     total: u64,
     pools: Option<(u64, u64)>,
     samples: Vec<Sample>,
+    track_per_flow: bool,
+    dropped: u64,
 }
 
 impl TimeSeriesProbe {
     /// A probe emitting one sample every `interval` of simulated time.
+    /// Samples carry the aggregate occupancy and pools; per-flow
+    /// columns are opt-in via [`with_per_flow`](Self::with_per_flow).
     pub fn new(interval: Dur) -> TimeSeriesProbe {
         assert!(!interval.is_zero(), "zero probe interval");
         TimeSeriesProbe {
@@ -54,15 +60,44 @@ impl TimeSeriesProbe {
             total: 0,
             pools: None,
             samples: Vec::new(),
+            track_per_flow: false,
+            dropped: 0,
         }
     }
 
+    /// Also clone the per-flow occupancy vector into every sample
+    /// (`q0..qN` export columns). Costs O(flows) per sample, so it is
+    /// off by default.
+    pub fn with_per_flow(mut self) -> TimeSeriesProbe {
+        self.track_per_flow = true;
+        self
+    }
+
     /// Emit every grid boundary strictly before `now`, then catch up.
+    /// Once the [`MAX_SAMPLES`] cap is hit, remaining boundaries are
+    /// *counted* (not stored) in O(1) so truncation is never silent.
     fn flush_until(&mut self, now: Time) {
-        while self.next < now && self.samples.len() < MAX_SAMPLES {
+        while self.next < now {
+            if self.samples.len() >= MAX_SAMPLES {
+                // Boundaries self.next, self.next+Δ, … strictly before
+                // `now`: skip them all in one arithmetic step.
+                let gap = now.as_nanos() - 1 - self.next.as_nanos();
+                let n = gap / self.interval.as_nanos() + 1;
+                self.dropped += n;
+                self.next = Time(
+                    self.next
+                        .as_nanos()
+                        .saturating_add(n.saturating_mul(self.interval.as_nanos())),
+                );
+                return;
+            }
             self.samples.push(Sample {
                 t: self.next,
-                per_flow: self.occ.clone(),
+                per_flow: if self.track_per_flow {
+                    self.occ.clone()
+                } else {
+                    Vec::new()
+                },
                 total: self.total,
                 pools: self.pools,
             });
@@ -79,6 +114,17 @@ impl TimeSeriesProbe {
     /// The collected samples, in time order.
     pub fn samples(&self) -> &[Sample] {
         &self.samples
+    }
+
+    /// Grid boundaries that fell past the [`MAX_SAMPLES`] cap and were
+    /// dropped instead of stored.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether the sample buffer overflowed (any boundaries dropped).
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
     }
 
     /// Render as CSV: `t_ns,total,holes,headroom,q0..qN`. Pool columns
@@ -114,6 +160,9 @@ impl TimeSeriesProbe {
             }
             out.push('\n');
         }
+        if self.dropped > 0 {
+            out.push_str(&format!("# truncated: dropped {} samples\n", self.dropped));
+        }
         out
     }
 
@@ -142,7 +191,11 @@ impl TimeSeriesProbe {
             }
             out.push_str("]}");
         }
-        out.push_str("]}");
+        out.push(']');
+        if self.dropped > 0 {
+            out.push_str(&format!(",\"truncated\":true,\"dropped\":{}", self.dropped));
+        }
+        out.push('}');
         out
     }
 }
@@ -162,16 +215,20 @@ impl Observer for TimeSeriesProbe {
         _link: u32,
     ) {
         self.flush_until(now);
-        self.ensure_flow(flow);
-        self.occ[flow.index()] += len as u64;
         self.total += len as u64;
+        if self.track_per_flow {
+            self.ensure_flow(flow);
+            self.occ[flow.index()] += len as u64;
+        }
     }
 
     fn on_departure(&mut self, now: Time, flow: FlowId, len: u32, _arrival: Time, _link: u32) {
         self.flush_until(now);
-        self.ensure_flow(flow);
-        self.occ[flow.index()] -= len as u64;
         self.total -= len as u64;
+        if self.track_per_flow {
+            self.ensure_flow(flow);
+            self.occ[flow.index()] -= len as u64;
+        }
     }
 
     fn on_sharing(&mut self, now: Time, holes: u64, headroom: u64, _link: u32) {
@@ -182,13 +239,21 @@ impl Observer for TimeSeriesProbe {
     fn on_end(&mut self, end: Time, _link: u32) {
         // Include the boundary sample at `end` itself.
         self.flush_until(end);
-        if self.next == end && self.samples.len() < MAX_SAMPLES {
-            self.samples.push(Sample {
-                t: end,
-                per_flow: self.occ.clone(),
-                total: self.total,
-                pools: self.pools,
-            });
+        if self.next == end {
+            if self.samples.len() < MAX_SAMPLES {
+                self.samples.push(Sample {
+                    t: end,
+                    per_flow: if self.track_per_flow {
+                        self.occ.clone()
+                    } else {
+                        Vec::new()
+                    },
+                    total: self.total,
+                    pools: self.pools,
+                });
+            } else {
+                self.dropped += 1;
+            }
         }
     }
 }
@@ -230,7 +295,7 @@ mod tests {
 
     #[test]
     fn csv_has_pool_columns_only_when_reported() {
-        let mut p = TimeSeriesProbe::new(Dur::from_millis(1));
+        let mut p = TimeSeriesProbe::new(Dur::from_millis(1)).with_per_flow();
         p.on_enqueue(Time::ZERO, FlowId(1), 100, 100, 100, 0);
         p.on_end(Time::ZERO + Dur::from_millis(2), 0);
         let csv = p.to_csv();
@@ -247,7 +312,7 @@ mod tests {
 
     #[test]
     fn json_export_is_field_ordered() {
-        let mut p = TimeSeriesProbe::new(Dur::from_millis(1));
+        let mut p = TimeSeriesProbe::new(Dur::from_millis(1)).with_per_flow();
         p.on_enqueue(Time::ZERO, FlowId(0), 42, 42, 42, 0);
         p.on_end(Time::ZERO + Dur::from_millis(1), 0);
         assert_eq!(
@@ -257,9 +322,48 @@ mod tests {
     }
 
     #[test]
-    fn sample_count_is_bounded() {
+    fn per_flow_columns_are_opt_in() {
+        // Default probe: aggregate series only — no per-flow clone cost,
+        // no q columns in the exports.
+        let mut p = TimeSeriesProbe::new(Dur::from_millis(1));
+        p.on_enqueue(Time::ZERO, FlowId(1), 100, 100, 100, 0);
+        p.on_end(Time::ZERO + Dur::from_millis(2), 0);
+        assert!(p.samples().iter().all(|s| s.per_flow.is_empty()));
+        assert!(p.to_csv().starts_with("t_ns,total\n"));
+        assert!(p.to_csv().contains("1000000,100\n"));
+        assert_eq!(p.samples()[0].total, 100);
+    }
+
+    #[test]
+    fn sample_count_is_bounded_and_truncation_is_counted() {
         let mut p = TimeSeriesProbe::new(Dur(1));
         p.on_end(Time(MAX_SAMPLES as u64 * 10), 0);
         assert_eq!(p.samples().len(), MAX_SAMPLES);
+        // Boundaries 1..end-1 flushed (MAX kept, rest counted), plus
+        // the boundary sample at `end` itself which no longer fits.
+        assert_eq!(p.dropped(), 9 * MAX_SAMPLES as u64);
+        assert!(p.truncated());
+        let csv = p.to_csv();
+        assert!(
+            csv.ends_with(&format!(
+                "# truncated: dropped {} samples\n",
+                9 * MAX_SAMPLES as u64
+            )),
+            "missing CSV truncation footer"
+        );
+        let json = p.to_json();
+        assert!(json.ends_with(&format!(
+            "],\"truncated\":true,\"dropped\":{}}}",
+            9 * MAX_SAMPLES as u64
+        )));
+    }
+
+    #[test]
+    fn untruncated_exports_carry_no_truncation_marker() {
+        let mut p = TimeSeriesProbe::new(Dur::from_millis(1));
+        p.on_end(Time::ZERO + Dur::from_millis(3), 0);
+        assert!(!p.truncated());
+        assert!(!p.to_csv().contains("truncated"));
+        assert!(!p.to_json().contains("truncated"));
     }
 }

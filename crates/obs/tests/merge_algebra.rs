@@ -1,0 +1,162 @@
+//! Property-based proof obligations for the streaming-telemetry merge
+//! algebra. The campaign runner folds per-cell results in shard order,
+//! which only yields thread-count-invariant output if every merged
+//! structure is commutative, associative, and identity-preserving —
+//! `StatsCollector::merge` already is, and these properties extend the
+//! contract to [`QuantileSketch`] and [`TemporalHeatmap`]. The rank
+//! property pins the sketch's advertised `2^-m` relative-error bound
+//! against an exact sorted oracle.
+
+use proptest::prelude::*;
+use qbm_core::units::{Dur, Time};
+use qbm_obs::{HeatmapParams, QuantileSketch, TemporalHeatmap};
+
+/// Stratify a raw 64-bit draw over the exact range, the log-bucketed
+/// mid range, the wide range, and the extreme (the vendored harness
+/// has no `prop_oneof`, so the mix lives here).
+fn stratify(x: u64) -> u64 {
+    match x % 4 {
+        0 => (x >> 2) % 64,
+        1 => 64 + (x >> 2) % 100_000,
+        2 => (x >> 2).saturating_mul(3),
+        _ => u64::MAX - (x >> 2) % 3,
+    }
+}
+
+fn sketch_of(m: u32, values: &[u64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new(m);
+    for &v in values {
+        s.record(stratify(v));
+    }
+    s
+}
+
+fn heatmap_of(points: &[(u64, u64)]) -> TemporalHeatmap {
+    let params = HeatmapParams {
+        slot_width: Dur::from_millis(1),
+        slots_per_tier: 4,
+        fanout: 2,
+        tiers: 3,
+        precision_bits: 3,
+    };
+    let mut h = TemporalHeatmap::new(params);
+    let mut sorted = points.to_vec();
+    sorted.sort_unstable();
+    for &(ms, v) in &sorted {
+        h.record(Time::ZERO + Dur::from_millis(ms), v);
+    }
+    h
+}
+
+fn raw_values() -> proptest::collection::VecStrategy<core::ops::Range<u64>> {
+    proptest::collection::vec(0u64..u64::MAX, 0..200)
+}
+
+/// (timestamp-ms, value) pairs; `heatmap_of` feeds them in event-loop
+/// order (sorted by time).
+fn points() -> proptest::collection::VecStrategy<(core::ops::Range<u64>, core::ops::Range<u64>)> {
+    proptest::collection::vec((0u64..2_000, 0u64..1_000_000), 0..120)
+}
+
+proptest! {
+    /// Sketch merge is commutative, and the empty sketch is the merge
+    /// identity: fold(a, b) == fold(b, a), fold(a, 0) == a.
+    #[test]
+    fn sketch_merge_commutes(a in raw_values(), b in raw_values(), m in 1u32..9) {
+        let (sa, sb) = (sketch_of(m, &a), sketch_of(m, &b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        let mut id = sa.clone();
+        id.merge(&QuantileSketch::new(m));
+        prop_assert_eq!(&id, &sa);
+    }
+
+    /// Sketch merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c), and
+    /// both equal recording every value into one sketch.
+    #[test]
+    fn sketch_merge_associates(a in raw_values(), b in raw_values(), c in raw_values()) {
+        let (sa, sb, sc) = (sketch_of(5, &a), sketch_of(5, &b), sketch_of(5, &c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        let union: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &sketch_of(5, &union));
+    }
+
+    /// Every quantile estimate stays within the configured relative
+    /// error of the exact rank statistic, from above only (the sketch
+    /// reports bucket upper edges, so it never undershoots).
+    #[test]
+    fn sketch_rank_error_is_bounded(
+        raw in proptest::collection::vec(0u64..u64::MAX, 1..400),
+        m in 2u32..9,
+        q in 0.0f64..1.0,
+    ) {
+        let s = sketch_of(m, &raw);
+        let mut values: Vec<u64> = raw.iter().map(|&x| stratify(x)).collect();
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let est = s.quantile(q);
+        prop_assert!(est >= exact, "estimate {} under exact {}", est, exact);
+        // Upper edge of the exact value's bucket: within 2^-m above,
+        // plus 1 for the integer edge of the exact low range.
+        let bound = (exact / (1u64 << m)).saturating_add(1);
+        prop_assert!(
+            est - exact <= bound,
+            "q={} m={}: estimate {}, exact {}, bound {}",
+            q, m, est, exact, bound
+        );
+    }
+
+    /// Heatmap merge is commutative and identity-preserving even when
+    /// the operands have advanced to very different horizons.
+    #[test]
+    fn heatmap_merge_commutes(a in points(), b in points()) {
+        let (ha, hb) = (heatmap_of(&a), heatmap_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        let mut id = ha.clone();
+        id.merge(&heatmap_of(&[]));
+        prop_assert_eq!(&id, &ha);
+    }
+
+    /// Heatmap merge is associative and equals the heatmap of the
+    /// time-interleaved union — i.e. sharding a stream across
+    /// collectors and folding them back is lossless down to cell
+    /// placement.
+    #[test]
+    fn heatmap_merge_associates(a in points(), b in points(), c in points()) {
+        let (ha, hb, hc) = (heatmap_of(&a), heatmap_of(&b), heatmap_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        let union: Vec<(u64, u64)> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &heatmap_of(&union));
+    }
+
+    /// No value is ever lost to tiering, and the footprint never
+    /// depends on how much was recorded.
+    #[test]
+    fn heatmap_conserves_count_and_memory(a in points(), b in points()) {
+        let ha = heatmap_of(&a);
+        prop_assert_eq!(ha.count(), a.len() as u64);
+        prop_assert_eq!(ha.mem_bytes(), heatmap_of(&b).mem_bytes());
+    }
+}

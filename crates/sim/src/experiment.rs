@@ -16,7 +16,7 @@
 
 use crate::arena::SimArena;
 use crate::router::Router;
-use crate::stats::{SimResult, StatsCollector};
+use crate::stats::{SimResult, StatsCollector, StatsConfig};
 use qbm_core::flow::FlowSpec;
 use qbm_core::policy::{BufferPolicy, BufferSharing, FixedThreshold, PolicyKind};
 use qbm_core::units::{Dur, Rate, Time};
@@ -100,6 +100,10 @@ pub struct ExperimentConfig {
     /// ON/OFF sojourn family for the sources (the paper's model is
     /// exponential; Pareto is the heavy-tail robustness extension).
     pub sojourns: Sojourns,
+    /// Streaming-statistics attachments (delay/occupancy quantile
+    /// sketches). Defaults to off: exact counters only, byte-identical
+    /// to the pre-sketch simulator.
+    pub stats: StatsConfig,
 }
 
 impl ExperimentConfig {
@@ -121,7 +125,7 @@ impl ExperimentConfig {
             .iter()
             .map(|s| build_source_kind_with_sojourns(s, seed, self.sojourns))
             .collect();
-        let router = Router::new(self.link_rate, policy, sched, sources);
+        let router = Router::new(self.link_rate, policy, sched, sources).with_stats(self.stats);
         router.run_with(
             Time::ZERO + self.warmup,
             Time::ZERO + self.duration,
@@ -152,7 +156,8 @@ impl ExperimentConfig {
                 .iter()
                 .map(|s| build_source_kind_with_sojourns(s, seed, self.sojourns)),
         );
-        let router = Router::from_lanes(self.link_rate, policy, sched, lanes);
+        let router =
+            Router::from_lanes(self.link_rate, policy, sched, lanes).with_stats(self.stats);
         let (res, lanes, timers) = router.run_pooled(
             Time::ZERO + self.warmup,
             Time::ZERO + self.duration,
@@ -187,7 +192,7 @@ impl ExperimentConfig {
             .iter()
             .map(|s| build_source_kind_with_sojourns(s, seed, self.sojourns))
             .collect();
-        let router = Router::new(self.link_rate, policy, sched, sources);
+        let router = Router::new(self.link_rate, policy, sched, sources).with_stats(self.stats);
         router.run(Time::ZERO + self.warmup, Time::ZERO + self.duration, seed)
     }
 
@@ -209,11 +214,9 @@ impl ExperimentConfig {
             .iter()
             .map(|s| qbm_traffic::build_source_with_sojourns(s, seed, self.sojourns))
             .collect();
-        Router::new(self.link_rate, policy, sched, sources).run_reference(
-            Time::ZERO + self.warmup,
-            Time::ZERO + self.duration,
-            seed,
-        )
+        Router::new(self.link_rate, policy, sched, sources)
+            .with_stats(self.stats)
+            .run_reference(Time::ZERO + self.warmup, Time::ZERO + self.duration, seed)
     }
 
     /// Run `n_seeds` independent replications in parallel (the paper
@@ -515,6 +518,7 @@ mod tests {
             warmup: Dur::from_secs(1),
             duration: Dur::from_secs(4),
             sojourns: Sojourns::Exponential,
+            stats: Default::default(),
         }
     }
 

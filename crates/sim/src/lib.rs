@@ -48,4 +48,6 @@ pub use event::{EventCore, EventQueue, IndexedTimers};
 pub use experiment::{Campaign, ExperimentConfig, MultiRun, PolicySpec, SeedMode, Summary};
 pub use fabric::Fabric;
 pub use router::Router;
-pub use stats::{FlowStats, SimResult};
+pub use stats::{FlowStats, SimResult, StatsCollector, StatsConfig};
+
+pub use qbm_obs::{QuantileSketch, SketchParams};

@@ -24,7 +24,7 @@
 //! on `LinkEngine::advance`/`start_transmission` going forward.
 
 use crate::event::{Event, EventCore, IndexedTimers};
-use crate::stats::{SimResult, StatsCollector};
+use crate::stats::{SimResult, StatsCollector, StatsConfig};
 use qbm_core::flow::{FlowId, FlowSpec};
 use qbm_core::policy::{BufferPolicy, DropReason, Verdict};
 use qbm_core::token_bucket::TokenBucket;
@@ -71,6 +71,8 @@ where
     in_flight: Option<PacketRef>,
     /// Global arrival sequence counter (scheduler tie-break).
     seq: u64,
+    /// Streaming-statistics attachments for the collector (sketches).
+    stats_cfg: StatsConfig,
 }
 
 impl<P, S> Router<P, S>
@@ -110,6 +112,7 @@ where
             },
             in_flight: None,
             seq: 0,
+            stats_cfg: StatsConfig::default(),
         }
     }
 
@@ -134,7 +137,17 @@ where
             lanes,
             in_flight: None,
             seq: 0,
+            stats_cfg: StatsConfig::default(),
         }
+    }
+
+    /// Attach streaming-statistics collection (delay/occupancy quantile
+    /// sketches) to every run of this router. The default is off: a
+    /// plain run produces byte-identical results to the pre-sketch
+    /// simulator.
+    pub fn with_stats(mut self, cfg: StatsConfig) -> Router<P, S> {
+        self.stats_cfg = cfg;
+        self
     }
 
     /// Attach `(σ, ρ)` conformance meters (one per flow, from the
@@ -350,7 +363,7 @@ where
             lanes: router.lanes,
             in_flight: router.in_flight,
             seq: router.seq,
-            stats: StatsCollector::new(n, warmup, end, seed),
+            stats: StatsCollector::with_config(n, warmup, end, seed, router.stats_cfg),
             traces,
             queued_bytes: 0,
             prev_sharing: None,
@@ -431,7 +444,7 @@ where
                         None => true,
                     };
                     self.stats.on_color(now, flow, len, green);
-                    let q_before = if O::ENABLED {
+                    let q_before = if O::ENABLED || self.stats.sketching() {
                         self.policy.flow_occupancy(flow)
                     } else {
                         0
@@ -440,6 +453,14 @@ where
                         Verdict::Admit => {
                             self.queued_bytes += len as u64;
                             self.stats.on_arrival(now, flow, len, None);
+                            if self.stats.sketching() {
+                                self.stats.on_occupancy(
+                                    now,
+                                    flow,
+                                    q_before + len as u64,
+                                    self.policy.total_occupancy(),
+                                );
+                            }
                             if O::ENABLED {
                                 let q_after = q_before + len as u64;
                                 obs.on_enqueue(
@@ -521,6 +542,14 @@ where
                     self.policy.release(pkt.flow, pkt.len);
                     self.stats
                         .on_departure_colored(now, pkt.flow, pkt.len, pkt.arrival, pkt.green);
+                    if self.stats.sketching() {
+                        self.stats.on_occupancy(
+                            now,
+                            pkt.flow,
+                            self.policy.flow_occupancy(pkt.flow),
+                            self.policy.total_occupancy(),
+                        );
+                    }
                     if O::ENABLED {
                         obs.on_departure(now, pkt.flow, pkt.len, pkt.arrival, self.link);
                         // Downward crossing once the flow drains to

@@ -17,6 +17,7 @@
 use crate::experiment::{derive_cell_seed, ExperimentConfig, PolicySpec};
 use crate::fabric::Fabric;
 use crate::router::Router;
+use crate::stats::StatsConfig;
 use qbm_core::analysis::hybrid::{
     optimal_alphas, per_queue_buffer_eq18, rate_assignment_eq16, Grouping,
 };
@@ -259,6 +260,7 @@ pub fn paper_experiment(
         warmup: Dur::from_secs(2),
         duration: Dur::from_secs(22),
         sojourns: qbm_traffic::Sojourns::Exponential,
+        stats: StatsConfig::default(),
     }
 }
 
@@ -273,6 +275,8 @@ pub struct LinkProfile {
     pub sched: SchedKind,
     /// Admission policy family at each link.
     pub policy: PolicySpec,
+    /// Streaming-statistics attachments for every link's collector.
+    pub stats: StatsConfig,
 }
 
 impl Default for LinkProfile {
@@ -281,6 +285,7 @@ impl Default for LinkProfile {
             buffer_bytes: ByteSize::from_mib(1).bytes(),
             sched: SchedKind::Fifo,
             policy: PolicySpec::Kind(PolicyKind::Threshold),
+            stats: StatsConfig::default(),
         }
     }
 }
@@ -315,7 +320,7 @@ fn topology_link(
 ) -> Router {
     let policy = p.policy.build(p.buffer_bytes, rate, specs);
     let sched = p.sched.build(rate, specs);
-    Router::new(rate, policy, sched, sources)
+    Router::new(rate, policy, sched, sources).with_stats(p.stats)
 }
 
 /// An ISP-style aggregation tree in the download direction (the

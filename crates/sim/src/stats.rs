@@ -8,9 +8,34 @@
 use qbm_core::flow::{Conformance, FlowId, FlowSpec};
 use qbm_core::policy::DropReason;
 use qbm_core::units::{Dur, Time};
+use qbm_obs::{QuantileSketch, SketchParams};
+
+/// Optional streaming-statistics attachments for a run. The default is
+/// the classic exact-counters-only collector; enabling `sketches`
+/// attaches bounded-memory mergeable quantile sketches
+/// ([`qbm_obs::QuantileSketch`]) for delay and occupancy, which the
+/// `qbm report` surface renders as p50/p90/p99/p999.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsConfig {
+    /// Attach delay + occupancy quantile sketches (aggregate always,
+    /// per-flow when [`SketchParams::per_flow`] is set).
+    pub sketches: Option<SketchParams>,
+}
+
+/// Merge the sketch halves of two results: both present → fold,
+/// only the source present → adopt a copy (keeps the sketch-less
+/// [`StatsCollector::merger`] the merge identity).
+fn merge_sketch(into: &mut Option<QuantileSketch>, from: &Option<QuantileSketch>) {
+    if let Some(b) = from {
+        match into {
+            Some(a) => a.merge(b),
+            None => *into = Some(b.clone()),
+        }
+    }
+}
 
 /// Counters for a single flow over the measurement window.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct FlowStats {
     /// Bytes offered to the router (pre-admission).
     pub offered_bytes: u64,
@@ -45,6 +70,46 @@ pub struct FlowStats {
     pub green_offered_pkts: u64,
     /// Bytes delivered that were marked green at arrival.
     pub green_delivered_bytes: u64,
+    /// Streaming delay sketch (ns), populated only when the run was
+    /// configured with [`StatsConfig::sketches`] and `per_flow` is on.
+    /// Bounded relative error — supersedes the factor-of-2
+    /// [`FlowStats::delay_percentile`] for report-facing percentiles.
+    pub delay_sketch: Option<QuantileSketch>,
+    /// Streaming per-flow occupancy sketch (bytes, sampled at every
+    /// admission and departure), same gating as `delay_sketch`.
+    pub occ_sketch: Option<QuantileSketch>,
+}
+
+/// Hand-written so sketch-less results render exactly like the
+/// pre-sketch derived output: the golden-digest determinism tests hash
+/// `format!("{:?}", flows)`, and attaching no sketches must not move a
+/// byte. The sketch fields appear only when populated.
+impl std::fmt::Debug for FlowStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("FlowStats");
+        s.field("offered_bytes", &self.offered_bytes)
+            .field("offered_pkts", &self.offered_pkts)
+            .field("dropped_bytes", &self.dropped_bytes)
+            .field("dropped_pkts", &self.dropped_pkts)
+            .field("drops_buffer_full", &self.drops_buffer_full)
+            .field("drops_over_threshold", &self.drops_over_threshold)
+            .field("drops_no_shared_space", &self.drops_no_shared_space)
+            .field("delivered_bytes", &self.delivered_bytes)
+            .field("delivered_pkts", &self.delivered_pkts)
+            .field("delay_sum_ns", &self.delay_sum_ns)
+            .field("delay_max_ns", &self.delay_max_ns)
+            .field("delay_hist", &self.delay_hist)
+            .field("green_offered_bytes", &self.green_offered_bytes)
+            .field("green_offered_pkts", &self.green_offered_pkts)
+            .field("green_delivered_bytes", &self.green_delivered_bytes);
+        if self.delay_sketch.is_some() {
+            s.field("delay_sketch", &self.delay_sketch);
+        }
+        if self.occ_sketch.is_some() {
+            s.field("occ_sketch", &self.occ_sketch);
+        }
+        s.finish()
+    }
 }
 
 impl FlowStats {
@@ -102,12 +167,19 @@ impl FlowStats {
         self.green_offered_bytes += other.green_offered_bytes;
         self.green_offered_pkts += other.green_offered_pkts;
         self.green_delivered_bytes += other.green_delivered_bytes;
+        merge_sketch(&mut self.delay_sketch, &other.delay_sketch);
+        merge_sketch(&mut self.occ_sketch, &other.occ_sketch);
     }
 
-    /// Approximate delay percentile from the log₂ histogram: the upper
-    /// edge of the bucket containing the q-quantile (q ∈ [0, 1]), i.e.
-    /// within a factor of 2 of the true value. `Dur::ZERO` when no
-    /// packet was delivered.
+    /// **Legacy factor-of-2 percentile.** Approximate delay percentile
+    /// from the log₂ histogram: the upper edge of the bucket containing
+    /// the q-quantile (q ∈ [0, 1]), i.e. within a *factor of 2* of the
+    /// true value. `Dur::ZERO` when no packet was delivered.
+    ///
+    /// Kept for callers that never enable sketches; the report-facing
+    /// percentile source is [`FlowStats::delay_sketch`], whose error is
+    /// bounded at `2^-m` relative (3.125 % at the default precision)
+    /// instead of 100 %.
     pub fn delay_percentile(&self, q: f64) -> Dur {
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
         let total: u64 = self.delay_hist.iter().sum();
@@ -129,7 +201,7 @@ impl FlowStats {
 }
 
 /// Result of one simulation run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct SimResult {
     /// Per-flow counters, indexed by `FlowId`.
     pub flows: Vec<FlowStats>,
@@ -137,6 +209,31 @@ pub struct SimResult {
     pub window: Dur,
     /// Seed the run used.
     pub seed: u64,
+    /// Aggregate streaming delay sketch (ns) over all flows, populated
+    /// when the run enabled [`StatsConfig::sketches`].
+    pub delay_sketch: Option<QuantileSketch>,
+    /// Aggregate occupancy sketch (total buffer bytes, sampled at every
+    /// admission and departure), same gating.
+    pub occ_sketch: Option<QuantileSketch>,
+}
+
+/// Hand-written for the same golden-digest reason as
+/// [`FlowStats`]'s `Debug`: sketch-less output must match the old
+/// derived rendering byte-for-byte.
+impl std::fmt::Debug for SimResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("SimResult");
+        s.field("flows", &self.flows)
+            .field("window", &self.window)
+            .field("seed", &self.seed);
+        if self.delay_sketch.is_some() {
+            s.field("delay_sketch", &self.delay_sketch);
+        }
+        if self.occ_sketch.is_some() {
+            s.field("occ_sketch", &self.occ_sketch);
+        }
+        s.finish()
+    }
 }
 
 impl SimResult {
@@ -146,7 +243,25 @@ impl SimResult {
             flows: vec![FlowStats::default(); n_flows],
             window,
             seed,
+            delay_sketch: None,
+            occ_sketch: None,
         }
+    }
+
+    // qbm-lint: cold(per-run result construction, not per-event)
+    fn with_config(n_flows: usize, window: Dur, seed: u64, cfg: StatsConfig) -> SimResult {
+        let mut r = SimResult::new(n_flows, window, seed);
+        if let Some(sp) = cfg.sketches {
+            r.delay_sketch = Some(QuantileSketch::new(sp.precision_bits));
+            r.occ_sketch = Some(QuantileSketch::new(sp.precision_bits));
+            if sp.per_flow {
+                for f in &mut r.flows {
+                    f.delay_sketch = Some(QuantileSketch::new(sp.precision_bits));
+                    f.occ_sketch = Some(QuantileSketch::new(sp.precision_bits));
+                }
+            }
+        }
+        r
     }
 
     /// Delivered rate of one flow over the window, bits/s.
@@ -202,9 +317,22 @@ pub struct StatsCollector {
 impl StatsCollector {
     /// Collect into a window `[warmup_end, run_end)`.
     pub fn new(n_flows: usize, warmup_end: Time, run_end: Time, seed: u64) -> StatsCollector {
+        StatsCollector::with_config(n_flows, warmup_end, run_end, seed, StatsConfig::default())
+    }
+
+    /// Collect into a window `[warmup_end, run_end)` with optional
+    /// streaming attachments (see [`StatsConfig`]). All sketch memory
+    /// is allocated here, once — the per-event paths never allocate.
+    pub fn with_config(
+        n_flows: usize,
+        warmup_end: Time,
+        run_end: Time,
+        seed: u64,
+        cfg: StatsConfig,
+    ) -> StatsCollector {
         assert!(run_end > warmup_end, "empty measurement window");
         StatsCollector {
-            result: SimResult::new(n_flows, run_end.since(warmup_end), seed),
+            result: SimResult::with_config(n_flows, run_end.since(warmup_end), seed, cfg),
             warmup_end,
             run_end,
         }
@@ -212,6 +340,33 @@ impl StatsCollector {
 
     fn in_window(&self, t: Time) -> bool {
         t >= self.warmup_end && t < self.run_end
+    }
+
+    /// Whether this collector carries occupancy sketches — the event
+    /// loop's guard for computing occupancy arguments it would
+    /// otherwise skip.
+    #[inline]
+    pub fn sketching(&self) -> bool {
+        self.result.occ_sketch.is_some()
+    }
+
+    /// Record post-event buffer occupancy into the occupancy sketches
+    /// (aggregate + per-flow). Called by the event loop after every
+    /// admission and departure when [`StatsCollector::sketching`];
+    /// allocation- and panic-free like the rest of the hot path.
+    #[inline]
+    pub fn on_occupancy(&mut self, now: Time, flow: FlowId, flow_occ: u64, total_occ: u64) {
+        if !self.in_window(now) {
+            return;
+        }
+        if let Some(s) = self.result.occ_sketch.as_mut() {
+            s.record(total_occ);
+        }
+        if let Some(f) = self.result.flows.get_mut(flow.index()) {
+            if let Some(s) = f.occ_sketch.as_mut() {
+                s.record(flow_occ);
+            }
+        }
     }
 
     /// Record an offered packet and its verdict.
@@ -265,6 +420,12 @@ impl StatsCollector {
         }
         let bucket = (64 - d.max(1).leading_zeros()).saturating_sub(1) as usize;
         f.delay_hist[bucket.min(63)] += 1;
+        if let Some(s) = f.delay_sketch.as_mut() {
+            s.record(d);
+        }
+        if let Some(s) = self.result.delay_sketch.as_mut() {
+            s.record(d);
+        }
     }
 
     /// Record a packet's Remark-1 color at arrival (before the
@@ -311,6 +472,8 @@ impl StatsCollector {
         for (into, from) in self.result.flows.iter_mut().zip(&other.flows) {
             into.merge(from);
         }
+        merge_sketch(&mut self.result.delay_sketch, &other.delay_sketch);
+        merge_sketch(&mut self.result.occ_sketch, &other.occ_sketch);
     }
 }
 
@@ -551,5 +714,64 @@ mod tests {
     fn merge_rejects_mismatched_flow_counts() {
         let mut acc = StatsCollector::merger(2, 0);
         acc.merge(&synthetic_run(3, 0));
+    }
+
+    #[test]
+    fn sketches_attach_record_and_merge() {
+        let cfg = StatsConfig {
+            sketches: Some(SketchParams::default()),
+        };
+        let mut c = StatsCollector::with_config(1, Time::ZERO, Time::from_secs(1), 0, cfg);
+        assert!(c.sketching());
+        c.on_departure(Time::ZERO + Dur::from_millis(3), FlowId(0), 500, Time::ZERO);
+        c.on_occupancy(Time::ZERO + Dur::from_millis(3), FlowId(0), 500, 1500);
+        // Outside the window: ignored like every other counter.
+        c.on_occupancy(Time::from_secs(2), FlowId(0), 9999, 9999);
+        let r = c.finish();
+        assert_eq!(r.delay_sketch.as_ref().unwrap().count(), 1);
+        assert_eq!(r.flows[0].delay_sketch.as_ref().unwrap().count(), 1);
+        assert_eq!(r.occ_sketch.as_ref().unwrap().quantile(1.0), 1500);
+        assert_eq!(r.flows[0].occ_sketch.as_ref().unwrap().quantile(1.0), 500);
+        // A sketch-less merger adopts the sketches unchanged — the
+        // campaign fold stays identity-preserving with sketches on.
+        let mut acc = StatsCollector::merger(1, 0);
+        acc.merge(&r);
+        let m = acc.finish();
+        assert_eq!(m.delay_sketch, r.delay_sketch);
+        assert_eq!(m.flows[0].occ_sketch, r.flows[0].occ_sketch);
+    }
+
+    #[test]
+    fn per_flow_sketches_can_be_disabled() {
+        let cfg = StatsConfig {
+            sketches: Some(SketchParams {
+                per_flow: false,
+                ..SketchParams::default()
+            }),
+        };
+        let mut c = StatsCollector::with_config(2, Time::ZERO, Time::from_secs(1), 0, cfg);
+        c.on_departure(Time::ZERO + Dur::from_millis(1), FlowId(1), 500, Time::ZERO);
+        c.on_occupancy(Time::ZERO + Dur::from_millis(1), FlowId(1), 500, 500);
+        let r = c.finish();
+        assert!(r.delay_sketch.is_some());
+        assert!(r.flows[1].delay_sketch.is_none());
+        assert!(r.flows[1].occ_sketch.is_none());
+        assert_eq!(r.delay_sketch.as_ref().unwrap().count(), 1);
+    }
+
+    #[test]
+    fn debug_format_is_unchanged_without_sketches() {
+        // The golden-digest determinism tests hash `{:?}` of sketch-less
+        // flows; the manual Debug impl must render exactly like the old
+        // derived one (no sketch fields at all).
+        let r = synthetic_run(1, 3);
+        let txt = format!("{:?}", r.flows);
+        assert!(!txt.contains("sketch"), "{txt}");
+        let cfg = StatsConfig {
+            sketches: Some(SketchParams::default()),
+        };
+        let c = StatsCollector::with_config(1, Time::ZERO, Time::from_secs(1), 0, cfg);
+        let txt2 = format!("{:?}", c.finish().flows);
+        assert!(txt2.contains("delay_sketch"), "{txt2}");
     }
 }

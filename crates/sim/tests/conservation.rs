@@ -61,6 +61,7 @@ proptest! {
             warmup: Dur::ZERO, // full-horizon accounting for conservation
             duration: Dur::from_secs(2),
             sojourns: Sojourns::Exponential,
+            stats: Default::default(),
         };
         let res = cfg.run_once(seed);
         let max_queued_pkts = buffer / 500 + 1; // + 1 in flight
@@ -94,6 +95,7 @@ proptest! {
             warmup: Dur::ZERO,
             duration: Dur::from_secs(2),
             sojourns: Sojourns::Exponential,
+            stats: Default::default(),
         };
         let res = cfg.run_once(seed);
         let bound = LINK.transmission_time(buffer + 500).as_nanos();
@@ -131,6 +133,7 @@ proptest! {
             warmup: Dur::from_millis(200),
             duration: Dur::from_secs(2),
             sojourns: Sojourns::Exponential,
+            stats: Default::default(),
         };
         let res = cfg.run_once(seed);
         // One in-flight packet of slack at the window edge.

@@ -25,6 +25,7 @@ fn main() {
         warmup: Dur::from_secs(2),
         duration: Dur::from_secs(12),
         sojourns: Default::default(),
+        stats: Default::default(),
     };
 
     println!(

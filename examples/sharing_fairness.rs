@@ -52,6 +52,7 @@ fn main() {
             warmup: Dur::from_secs(2),
             duration: Dur::from_secs(22),
             sojourns: Default::default(),
+            stats: Default::default(),
         };
         let mr = cfg.run_many(1, 5);
         let util = mr.summarize(|r| r.aggregate_throughput_bps() / 48e6 * 100.0);

@@ -73,6 +73,7 @@ proptest! {
             warmup: Dur::from_millis(500),
             duration: Dur::from_secs(3),
         sojourns: Default::default(),
+        stats: Default::default(),
         };
         let res = cfg.run_once(seed);
         let loss = res.class_loss_ratio(&specs, Conformance::Conformant);
@@ -136,6 +137,7 @@ proptest! {
             warmup: Dur::from_millis(500),
             duration: Dur::from_secs(3),
         sojourns: Default::default(),
+        stats: Default::default(),
         };
         let res = cfg.run_once(seed);
         let loss = res.class_loss_ratio(&specs, Conformance::Conformant);

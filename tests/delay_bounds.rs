@@ -20,6 +20,7 @@ fn run(sched: SchedKind, buffer: u64, seed: u64) -> qos_buffer_mgmt::sim::SimRes
         warmup: Dur::from_secs(1),
         duration: Dur::from_secs(11),
         sojourns: Default::default(),
+        stats: Default::default(),
     };
     cfg.run_once(seed)
 }

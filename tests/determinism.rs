@@ -21,6 +21,7 @@ fn cfg(sched: SchedKind, policy: PolicySpec) -> ExperimentConfig {
         warmup: Dur::from_secs(1),
         duration: Dur::from_secs(4),
         sojourns: Default::default(),
+        stats: Default::default(),
     }
 }
 
@@ -124,6 +125,7 @@ fn campaign_results_are_thread_count_invariant() {
             warmup: Dur::from_secs(1),
             duration: Dur::from_secs(3),
             sojourns: Default::default(),
+            stats: Default::default(),
         });
     }
     let run_with = |threads: usize| {

@@ -84,6 +84,7 @@ fn sharing_beats_thresholds_on_utilization() {
             warmup: Dur::from_secs(1),
             duration: Dur::from_secs(7),
             sojourns: Default::default(),
+            stats: Default::default(),
         };
         quick(&mut cfg);
         cfg.run_many(1, 3)
@@ -107,6 +108,7 @@ fn sharing_beats_thresholds_on_utilization() {
         warmup: Dur::from_secs(1),
         duration: Dur::from_secs(7),
         sojourns: Default::default(),
+        stats: Default::default(),
     };
     quick(&mut cfg);
     let res = cfg.run_once(2);

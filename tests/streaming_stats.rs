@@ -1,0 +1,140 @@
+//! Streaming-telemetry acceptance (DESIGN.md §14): over a horizon 100×
+//! the paper's 22 s experiment, the delay quantile sketch agrees with an
+//! exact oracle within its configured relative-error bound, telemetry
+//! memory stays flat with run length, and sketch-carrying campaign runs
+//! are byte-identical for any thread count.
+
+use qos_buffer_mgmt::core::flow::{Conformance, FlowId, FlowSpec};
+use qos_buffer_mgmt::core::policy::PolicyKind;
+use qos_buffer_mgmt::core::units::{ByteSize, Dur, Rate, Time};
+use qos_buffer_mgmt::obs::{HeatmapObserver, HeatmapParams, Observer};
+use qos_buffer_mgmt::sched::SchedKind;
+use qos_buffer_mgmt::sim::{ExperimentConfig, PolicySpec, SimResult, SketchParams, StatsConfig};
+
+/// A scaled-down Table-1-style pair of flows: the same shape at ~1/100
+/// the event rate, so a 2200 s horizon stays quick in debug builds.
+fn quick_specs() -> Vec<FlowSpec> {
+    (0..2u32)
+        .map(|i| {
+            FlowSpec::builder(FlowId(i))
+                .peak(Rate::from_bps(160_000))
+                .avg(Rate::from_bps(20_000))
+                .bucket(5 * 1024)
+                .token_rate(Rate::from_bps(20_000))
+                .class(Conformance::Conformant)
+                .build()
+        })
+        .collect()
+}
+
+fn cfg(duration: Dur) -> ExperimentConfig {
+    ExperimentConfig {
+        link_rate: Rate::from_bps(480_000),
+        buffer_bytes: ByteSize::from_kib(64).bytes(),
+        specs: quick_specs(),
+        sched: SchedKind::Fifo,
+        policy: PolicySpec::Kind(PolicyKind::Threshold),
+        warmup: Dur::from_secs(1),
+        duration,
+        sojourns: Default::default(),
+        stats: StatsConfig {
+            sketches: Some(SketchParams::default()),
+        },
+    }
+}
+
+/// Exact per-departure sojourn recorder, windowed exactly like
+/// `StatsCollector` (departures in `[warmup_end, run_end)`).
+struct DelayOracle {
+    warmup_end: Time,
+    run_end: Time,
+    delays: Vec<u64>,
+}
+
+impl Observer for DelayOracle {
+    fn on_departure(&mut self, now: Time, _flow: FlowId, _len: u32, arrival: Time, _link: u32) {
+        if now >= self.warmup_end && now < self.run_end {
+            self.delays.push(now.since(arrival).as_nanos());
+        }
+    }
+}
+
+#[test]
+fn sketch_tracks_exact_oracle_over_long_horizon() {
+    let horizon = Dur::from_secs(2200); // 100× the paper's 22 s runs
+    let c = cfg(horizon);
+    let mut oracle = DelayOracle {
+        warmup_end: Time::ZERO + c.warmup,
+        run_end: Time::ZERO + c.warmup + horizon,
+        delays: Vec::new(),
+    };
+    let res = c.run_once_with(1, &mut oracle);
+    let sketch = res.delay_sketch.as_ref().expect("sketches attached");
+    assert_eq!(
+        sketch.count(),
+        oracle.delays.len() as u64,
+        "sketch and oracle disagree on the windowed departure count"
+    );
+    assert!(
+        oracle.delays.len() > 10_000,
+        "horizon too quiet to exercise the sketch ({} departures)",
+        oracle.delays.len()
+    );
+    oracle.delays.sort_unstable();
+    for q in [0.5, 0.99] {
+        let rank = ((q * oracle.delays.len() as f64).ceil() as usize).clamp(1, oracle.delays.len());
+        let exact = oracle.delays[rank - 1];
+        let est = sketch.quantile(q);
+        assert!(
+            est >= exact,
+            "p{q}: sketch {est} below exact {exact} (upper edges cannot undershoot)"
+        );
+        let bound = (exact as f64 * sketch.relative_error()) as u64 + 1;
+        assert!(
+            est - exact <= bound,
+            "p{q}: sketch {est} vs exact {exact} exceeds the {:.2}% bound",
+            sketch.relative_error() * 100.0
+        );
+    }
+}
+
+fn run_with_heatmap(duration: Dur) -> (SimResult, HeatmapObserver) {
+    let c = cfg(duration);
+    let mut obs = HeatmapObserver::new(HeatmapParams::default());
+    let res = c.run_once_with(1, &mut obs);
+    (res, obs)
+}
+
+#[test]
+fn telemetry_memory_is_independent_of_run_length() {
+    let (res_short, hm_short) = run_with_heatmap(Dur::from_secs(22));
+    let (res_long, hm_long) = run_with_heatmap(Dur::from_secs(2200));
+    // The long run records ~100× the events into the same O(buckets ×
+    // slots) footprint — ring eviction into coarser tiers, never growth.
+    assert!(hm_long.delay.count() > 10 * hm_short.delay.count());
+    assert_eq!(hm_short.mem_bytes(), hm_long.mem_bytes());
+    let mem = |r: &SimResult| {
+        r.delay_sketch.as_ref().unwrap().mem_bytes()
+            + r.occ_sketch.as_ref().unwrap().mem_bytes()
+            + r.flows
+                .iter()
+                .filter_map(|f| f.delay_sketch.as_ref())
+                .map(|s| s.mem_bytes())
+                .sum::<usize>()
+    };
+    assert_eq!(mem(&res_short), mem(&res_long));
+}
+
+#[test]
+fn sketch_campaign_runs_are_thread_invariant() {
+    let c = cfg(Dur::from_secs(30));
+    let one = c.run_many_threaded(1, 8, 1);
+    let eight = c.run_many_threaded(1, 8, 8);
+    assert_eq!(
+        one.runs, eight.runs,
+        "sketch-carrying runs drift with thread count"
+    );
+    // Byte-identical, not just equal: the Debug rendering includes the
+    // sketch digests, so any bucket-level divergence shows here.
+    assert_eq!(format!("{:?}", one.runs), format!("{:?}", eight.runs));
+}
