@@ -6,7 +6,7 @@
 //! Usage: `cargo run --release -p qbm-bench --example prim_costs`
 
 use qbm_core::units::{Dur, Time};
-use qbm_sched::{ActiveSet, VirtualTime};
+use qbm_sched::{ActiveSet, Layout, VirtualTime, SCAN_TREE_CROSSOVER};
 use std::collections::{BinaryHeap, VecDeque};
 use std::hint::black_box;
 use std::time::Instant;
@@ -27,6 +27,73 @@ fn time_ns(label: &str, mut f: impl FnMut(u64)) {
         best = best.min(t.elapsed().as_nanos() as f64 / N as f64);
     }
     println!("{label:32} {best:6.2} ns/op");
+}
+
+/// Per-op cost of the scheduler's characteristic churn — peek the
+/// winner, re-tag it with a small service increment — on a pre-filled
+/// set. Best of 3 passes after a warmup pass.
+fn churn_ns(set: &mut ActiveSet, ops: u64) -> f64 {
+    let mut step = |s: u64| {
+        let (w, tag, _) = set.peek().unwrap();
+        set.set(
+            w,
+            tag.saturating_add(VirtualTime::from_raw(1 + (s & 63))),
+            s,
+        );
+        black_box(set.len());
+    };
+    for s in 0..ops / 10 {
+        step(s);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for s in 0..ops {
+            step(s);
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / ops as f64);
+    }
+    best
+}
+
+/// Scan-vs-tree layout sweep over 2⁴–2²⁰ slots. The smallest slot
+/// count where the tournament tree beats the flat scan is the measured
+/// crossover that `SCAN_TREE_CROSSOVER` encodes.
+fn layout_sweep() {
+    println!();
+    println!(
+        "{:>9} {:>13} {:>13}   ActiveSet peek+set churn",
+        "slots", "scan ns/op", "tree ns/op"
+    );
+    let mut crossover = None;
+    for exp in (4u32..=20).step_by(2) {
+        let n = 1usize << exp;
+        // Scale the op count down with n so scan's O(n) peeks keep
+        // each point around a second.
+        let ops = (200_000_000 / n as u64).clamp(2_000, 2_000_000);
+        let mut costs = [0.0f64; 2];
+        for (k, layout) in [Layout::Scan, Layout::Tree].into_iter().enumerate() {
+            let mut set = ActiveSet::with_layout(n, layout);
+            for i in 0..n {
+                set.set(
+                    i,
+                    VirtualTime::from_raw(1 + ((i as u64).wrapping_mul(0x9e37_79b9) & 0xffff_ffff)),
+                    0,
+                );
+            }
+            costs[k] = churn_ns(&mut set, ops);
+        }
+        println!("{:>9} {:>13.2} {:>13.2}", n, costs[0], costs[1]);
+        if crossover.is_none() && costs[1] < costs[0] {
+            crossover = Some(n);
+        }
+    }
+    match crossover {
+        Some(n) => println!(
+            "tree wins from {n} slots in this sweep (SCAN_TREE_CROSSOVER = {SCAN_TREE_CROSSOVER})"
+        ),
+        None => println!("scan won every point in this sweep"),
+    }
 }
 
 fn main() {
@@ -109,4 +176,5 @@ fn main() {
         );
         black_box(wfq.dequeue(now));
     });
+    layout_sweep();
 }

@@ -15,11 +15,16 @@
 //!   (default `QBM_THREADS`, else one per core); results are identical
 //!   for any N. With `--topology`, N is the fabric shard width (how
 //!   many same-level links advance concurrently).
-//! * `--topology tree|incast` — with `run`: instead of the single
-//!   link, run the scenario's flow mix through a multi-link fabric
-//!   (aggregation tree: 1 site → 2 APs → 6 subscribers each carrying
-//!   the mix; incast: 3 senders into 1 aggregator) and report per
-//!   link. Byte-identical for any `--threads`.
+//! * `--topology tree|incast|subscriber-tree` — with `run`: instead of
+//!   the single link, run a multi-link fabric and report per link.
+//!   `tree`/`incast` are fixed small shapes carrying the scenario's
+//!   flow mix (aggregation tree: 1 site → 2 APs → 6 subscribers;
+//!   incast: 3 senders into 1 aggregator); `subscriber-tree` is the
+//!   generated ISP hierarchy (sites → APs → heavy-tailed subscriber
+//!   plans under the §4 hybrid at the core) sized by `--flows`.
+//!   Byte-identical for any `--threads`.
+//! * `--flows N` — subscriber count for `--topology subscriber-tree`
+//!   (default 100; 10²–10⁶ supported).
 //! * `--trace <path>` — also write a JSONL event trace of the first
 //!   seed (schema: see DESIGN.md §9). Sim-time-stamped and
 //!   byte-identical across thread counts.
@@ -30,6 +35,11 @@
 //! * `--stats sketch|exact|both` — percentile source for `report`
 //!   (default `sketch`), and with `run`/`run --topology`: attach
 //!   streaming quantile sketches and append the percentile block.
+//!   With `--topology` it also attaches per-link temporal heatmaps
+//!   ([`qbm_obs::HeatmapObserver`]) and renders delay/occupancy/drop
+//!   sparklines per link. Per-flow sketches downgrade to
+//!   aggregate-only above the `StatsConfig` flow-count guard (~4096;
+//!   DESIGN.md §14), with a warning.
 
 use qbm_cli::profile::Profiler;
 use qbm_cli::report::{admission_report, percentile_report, simulation_report, StatsMode};
@@ -50,6 +60,7 @@ struct Options {
     probe_interval: Option<Dur>,
     profile: bool,
     topology: Option<String>,
+    flows: Option<usize>,
     stats: Option<StatsMode>,
 }
 
@@ -153,7 +164,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  qbm run    <scenario.qbm|table1|table2> [--threads N] [--stats sketch|exact|both] [--trace out.jsonl] [--probe-interval 10ms] [--profile]\n  qbm run    <scenario.qbm|table1|table2> --topology tree|incast [--threads N] [--stats sketch|exact|both] [--trace out.jsonl]\n  qbm report <scenario.qbm|table1|table2> [--threads N] [--stats sketch|exact|both]\n  qbm check  <scenario.qbm|table1|table2>\n  qbm plan   <scenario.qbm|table1|table2> [k]\n  qbm sweep  <scenario.qbm|table1|table2> [--threads N]\n  qbm trace  <scenario.qbm|table1|table2> [out.jsonl] [--probe-interval 10ms]\n  qbm trace-check <trace.jsonl>"
+        "usage:\n  qbm run    <scenario.qbm|table1|table2> [--threads N] [--stats sketch|exact|both] [--trace out.jsonl] [--probe-interval 10ms] [--profile]\n  qbm run    <scenario.qbm|table1|table2> --topology tree|incast|subscriber-tree [--flows N] [--threads N] [--stats sketch|exact|both] [--trace out.jsonl]\n  qbm report <scenario.qbm|table1|table2> [--threads N] [--stats sketch|exact|both]\n  qbm check  <scenario.qbm|table1|table2>\n  qbm plan   <scenario.qbm|table1|table2> [k]\n  qbm sweep  <scenario.qbm|table1|table2> [--threads N]\n  qbm trace  <scenario.qbm|table1|table2> [out.jsonl] [--probe-interval 10ms]\n  qbm trace-check <trace.jsonl>"
     );
     std::process::exit(2)
 }
@@ -171,6 +182,7 @@ fn parse_flags(args: &[String]) -> (Options, Vec<String>) {
         probe_interval: None,
         profile: false,
         topology: None,
+        flows: None,
         stats: None,
     };
     let mut rest = Vec::with_capacity(args.len());
@@ -191,8 +203,14 @@ fn parse_flags(args: &[String]) -> (Options, Vec<String>) {
             },
             "--profile" => opts.profile = true,
             "--topology" => match it.next() {
-                Some(t) if t == "tree" || t == "incast" => opts.topology = Some(t.clone()),
-                _ => flag_error("--topology needs `tree` or `incast`"),
+                Some(t) if t == "tree" || t == "incast" || t == "subscriber-tree" => {
+                    opts.topology = Some(t.clone())
+                }
+                _ => flag_error("--topology needs `tree`, `incast` or `subscriber-tree`"),
+            },
+            "--flows" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.flows = Some(n),
+                _ => flag_error("--flows needs a positive subscriber count"),
             },
             "--stats" => match it.next().map(String::as_str) {
                 Some("sketch") => opts.stats = Some(StatsMode::Sketch),
@@ -268,7 +286,11 @@ fn traced_run(s: &Scenario, trace_path: &str, probe_interval: Option<Dur>) -> u6
 /// multiplexing points. Results are byte-identical for any
 /// `--threads` value.
 fn run_topology(s: &Scenario, opts: &Options) {
-    use qbm_sim::scenarios::{aggregation_tree, incast_fanin, LinkProfile};
+    use qbm_cli::report::{fmt_bytes, fmt_ns, heatmap_sparkline};
+    use qbm_obs::{HeatmapObserver, HeatmapParams};
+    use qbm_sim::scenarios::{
+        aggregation_tree, incast_fanin, subscriber_tree, LinkProfile, SubscriberTreeShape,
+    };
     let seed = 1;
     let sketching = opts.sketch_params().is_some();
     let profile = LinkProfile {
@@ -277,33 +299,61 @@ fn run_topology(s: &Scenario, opts: &Options) {
         policy: qbm_sim::PolicySpec::Kind(s.policy),
         stats: qbm_sim::StatsConfig {
             sketches: opts.sketch_params(),
+            ..qbm_sim::StatsConfig::default()
         },
     };
     let kind = opts.topology.as_deref().unwrap_or("tree");
-    let (fabric, labels): (_, Vec<String>) = if kind == "tree" {
-        let (aps, subs) = (2usize, 3usize);
-        // Upstream links sized to carry their fan-out losslessly: the
-        // per-subscriber experiment happens at the subscriber links.
-        let rates = [
-            Rate::from_bps(s.link.bps() * (aps * subs) as u64),
-            Rate::from_bps(s.link.bps() * subs as u64),
-            s.link,
-        ];
-        let mut labels = vec!["site".to_string()];
-        labels.extend((0..aps).map(|a| format!("ap{a}")));
-        labels.extend((0..aps * subs).map(|d| format!("sub{d}")));
-        (
-            aggregation_tree(aps, subs, &s.flows, rates, &profile, seed),
-            labels,
-        )
-    } else {
-        let senders = 3usize;
-        let mut labels: Vec<String> = (0..senders).map(|i| format!("sender{i}")).collect();
-        labels.push("aggregator".to_string());
-        (
-            incast_fanin(senders, &s.flows, s.link, s.link, &profile, seed),
-            labels,
-        )
+    // How many leading links get their own report row — subscriber
+    // trees summarize their AP relays in one aggregate row.
+    let mut detail_links = usize::MAX;
+    let (fabric, labels): (_, Vec<String>) = match kind {
+        "tree" => {
+            let (aps, subs) = (2usize, 3usize);
+            // Upstream links sized to carry their fan-out losslessly:
+            // the per-subscriber experiment happens at the subscriber
+            // links.
+            let rates = [
+                Rate::from_bps(s.link.bps() * (aps * subs) as u64),
+                Rate::from_bps(s.link.bps() * subs as u64),
+                s.link,
+            ];
+            let mut labels = vec!["site".to_string()];
+            labels.extend((0..aps).map(|a| format!("ap{a}")));
+            labels.extend((0..aps * subs).map(|d| format!("sub{d}")));
+            (
+                aggregation_tree(aps, subs, &s.flows, rates, &profile, seed),
+                labels,
+            )
+        }
+        "subscriber-tree" => {
+            let shape = SubscriberTreeShape::for_flows(opts.flows.unwrap_or(100));
+            if profile.stats.per_flow_downgraded(shape.flows()) {
+                eprintln!(
+                    "warning: {} flows exceed the per-flow sketch limit ({}); \
+                     downgrading to aggregate-only sketches (DESIGN.md §14)",
+                    shape.flows(),
+                    profile.stats.per_flow_sketch_limit
+                );
+            }
+            detail_links = 1 + shape.sites;
+            let mut labels = vec!["core".to_string()];
+            labels.extend((0..shape.sites).map(|i| format!("site{i}")));
+            for site in 0..shape.sites {
+                for a in 0..shape.aps_per_site {
+                    labels.push(format!("s{site}ap{a}"));
+                }
+            }
+            (subscriber_tree(shape, &profile, seed), labels)
+        }
+        _ => {
+            let senders = 3usize;
+            let mut labels: Vec<String> = (0..senders).map(|i| format!("sender{i}")).collect();
+            labels.push("aggregator".to_string());
+            (
+                incast_fanin(senders, &s.flows, s.link, s.link, &profile, seed),
+                labels,
+            )
+        }
     };
     let threads = if opts.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -313,18 +363,47 @@ fn run_topology(s: &Scenario, opts: &Options) {
     let warmup = qbm_core::units::Time::ZERO + s.warmup;
     let end = warmup + s.duration;
 
-    let res = if let Some(path) = &opts.trace {
-        let mut tracers = vec![Tracer::default().with_link_dim(); fabric.n_links()];
-        let res = fabric.run_observed(seed, warmup, end, threads, &mut tracers);
-        write_or_die(path, &Tracer::merged_links_jsonl(&tracers));
+    // Four observer shapes: tracing and heatmapping attach per link
+    // through `run_observed` and both merge byte-identically at any
+    // shard width.
+    let n_links = fabric.n_links();
+    let print_trace = |tracers: &[Tracer], path: &str| {
+        write_or_die(path, &Tracer::merged_links_jsonl(tracers));
         let records: usize = tracers.iter().map(Tracer::len).sum();
         println!(
             "trace: {path} ({records} records across {} links, seed {seed})\n",
             tracers.len()
         );
-        res
-    } else {
-        fabric.run(seed, warmup, end, threads)
+    };
+    let (res, heatmaps): (_, Option<Vec<HeatmapObserver>>) = match (&opts.trace, sketching) {
+        (Some(path), true) => {
+            let mut obs: Vec<(Tracer, HeatmapObserver)> = (0..n_links)
+                .map(|_| {
+                    (
+                        Tracer::default().with_link_dim(),
+                        HeatmapObserver::new(HeatmapParams::default()),
+                    )
+                })
+                .collect();
+            let res = fabric.run_observed(seed, warmup, end, threads, &mut obs);
+            let (tracers, heat): (Vec<_>, Vec<_>) = obs.into_iter().unzip();
+            print_trace(&tracers, path);
+            (res, Some(heat))
+        }
+        (Some(path), false) => {
+            let mut tracers = vec![Tracer::default().with_link_dim(); n_links];
+            let res = fabric.run_observed(seed, warmup, end, threads, &mut tracers);
+            print_trace(&tracers, path);
+            (res, None)
+        }
+        (None, true) => {
+            let mut heat: Vec<HeatmapObserver> = (0..n_links)
+                .map(|_| HeatmapObserver::new(HeatmapParams::default()))
+                .collect();
+            let res = fabric.run_observed(seed, warmup, end, threads, &mut heat);
+            (res, Some(heat))
+        }
+        (None, false) => (fabric.run(seed, warmup, end, threads), None),
     };
 
     println!(
@@ -344,13 +423,17 @@ fn run_topology(s: &Scenario, opts: &Options) {
             String::new()
         }
     );
-    for (i, r) in res.iter().enumerate() {
+    let row_stats = |r: &qbm_sim::SimResult| {
         let thr: f64 = (0..r.flows.len())
             .map(|f| r.flow_throughput_bps(qbm_core::flow::FlowId(f as u32)))
             .sum::<f64>()
             / 1e6;
         let offered: u64 = r.flows.iter().map(|f| f.offered_pkts).sum();
         let dropped: u64 = r.flows.iter().map(|f| f.dropped_pkts).sum();
+        (r.flows.len(), thr, offered, dropped)
+    };
+    for (i, r) in res.iter().enumerate().take(detail_links) {
+        let (flows, thr, offered, dropped) = row_stats(r);
         let percentiles = match r.delay_sketch.as_ref() {
             Some(d) if sketching => format!(
                 " {:>10} {:>10}",
@@ -362,11 +445,69 @@ fn run_topology(s: &Scenario, opts: &Options) {
         println!(
             "{:>12} {:>7} {:>10.2} {:>10} {:>9.3}{percentiles}",
             labels[i],
-            r.flows.len(),
+            flows,
             thr,
             dropped,
             100.0 * dropped as f64 / offered.max(1) as f64
         );
+    }
+    if detail_links < res.len() {
+        // One aggregate row for the AP relay tier.
+        let (mut flows, mut thr, mut offered, mut dropped) = (0usize, 0f64, 0u64, 0u64);
+        for r in &res[detail_links..] {
+            let (f, t, o, d) = row_stats(r);
+            flows += f;
+            thr += t;
+            offered += o;
+            dropped += d;
+        }
+        println!(
+            "{:>12} {:>7} {:>10.2} {:>10} {:>9.3}",
+            format!("aps×{}", res.len() - detail_links),
+            flows,
+            thr,
+            dropped,
+            100.0 * dropped as f64 / offered.max(1) as f64
+        );
+    }
+
+    if let Some(heat) = &heatmaps {
+        let shown = detail_links.min(heat.len());
+        type Pick = for<'a> fn(&'a HeatmapObserver) -> &'a qbm_obs::TemporalHeatmap;
+        for (title, pick, q, fmt) in [
+            (
+                "delay heatmap (p99 sojourn per slot, tier 0)",
+                (|h| &h.delay) as Pick,
+                0.99,
+                fmt_ns as fn(u64) -> String,
+            ),
+            (
+                "occupancy heatmap (p99 buffer bytes per slot, tier 0)",
+                |h: &HeatmapObserver| &h.occupancy,
+                0.99,
+                fmt_bytes,
+            ),
+            (
+                "drop heatmap (p99 dropped-packet bytes per slot, tier 0)",
+                |h: &HeatmapObserver| &h.drops,
+                0.99,
+                fmt_bytes,
+            ),
+        ] {
+            let rows: Vec<(usize, String)> = heat
+                .iter()
+                .take(shown)
+                .enumerate()
+                .filter_map(|(i, h)| heatmap_sparkline(pick(h), q, fmt).map(|l| (i, l)))
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            println!("\n{title}:");
+            for (i, line) in rows {
+                println!("{:>12}  {line}", labels[i]);
+            }
+        }
     }
 }
 

@@ -22,6 +22,55 @@ pub enum StatsMode {
     Both,
 }
 
+/// Render one [`TemporalHeatmap`](qbm_obs::TemporalHeatmap) as a
+/// compact ASCII sparkline over its finest (tier-0) live cells, oldest
+/// → newest: one glyph per 100 ms slot (at default params), height =
+/// that slot's `q`-quantile normalized to the row maximum. Returns
+/// `None` when no tier-0 cell has samples (older history may still sit
+/// in deeper tiers — the sparkline is a recency view, not a total).
+pub fn heatmap_sparkline(
+    h: &qbm_obs::TemporalHeatmap,
+    q: f64,
+    fmt_max: fn(u64) -> String,
+) -> Option<String> {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let mut vals: Vec<u64> = Vec::new();
+    let (mut lo_ns, mut hi_ns) = (u64::MAX, 0u64);
+    h.visit_cells(|tier, start, end, cell| {
+        if tier == Some(0) {
+            vals.push(cell.quantile(q));
+            lo_ns = lo_ns.min(start);
+            hi_ns = hi_ns.max(end);
+        }
+    });
+    let max = *vals.iter().max()?;
+    let line: String = vals
+        .iter()
+        .map(|&v| GLYPHS[(v.saturating_mul(7) / max.max(1)) as usize])
+        .collect();
+    Some(format!(
+        "{line}  (≤{} over {:.1}s)",
+        fmt_max(max),
+        (hi_ns - lo_ns) as f64 / 1e9,
+    ))
+}
+
+/// Legend formatter for nanosecond-valued heatmaps (delay).
+pub fn fmt_ns(v: u64) -> String {
+    if v >= 1_000_000 {
+        format!("{:.2}ms", v as f64 / 1e6)
+    } else if v >= 1_000 {
+        format!("{:.1}µs", v as f64 / 1e3)
+    } else {
+        format!("{v}ns")
+    }
+}
+
+/// Legend formatter for byte-valued heatmaps (occupancy, drops).
+pub fn fmt_bytes(v: u64) -> String {
+    format!("{}", ByteSize::from_bytes(v))
+}
+
 /// Render the §2.3 admission verdicts for a scenario.
 pub fn admission_report(s: &Scenario) -> String {
     let link = LinkConfig::new(s.link, s.buffer_bytes);

@@ -172,9 +172,12 @@ pub const ROOT_DRIFT_HINT: &str =
 
 /// Where the transitive hot-path audits start: the event-loop drivers,
 /// the link engine, the fabric's level advance and mailbox exchange,
-/// the tandem shim, every scheduler's enqueue/dequeue, and the
+/// the tandem shim, every scheduler's enqueue/dequeue, the
 /// streaming-telemetry update paths (sketch/heatmap `record`, called
-/// per event when sketches are attached).
+/// per event when sketches are attached), the tournament-tree
+/// `replay` inside [`ActiveSet`] (per tag update at tree layouts),
+/// and WF²Q+'s batched eligibility `sweep` (per virtual-clock
+/// advance).
 pub const HOT_ROOTS: &[crate::callgraph::RootSpec] = &[
     crate::callgraph::RootSpec::InFile {
         file: "crates/sim/src/router.rs",
@@ -215,6 +218,14 @@ pub const HOT_ROOTS: &[crate::callgraph::RootSpec] = &[
     crate::callgraph::RootSpec::InFile {
         file: "crates/obs/src/heatmap.rs",
         name: "record",
+    },
+    crate::callgraph::RootSpec::InFile {
+        file: "crates/sched/src/active_set.rs",
+        name: "replay",
+    },
+    crate::callgraph::RootSpec::InFile {
+        file: "crates/sched/src/wf2q.rs",
+        name: "sweep",
     },
 ];
 

@@ -32,3 +32,24 @@ fn bump(_v: u64) {}
 fn build_buckets() -> Vec<u64> {
     vec![0; 1920]
 }
+
+//@ file: crates/sched/src/active_set.rs
+impl ActiveSet {
+    fn replay(&mut self, i: usize) {
+        self.win[1] = i as u32;
+    }
+}
+
+// qbm-lint: cold(tree arrays sized once at construction)
+fn build_tree(leaves: usize) -> Vec<u32> {
+    vec![0; leaves]
+}
+
+//@ file: crates/sched/src/wf2q.rs
+impl Wf2q {
+    fn sweep(&mut self) {
+        while self.pending_head().is_some() {
+            self.count += 1;
+        }
+    }
+}

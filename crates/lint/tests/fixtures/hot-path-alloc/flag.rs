@@ -26,3 +26,22 @@ impl QuantileSketch {
 fn note(v: u64) -> Vec<u64> {
     vec![v]
 }
+
+//@ file: crates/sched/src/active_set.rs
+impl ActiveSet {
+    fn replay(&mut self, i: usize) {
+        self.win[1] = widen(i)[0];
+    }
+}
+
+fn widen(i: usize) -> Vec<u32> {
+    vec![i as u32]
+}
+
+//@ file: crates/sched/src/wf2q.rs
+impl Wf2q {
+    fn sweep(&mut self) {
+        let promoted: Vec<usize> = self.pending.iter().copied().collect();
+        self.count = promoted.len();
+    }
+}

@@ -24,3 +24,23 @@ impl TemporalHeatmap {
         cell.record(v);
     }
 }
+
+//@ file: crates/sched/src/active_set.rs
+impl ActiveSet {
+    fn replay(&mut self, i: usize) {
+        debug_assert!(i < self.slots, "slot out of range");
+        let Some(node) = self.node_for(i) else {
+            return;
+        };
+        self.win[node] = i as u32;
+    }
+}
+
+//@ file: crates/sched/src/wf2q.rs
+impl Wf2q {
+    fn sweep(&mut self) {
+        while let Some((f, _s, _ep)) = self.ineligible.peek() {
+            self.eligible_mark(f);
+        }
+    }
+}

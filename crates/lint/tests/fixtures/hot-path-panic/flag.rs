@@ -16,3 +16,19 @@ impl TemporalHeatmap {
         cell.record(v);
     }
 }
+
+//@ file: crates/sched/src/active_set.rs
+impl ActiveSet {
+    fn replay(&mut self, i: usize) {
+        let node = self.node_for(i).unwrap();
+        self.win[node] = i as u32;
+    }
+}
+
+//@ file: crates/sched/src/wf2q.rs
+impl Wf2q {
+    fn sweep(&mut self) {
+        let (f, _s, _ep) = self.ineligible.peek().expect("sweep on empty set");
+        self.eligible_mark(f);
+    }
+}

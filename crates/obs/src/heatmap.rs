@@ -307,6 +307,16 @@ impl TemporalHeatmap {
         }
     }
 
+    /// Visit every non-empty live cell for external renderers (the CLI
+    /// topology heatmaps), in the same deterministic order as
+    /// [`TemporalHeatmap::to_csv`]: overflow first (with `tier` =
+    /// `None` and zero slot bounds), then each tier deepest →
+    /// shallowest, slots oldest → newest. Arguments are
+    /// `(tier, slot_start_ns, slot_end_ns, sketch)`.
+    pub fn visit_cells(&self, f: impl FnMut(Option<usize>, u64, u64, &QuantileSketch)) {
+        self.for_each_cell(f);
+    }
+
     /// CSV export: one row per non-empty cell, oldest history first.
     /// The overflow sketch (everything older than the deepest tier)
     /// reports as tier `overflow` with zero slot bounds.

@@ -22,8 +22,9 @@
 //!
 //! Every timestamp scheduler (WFQ, WF²Q+, Virtual Clock, the hybrid's
 //! WFQ layer) runs on the Q32.32 [`VirtualTime`] integer clock from
-//! [`vclock`] and indexes queue heads in the flat [`ActiveSet`]
-//! tree from [`active_set`] — no `f64` state, no NaN-capable compares,
+//! [`vclock`] and indexes queue heads in the adaptive [`ActiveSet`]
+//! from [`active_set`] (flat scan at the paper's class counts, winner
+//! tree at ISP flow counts) — no `f64` state, no NaN-capable compares,
 //! no heap churn on the hot path. The original float/`BinaryHeap`
 //! formulations are retained verbatim-in-architecture as
 //! `*_reference` schedulers in [`reference`], built via
@@ -44,7 +45,7 @@ pub mod vclock;
 pub mod wf2q;
 pub mod wfq;
 
-pub use active_set::ActiveSet;
+pub use active_set::{ActiveSet, Layout, SCAN_TREE_CROSSOVER};
 pub use drr::Drr;
 pub use edf::Edf;
 pub use fifo::Fifo;

@@ -18,12 +18,30 @@
 //!
 //! All tags are fixed-point [`VirtualTime`] (Q32.32). Only flow *heads*
 //! are indexed, one slot per flow in two indexed [`ActiveSet`]
-//! trees — ineligible heads keyed by `(S, epoch)`, eligible heads by
-//! `(F, epoch)` — so eligibility promotion and service are slot moves,
-//! not heap churn. The `epoch` counter (bumped per head installation)
-//! keeps the pop order identical to the retained float reference
-//! ([`Wf2qReference`](crate::reference::Wf2qReference)), whose lazy
-//! heaps use it to invalidate stale entries.
+//! structures — ineligible heads keyed by `(S, epoch)`, eligible heads
+//! by `(F, epoch)` — so eligibility promotion and service are slot
+//! moves, not heap churn. The `epoch` counter (bumped per head
+//! installation) keeps the pop order identical to the retained float
+//! reference ([`Wf2qReference`](crate::reference::Wf2qReference)),
+//! whose lazy heaps use it to invalidate stale entries.
+//!
+//! ## Batched eligibility sweeps
+//!
+//! The textbook formulation promotes after *every* service: dequeue
+//! advances `V` and re-scans the ineligible set for heads whose
+//! `S ≤ V`. Most of those scans find nothing — a head's start tag is
+//! typically several packet services ahead of the clock — yet each one
+//! pays an ineligible-set `peek`. This implementation instead tracks an
+//! **eligibility frontier**: a lower bound on the smallest ineligible
+//! start tag. Promotion work runs only when the virtual clock has
+//! actually crossed the frontier ([`Wf2q::sweep`], which then batches
+//! every newly eligible head in one pass and re-arms the frontier at
+//! the next start tag); otherwise [`Wf2q::promote`] is a single integer
+//! compare. Because the frontier is a certified lower bound, only
+//! provably empty sweeps are skipped — the promotion *order* and every
+//! tag stream are bit-identical to the per-dequeue formulation, which
+//! the differential proptests and the 56-combination equivalence suite
+//! pin against the float reference.
 
 use crate::active_set::ActiveSet;
 use crate::scheduler::{PacketRef, Scheduler};
@@ -50,6 +68,11 @@ pub struct Wf2q {
     ineligible: ActiveSet,
     /// Eligible heads (S ≤ V) keyed `(finish, epoch)`.
     eligible: ActiveSet,
+    /// Eligibility frontier: a lower bound on the smallest start tag in
+    /// `ineligible` ([`VirtualTime::MAX`] when it is empty). While
+    /// `vtime < frontier` no head can become eligible, so the
+    /// per-dequeue promotion check is one compare instead of a `peek`.
+    frontier: VirtualTime,
     /// Per-flow `(len, len·8/φᵢ)` memo — packet sizes repeat, so the
     /// per-head service division is shared across consecutive packets.
     service_cache: Vec<(u32, VirtualTime)>,
@@ -76,6 +99,7 @@ impl Wf2q {
             vtime: VirtualTime::ZERO,
             ineligible: ActiveSet::with_slots(n),
             eligible: ActiveSet::with_slots(n),
+            frontier: VirtualTime::MAX,
             service_cache: vec![(0, VirtualTime::ZERO); n],
             total_service_cache: (0, VirtualTime::ZERO),
             epoch: 0,
@@ -125,18 +149,36 @@ impl Wf2q {
             self.eligible.set(f, finish, self.epoch);
         } else {
             self.ineligible.set(f, start, self.epoch);
+            self.frontier = self.frontier.min(start);
         }
     }
 
-    /// Move newly eligible heads (S ≤ V) to the finish set.
+    /// Move newly eligible heads (S ≤ V) to the finish set. Fast path:
+    /// while the clock sits below the frontier the ineligible minimum
+    /// provably exceeds `V`, so the sweep is skipped outright — only
+    /// no-op scans are elided, keeping the promotion stream
+    /// bit-identical to the per-dequeue formulation.
+    #[inline]
     fn promote(&mut self) {
+        if self.frontier > self.vtime {
+            return;
+        }
+        self.sweep();
+    }
+
+    /// Batched eligibility sweep: drain every ineligible head with
+    /// `S ≤ V` into the eligible set, then re-arm the frontier at the
+    /// next start tag (or park it when the set empties).
+    fn sweep(&mut self) {
         while let Some((f, s, ep)) = self.ineligible.peek() {
             if s > self.vtime {
-                break;
+                self.frontier = s;
+                return;
             }
             self.ineligible.clear(f);
             self.eligible.set(f, self.head_finish[f], ep);
         }
+        self.frontier = VirtualTime::MAX;
     }
 }
 

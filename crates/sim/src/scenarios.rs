@@ -21,7 +21,7 @@ use crate::stats::StatsConfig;
 use qbm_core::analysis::hybrid::{
     optimal_alphas, per_queue_buffer_eq18, rate_assignment_eq16, Grouping,
 };
-use qbm_core::flow::{FlowId, FlowSpec};
+use qbm_core::flow::{Conformance, FlowId, FlowSpec};
 use qbm_core::policy::PolicyKind;
 use qbm_core::units::{ByteSize, Dur, Rate};
 use qbm_sched::SchedKind;
@@ -173,9 +173,21 @@ pub struct HybridPlan {
 /// Plan the §4.2 hybrid: Prop-3 rates, proportional buffer partition,
 /// per-queue flow thresholds (see §4.2's Case 1 description).
 pub fn plan_hybrid(specs: &[FlowSpec], grouping: &Grouping, buffer_bytes: u64) -> HybridPlan {
+    plan_hybrid_at(LINK_RATE, specs, grouping, buffer_bytes)
+}
+
+/// [`plan_hybrid`] for an arbitrary link rate — the generated
+/// topologies ([`subscriber_tree`]) size their core link to the
+/// aggregate reservation instead of the paper's fixed 48 Mb/s.
+pub fn plan_hybrid_at(
+    link_rate: Rate,
+    specs: &[FlowSpec],
+    grouping: &Grouping,
+    buffer_bytes: u64,
+) -> HybridPlan {
     let profiles = grouping.profiles(specs);
     let alphas = optimal_alphas(&profiles);
-    let r = LINK_RATE.bps() as f64;
+    let r = link_rate.bps() as f64;
     let rates = rate_assignment_eq16(r, &profiles, &alphas);
     let rho: f64 = profiles.iter().map(|g| g.rho_bps).sum();
     let s_total: f64 = profiles.iter().map(|g| g.s_term()).sum();
@@ -442,6 +454,185 @@ pub fn incast_fanin(
     fabric
 }
 
+/// Number of subscriber-plan tiers in [`subscriber_plans`].
+pub const PLAN_TIERS: usize = 5;
+
+/// Token rate of the lowest [`subscriber_plans`] tier, b/s; each tier
+/// doubles it.
+pub const PLAN_BASE_BPS: u64 = 64_000;
+
+/// Shape of a generated [`subscriber_tree`] hierarchy:
+/// `sites × aps_per_site × subs_per_ap` subscriber flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriberTreeShape {
+    /// Core-router egress sites (the hybrid's FIFO queues).
+    pub sites: usize,
+    /// Access points per site.
+    pub aps_per_site: usize,
+    /// Subscriber plans (flows) per access point.
+    pub subs_per_ap: usize,
+}
+
+impl SubscriberTreeShape {
+    /// Total subscriber flow count.
+    pub fn flows(&self) -> usize {
+        self.sites * self.aps_per_site * self.subs_per_ap
+    }
+
+    /// A deployment-proportioned shape holding at least `n_flows`
+    /// subscribers (exact when `n_flows` divides the site×AP grid):
+    /// small runs use a 4-site × 5-AP grid, ISP runs a 25-site ×
+    /// 20-AP grid, and the subscriber count scales per AP — so the
+    /// link count stays in the hundreds even at 10⁶ flows.
+    pub fn for_flows(n_flows: usize) -> SubscriberTreeShape {
+        assert!(n_flows > 0, "empty subscriber tree");
+        let (sites, aps_per_site) = if n_flows < 1000 { (4, 5) } else { (25, 20) };
+        SubscriberTreeShape {
+            sites,
+            aps_per_site,
+            subs_per_ap: n_flows.div_ceil(sites * aps_per_site).max(1),
+        }
+    }
+}
+
+/// Generate `n` heavy-tailed subscriber plans. Plan tiers follow a
+/// truncated geometric frequency law — tier `t` has frequency `2⁻ᵗ⁻¹`
+/// (the top tier absorbs the tail), with the token rate doubling per
+/// tier from [`PLAN_BASE_BPS`] — so a few heavy plans dominate the
+/// aggregate the way real subscriber mixes do. Every fifth plan is an
+/// aggressive one offering twice its reservation in 4×-bucket bursts;
+/// the rest are shaped conformant. The mapping is a pure function of
+/// the subscriber index: no entropy, identical at any shard count.
+pub fn subscriber_plans(n: usize) -> Vec<FlowSpec> {
+    (0..n)
+        .map(|i| {
+            let tier = (((i + 1).trailing_zeros()) as usize).min(PLAN_TIERS - 1);
+            let rate = Rate::from_bps(PLAN_BASE_BPS << tier);
+            let bucket = ByteSize::from_kib(16).bytes();
+            let b = FlowSpec::builder(FlowId(i as u32))
+                .bucket(bucket)
+                .token_rate(rate);
+            if i % 5 == 3 {
+                b.peak(Rate::from_bps(rate.bps() * 8))
+                    .avg(Rate::from_bps(rate.bps() * 2))
+                    .mean_burst(4 * bucket)
+                    .class(Conformance::Aggressive)
+                    .build()
+            } else {
+                b.peak(Rate::from_bps(rate.bps() * 4))
+                    .class(Conformance::Conformant)
+                    .adaptive(true)
+                    .build()
+            }
+        })
+        .collect()
+}
+
+/// An ISP-scale subscriber hierarchy feeding the §4 hybrid
+/// architecture: one core link runs per-site FIFO queues under WFQ
+/// (flow → site assignment, Prop-3 rates from [`plan_hybrid_at`] over
+/// the generated plans), fanning out to per-site links and per-AP
+/// links that relay. Subscribers are *flows* on their AP link, not
+/// links of their own, so the fabric stays a few hundred links wide
+/// while the flow count sweeps 10²–10⁶ ([`SubscriberTreeShape`]).
+///
+/// Plans come from [`subscriber_plans`]; flow `g` (site-major,
+/// AP-major order) gets the pure seed `derive_cell_seed(seed, g, 0)`.
+/// Capacity tapers toward the core the way deployments are
+/// provisioned: the core carries 1.25× the aggregate reservation,
+/// each site link 1.5× its site's reservation, each AP link 2× — so
+/// the core is the contended buffer-management point while the edge
+/// stays uncongested.
+///
+/// The core keeps the given `profile`'s buffer and stats but replaces
+/// its scheduler/policy with the planned hybrid and its Eq. 18 flow
+/// thresholds under sharing (headroom = buffer/8); relay links use
+/// `profile` as-is. Link indices: 0 = core, `1..=sites` = sites, then
+/// APs in `(site, ap)` order.
+pub fn subscriber_tree(shape: SubscriberTreeShape, profile: &LinkProfile, seed: u64) -> Fabric {
+    assert!(
+        shape.sites > 0 && shape.aps_per_site > 0 && shape.subs_per_ap > 0,
+        "empty tree"
+    );
+    let n = shape.flows();
+    let per_site = shape.aps_per_site * shape.subs_per_ap;
+    let specs = subscriber_plans(n);
+
+    // Capacity taper (integer math, reservation-proportional).
+    let site_rho: Vec<u64> = (0..shape.sites)
+        .map(|s| {
+            specs[s * per_site..(s + 1) * per_site]
+                .iter()
+                .map(|f| f.token_rate.bps())
+                .sum()
+        })
+        .collect();
+    let total_rho: u64 = site_rho.iter().sum();
+    let core_rate = Rate::from_bps(total_rho * 5 / 4);
+
+    // Per-site FIFO under WFQ at the core, with Eq. 14/16/18 planning
+    // over the generated plans.
+    let grouping = Grouping::new((0..n).map(|g| g / per_site).collect(), shape.sites);
+    let plan = plan_hybrid_at(core_rate, &specs, &grouping, profile.buffer_bytes);
+    let core_profile = LinkProfile {
+        buffer_bytes: profile.buffer_bytes,
+        sched: SchedKind::Hybrid {
+            assignment: plan.grouping.assignment.clone(),
+            queue_rates_bps: plan.queue_rates_bps.clone(),
+        },
+        policy: PolicySpec::ExplicitSharing {
+            reserved: plan.flow_thresholds.clone(),
+            headroom_bytes: profile.buffer_bytes / 8,
+        },
+        stats: profile.stats,
+    };
+
+    let mut fabric = Fabric::new();
+    let core_sources: Vec<SourceKind> = specs
+        .iter()
+        .map(|s| build_source_kind(s, derive_cell_seed(seed, s.id.index() as u64, 0)))
+        .collect();
+    let core = fabric.add_link(topology_link(
+        core_rate,
+        &specs,
+        core_sources,
+        &core_profile,
+    ));
+
+    // Site links relay their contiguous block of subscriber flows.
+    let mut site_links = Vec::with_capacity(shape.sites);
+    for s in 0..shape.sites {
+        let block = renumber(&specs[s * per_site..(s + 1) * per_site]);
+        let rate = Rate::from_bps(site_rho[s] * 3 / 2);
+        let sources = block.iter().map(|_| relay_stub()).collect();
+        let link = fabric.add_link(topology_link(rate, &block, sources, profile));
+        site_links.push(link);
+        for h in 0..per_site as u32 {
+            fabric.connect(core, (s * per_site) as u32 + h, link, h);
+        }
+    }
+
+    // AP links relay their slice of the site block.
+    for (s, &site) in site_links.iter().enumerate() {
+        for a in 0..shape.aps_per_site {
+            let lo = s * per_site + a * shape.subs_per_ap;
+            let block = renumber(&specs[lo..lo + shape.subs_per_ap]);
+            let rho: u64 = block.iter().map(|f| f.token_rate.bps()).sum();
+            let sources = block.iter().map(|_| relay_stub()).collect();
+            let ap = fabric.add_link(topology_link(
+                Rate::from_bps(rho * 2),
+                &block,
+                sources,
+                profile,
+            ));
+            for f in 0..shape.subs_per_ap as u32 {
+                fabric.connect(site, (a * shape.subs_per_ap) as u32 + f, ap, f);
+            }
+        }
+    }
+    fabric
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,6 +754,68 @@ mod tests {
         assert_eq!(res[3].flows.len(), 6);
         let agg: u64 = res[3].flows.iter().map(|f| f.delivered_pkts).sum();
         assert!(agg > 100, "aggregator barely delivered: {agg}");
+    }
+
+    #[test]
+    fn subscriber_plans_are_heavy_tailed_and_deterministic() {
+        let plans = subscriber_plans(1024);
+        assert_eq!(plans, subscriber_plans(1024));
+        // Tier frequencies follow the truncated geometric law.
+        let top = Rate::from_bps(PLAN_BASE_BPS << (PLAN_TIERS - 1));
+        let heavy = plans.iter().filter(|p| p.token_rate == top).count();
+        let light = plans
+            .iter()
+            .filter(|p| p.token_rate.bps() == PLAN_BASE_BPS)
+            .count();
+        assert_eq!(light, 512, "base tier is half the population");
+        assert_eq!(heavy, 64, "top tier absorbs the 2⁻⁵ tail");
+        // Heavy tail: the top tier out-weighs the base tier in rate.
+        assert!(heavy as u64 * top.bps() > light as u64 * PLAN_BASE_BPS);
+        let aggressive = plans
+            .iter()
+            .filter(|p| p.class == Conformance::Aggressive)
+            .count();
+        assert!((200..=205).contains(&aggressive), "{aggressive}");
+    }
+
+    #[test]
+    fn subscriber_shape_scales_and_covers() {
+        for n in [100, 1_000, 10_000, 1_000_000] {
+            let shape = SubscriberTreeShape::for_flows(n);
+            assert_eq!(shape.flows(), n, "exact at the decade points");
+        }
+        assert!(SubscriberTreeShape::for_flows(137).flows() >= 137);
+        // Link count stays in the hundreds at a million flows.
+        let big = SubscriberTreeShape::for_flows(1_000_000);
+        assert_eq!(1 + big.sites + big.sites * big.aps_per_site, 526);
+    }
+
+    #[test]
+    fn subscriber_tree_is_shard_invariant_and_delivers() {
+        use qbm_core::units::Time;
+        let shape = SubscriberTreeShape::for_flows(100);
+        let run = |threads| {
+            subscriber_tree(shape, &LinkProfile::default(), 13).run(
+                13,
+                Time::from_secs_f64(0.2),
+                Time::from_secs(1),
+                threads,
+            )
+        };
+        let (serial, sharded) = (run(1), run(4));
+        assert_eq!(serial, sharded, "shard count changed tree results");
+        assert_eq!(serial.len(), 1 + 4 + 20);
+        let core: u64 = serial[0].flows.iter().map(|f| f.delivered_pkts).sum();
+        assert!(core > 100, "core barely delivered: {core}");
+        // Every AP relay delivers something — the tree is fully wired.
+        let aps: u64 = serial[5..]
+            .iter()
+            .flat_map(|r| r.flows.iter().map(|f| f.delivered_pkts))
+            .sum();
+        assert!(
+            core.abs_diff(aps) <= 2 * 100 * 2,
+            "tree lost packets without dropping: core {core} vs aps {aps}"
+        );
     }
 
     #[test]

@@ -15,11 +15,44 @@ use qbm_obs::{QuantileSketch, SketchParams};
 /// attaches bounded-memory mergeable quantile sketches
 /// ([`qbm_obs::QuantileSketch`]) for delay and occupancy, which the
 /// `qbm report` surface renders as p50/p90/p99/p999.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsConfig {
     /// Attach delay + occupancy quantile sketches (aggregate always,
-    /// per-flow when [`SketchParams::per_flow`] is set).
+    /// per-flow when [`SketchParams::per_flow`] is set and the flow
+    /// count is within [`StatsConfig::per_flow_sketch_limit`]).
     pub sketches: Option<SketchParams>,
+    /// ISP-scale guard on per-flow sketches: above this flow count a
+    /// run downgrades to aggregate-only sketching even when
+    /// [`SketchParams::per_flow`] is requested. Per-flow sketches cost
+    /// ~30 KiB per flow (DESIGN.md §14) — fine at the paper's 9–30
+    /// flows, ~30 GB at the subscriber-tree's 10⁶ — so the default
+    /// limit ([`PER_FLOW_SKETCH_LIMIT`]) keeps big topologies bounded;
+    /// callers who truly want 10⁶ sketches can raise it explicitly.
+    pub per_flow_sketch_limit: usize,
+}
+
+/// Default [`StatsConfig::per_flow_sketch_limit`]: 4096 flows ≈ 120 MiB
+/// of sketch memory worst-case, comfortably above every paper-scale
+/// scenario and below the ISP-scale blowup.
+pub const PER_FLOW_SKETCH_LIMIT: usize = 4096;
+
+impl Default for StatsConfig {
+    fn default() -> StatsConfig {
+        StatsConfig {
+            sketches: None,
+            per_flow_sketch_limit: PER_FLOW_SKETCH_LIMIT,
+        }
+    }
+}
+
+impl StatsConfig {
+    /// True iff this configuration requests per-flow sketches but
+    /// `n_flows` exceeds the guard, so the run will silently carry
+    /// aggregate sketches only — surfaced as a CLI warning.
+    pub fn per_flow_downgraded(&self, n_flows: usize) -> bool {
+        self.sketches
+            .is_some_and(|sp| sp.per_flow && n_flows > self.per_flow_sketch_limit)
+    }
 }
 
 /// Merge the sketch halves of two results: both present → fold,
@@ -254,7 +287,9 @@ impl SimResult {
         if let Some(sp) = cfg.sketches {
             r.delay_sketch = Some(QuantileSketch::new(sp.precision_bits));
             r.occ_sketch = Some(QuantileSketch::new(sp.precision_bits));
-            if sp.per_flow {
+            // The flow-count guard: per-flow sketches are ~30 KiB each
+            // (DESIGN.md §14), so ISP-scale runs keep aggregates only.
+            if sp.per_flow && n_flows <= cfg.per_flow_sketch_limit {
                 for f in &mut r.flows {
                     f.delay_sketch = Some(QuantileSketch::new(sp.precision_bits));
                     f.occ_sketch = Some(QuantileSketch::new(sp.precision_bits));
@@ -720,6 +755,7 @@ mod tests {
     fn sketches_attach_record_and_merge() {
         let cfg = StatsConfig {
             sketches: Some(SketchParams::default()),
+            ..StatsConfig::default()
         };
         let mut c = StatsCollector::with_config(1, Time::ZERO, Time::from_secs(1), 0, cfg);
         assert!(c.sketching());
@@ -748,6 +784,7 @@ mod tests {
                 per_flow: false,
                 ..SketchParams::default()
             }),
+            ..StatsConfig::default()
         };
         let mut c = StatsCollector::with_config(2, Time::ZERO, Time::from_secs(1), 0, cfg);
         c.on_departure(Time::ZERO + Dur::from_millis(1), FlowId(1), 500, Time::ZERO);
@@ -760,6 +797,28 @@ mod tests {
     }
 
     #[test]
+    fn per_flow_sketches_downgrade_above_the_flow_limit() {
+        let cfg = StatsConfig {
+            sketches: Some(SketchParams::default()),
+            per_flow_sketch_limit: 3,
+        };
+        // Within the limit: per-flow sketches attach.
+        let within = StatsCollector::with_config(3, Time::ZERO, Time::from_secs(1), 0, cfg);
+        assert!(!cfg.per_flow_downgraded(3));
+        let r = within.finish();
+        assert!(r.flows[0].delay_sketch.is_some());
+        // Above it: aggregate-only, and the downgrade is queryable.
+        let above = StatsCollector::with_config(4, Time::ZERO, Time::from_secs(1), 0, cfg);
+        assert!(cfg.per_flow_downgraded(4));
+        let r = above.finish();
+        assert!(r.delay_sketch.is_some(), "aggregate sketch survives");
+        assert!(r.flows.iter().all(|f| f.delay_sketch.is_none()));
+        assert!(r.flows.iter().all(|f| f.occ_sketch.is_none()));
+        // Sketches off entirely: never "downgraded".
+        assert!(!StatsConfig::default().per_flow_downgraded(usize::MAX));
+    }
+
+    #[test]
     fn debug_format_is_unchanged_without_sketches() {
         // The golden-digest determinism tests hash `{:?}` of sketch-less
         // flows; the manual Debug impl must render exactly like the old
@@ -769,6 +828,7 @@ mod tests {
         assert!(!txt.contains("sketch"), "{txt}");
         let cfg = StatsConfig {
             sketches: Some(SketchParams::default()),
+            ..StatsConfig::default()
         };
         let c = StatsCollector::with_config(1, Time::ZERO, Time::from_secs(1), 0, cfg);
         let txt2 = format!("{:?}", c.finish().flows);

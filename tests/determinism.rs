@@ -546,6 +546,57 @@ fn incast_fabric_golden_and_shard_thread_invariant() {
     );
 }
 
+#[test]
+fn subscriber_tree_fabric_golden_and_shard_thread_invariant() {
+    // The ISP-scale scenario family at its smallest shape (10² flows,
+    // 4 sites × 5 APs): merged statistics and the merged per-link
+    // trace must be byte-identical at 1 vs 8 shard threads and match
+    // the golden capture.
+    use qos_buffer_mgmt::sim::scenarios::{subscriber_tree, LinkProfile, SubscriberTreeShape};
+    let shape = SubscriberTreeShape::for_flows(100);
+    let build = || subscriber_tree(shape, &LinkProfile::default(), 7);
+    let (stats1, trace1) = fabric_digests(build(), 7, 1);
+    let (stats8, trace8) = fabric_digests(build(), 7, 8);
+    assert_eq!(stats1, stats8, "subscriber stats depend on shard threads");
+    assert_eq!(trace1, trace8, "subscriber trace depends on shard threads");
+    verify_trace(&trace1).expect("merged subscriber trace must pass the schema check");
+    assert_eq!(
+        stats1, 0x50bb_4d29_8fe2_e8a5,
+        "subscriber stats digest drifted"
+    );
+    assert_eq!(
+        fnv64(&trace1),
+        0x140b_1a5f_96c0_ed3b,
+        "subscriber trace digest drifted"
+    );
+}
+
+#[test]
+fn subscriber_tree_scales_to_ten_thousand_flows_deterministically() {
+    // The 10⁴-flow shape (25 sites × 20 APs, 526 links) over a short
+    // horizon: statistics only (a full trace would dwarf the suite),
+    // pinned against a golden digest and shard-thread invariant.
+    use qos_buffer_mgmt::core::units::Time;
+    use qos_buffer_mgmt::sim::scenarios::{subscriber_tree, LinkProfile, SubscriberTreeShape};
+    let shape = SubscriberTreeShape::for_flows(10_000);
+    let run = |threads: usize| {
+        let fabric = subscriber_tree(shape, &LinkProfile::default(), 5);
+        let res = fabric.run(
+            5,
+            Time::from_secs_f64(0.05),
+            Time::from_secs_f64(0.10),
+            threads,
+        );
+        fnv64(&format!("{res:?}"))
+    };
+    let d1 = run(1);
+    assert_eq!(d1, run(8), "10k-flow stats depend on shard threads");
+    assert_eq!(
+        d1, 0xe0fb_df99_869c_99bb,
+        "10k-flow subscriber stats digest drifted"
+    );
+}
+
 proptest::proptest! {
     #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
 

@@ -39,6 +39,7 @@ fn cfg(duration: Dur) -> ExperimentConfig {
         sojourns: Default::default(),
         stats: StatsConfig {
             sketches: Some(SketchParams::default()),
+            ..StatsConfig::default()
         },
     }
 }
