@@ -14,6 +14,11 @@
 //! rates, hybrid core) and reports events per wall-clock second, where
 //! an event is an arrival or departure at any link.
 //!
+//! Section 3 times fabric *construction* alone up to the 10⁶-flow
+//! shape — the point that used to stall on quadratic spec renumbering;
+//! the committed figure is the receipt that building the ISP-scale
+//! topology stays linear.
+//!
 //! A hand-written `main` exports everything to `BENCH_scale.json` next
 //! to the workspace root. Set `QBM_BENCH_QUICK=1` for the CI
 //! perf-smoke variant (fewer points, shorter horizons).
@@ -152,10 +157,43 @@ fn bench_fabric_scale() -> Vec<ScalePoint> {
     out
 }
 
+/// One construction-only timing: flow count, links built, wall seconds
+/// to assemble the fabric (no simulation).
+struct BuildPoint {
+    flows: usize,
+    links: usize,
+    build_secs: f64,
+}
+
+fn bench_construction() -> Vec<BuildPoint> {
+    let flow_counts: &[usize] = if quick() {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    flow_counts
+        .iter()
+        .map(|&flows| {
+            let shape = SubscriberTreeShape::for_flows(flows);
+            let t = Instant::now();
+            let fabric = subscriber_tree(shape, &LinkProfile::default(), 1);
+            let build_secs = t.elapsed().as_secs_f64();
+            let links = fabric.n_links();
+            println!("subscriber_tree-build/{flows:>7}: {links:>5} links in {build_secs:.3} s");
+            BuildPoint {
+                flows,
+                links,
+                build_secs,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     bench_active_set(&mut criterion);
     let scale = bench_fabric_scale();
+    let built = bench_construction();
     let results = criterion.results();
 
     let mean_of = |layout: &str, n: usize| {
@@ -209,6 +247,19 @@ fn main() {
                 "    {{\"flows\": {}, \"links\": {}, \"sim_secs\": {}, \"events\": {}, \
                  \"events_per_sec\": {:.0}}}",
                 p.flows, p.links, p.sim_secs, p.events, p.events_per_sec
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+
+    json.push_str("  \"construction\": [\n");
+    let rows: Vec<String> = built
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"flows\": {}, \"links\": {}, \"build_secs\": {:.3}}}",
+                p.flows, p.links, p.build_secs
             )
         })
         .collect();

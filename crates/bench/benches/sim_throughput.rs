@@ -9,14 +9,18 @@
 //! headline simulated-seconds-per-wall-second / events-per-second
 //! figures for Table 1 and the 30-flow Table 2 workload.
 //!
+//! A closed-loop section runs the AIMD incast fabric (feedback routed
+//! from the shared aggregation link back to each sender's source) and
+//! reports its events/sec alongside the open-loop pairs.
+//!
 //! A hand-written `main` (instead of `criterion_main!`) exports the
 //! measurements to `BENCH_simloop.json` next to the workspace root.
 //! Set `QBM_BENCH_QUICK=1` for the CI perf-smoke variant (fewer
 //! samples, fifo+thresh only, no committed JSON churn expected).
 
 use criterion::{black_box, BenchmarkId, Criterion, Throughput};
-use qbm_core::units::{ByteSize, Dur};
-use qbm_sim::scenarios::{paper_experiment, section3_schemes};
+use qbm_core::units::{ByteSize, Dur, Rate, Time};
+use qbm_sim::scenarios::{incast_closed_loop, paper_experiment, section3_schemes, LinkProfile};
 use qbm_sim::ExperimentConfig;
 
 /// Simulated time measured per iteration (plus 100 ms warmup).
@@ -92,9 +96,44 @@ fn bench_sim(c: &mut Criterion) -> Vec<(String, u64)> {
     labelled_events
 }
 
+/// Closed-loop incast senders feeding one aggregation link. Returns
+/// the events the run processes (arrivals + departures across every
+/// link at seed 1), for the events/sec figure.
+fn bench_closed_loop(c: &mut Criterion) -> u64 {
+    const SENDERS: usize = 4;
+    let profile = LinkProfile::default();
+    let warmup = Time::from_secs_f64(0.1);
+    let end = Time::from_secs_f64(0.1 + SIM_MS as f64 / 1e3);
+    let run = |seed: u64| {
+        incast_closed_loop(SENDERS, Rate::from_mbps(40.0), &profile).run(seed, warmup, end, 1)
+    };
+    let events: u64 = run(1)
+        .iter()
+        .flat_map(|r| r.flows.iter())
+        .map(|f| f.offered_pkts + f.delivered_pkts)
+        .sum();
+    let mut g = c.benchmark_group("simloop");
+    g.sample_size(if quick() { 3 } else { 10 });
+    g.throughput(Throughput::Elements(SIM_MS));
+    g.bench_with_input(
+        BenchmarkId::new("closed_loop/incast4", "fabric"),
+        &(),
+        |b, ()| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run(seed))
+            });
+        },
+    );
+    g.finish();
+    events
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     let labelled_events = bench_sim(&mut criterion);
+    let closed_loop_events = bench_closed_loop(&mut criterion);
     let results = criterion.results();
 
     let mean_of = |needle: &str| {
@@ -140,7 +179,18 @@ fn main() {
         );
     }
     json.push_str(&ratio_rows.join(",\n"));
-    json.push_str("\n  }\n}\n");
+    json.push_str("\n  }");
+    if let Some(mean) = mean_of("closed_loop/incast4/fabric") {
+        let events_per_sec = closed_loop_events as f64 / (mean / 1e9);
+        json.push_str(&format!(
+            ",\n  \"closed_loop\": {{\"incast4\": {{\"mean_ns_per_iter\": {mean:.1}, \"events\": {closed_loop_events}, \"events_per_second\": {events_per_sec:.0}}}}}"
+        ));
+        println!(
+            "closed_loop/incast4: {:.2e} events/s ({closed_loop_events} events/iter)",
+            events_per_sec
+        );
+    }
+    json.push_str("\n}\n");
 
     // Anchor to the workspace root (cargo runs benches from the
     // package directory).

@@ -31,6 +31,12 @@
 //! * `--probe-interval <dur>` — with a trace: sample per-flow/aggregate
 //!   occupancy and the sharing pools every `<dur>` of simulated time
 //!   into `<path stem>.timeseries.csv` (e.g. `10ms`).
+//! * `--sources spec|aimd` — source family for `run`/`report`/`sweep`:
+//!   the scenario's open-loop model (default) or closed-loop AIMD
+//!   windows paced at each flow's peak rate, reacting to the link's
+//!   drop/departure feedback. With AIMD sources the simulation report
+//!   appends per-flow window counters (final cwnd, loss events, RTO
+//!   backoffs).
 //! * `--profile` — print per-phase wall-clock timing and events/sec.
 //! * `--stats sketch|exact|both` — percentile source for `report`
 //!   (default `sketch`), and with `run`/`run --topology`: attach
@@ -51,7 +57,7 @@ use qbm_core::analysis::hybrid::{
 };
 use qbm_core::units::{ByteSize, Dur, Rate};
 use qbm_obs::{verify_trace, CountingObserver, TimeSeriesProbe, Tracer};
-use qbm_sim::MultiRun;
+use qbm_sim::{MultiRun, SourceSel};
 
 /// Options shared by the subcommands, parsed from anywhere on the line.
 struct Options {
@@ -62,6 +68,7 @@ struct Options {
     topology: Option<String>,
     flows: Option<usize>,
     stats: Option<StatsMode>,
+    sources: Option<SourceSel>,
 }
 
 impl Options {
@@ -88,7 +95,10 @@ fn main() {
         return;
     }
     let mut prof = Profiler::start();
-    let scenario = load(target);
+    let mut scenario = load(target);
+    if let Some(sel) = opts.sources {
+        scenario.sources = sel;
+    }
     prof.phase("load");
     match cmd {
         "check" => print!("{}", admission_report(&scenario)),
@@ -164,7 +174,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  qbm run    <scenario.qbm|table1|table2> [--threads N] [--stats sketch|exact|both] [--trace out.jsonl] [--probe-interval 10ms] [--profile]\n  qbm run    <scenario.qbm|table1|table2> --topology tree|incast|subscriber-tree [--flows N] [--threads N] [--stats sketch|exact|both] [--trace out.jsonl]\n  qbm report <scenario.qbm|table1|table2> [--threads N] [--stats sketch|exact|both]\n  qbm check  <scenario.qbm|table1|table2>\n  qbm plan   <scenario.qbm|table1|table2> [k]\n  qbm sweep  <scenario.qbm|table1|table2> [--threads N]\n  qbm trace  <scenario.qbm|table1|table2> [out.jsonl] [--probe-interval 10ms]\n  qbm trace-check <trace.jsonl>"
+        "usage:\n  qbm run    <scenario.qbm|table1|table2> [--threads N] [--sources spec|aimd] [--stats sketch|exact|both] [--trace out.jsonl] [--probe-interval 10ms] [--profile]\n  qbm run    <scenario.qbm|table1|table2> --topology tree|incast|subscriber-tree [--flows N] [--threads N] [--stats sketch|exact|both] [--trace out.jsonl]\n  qbm report <scenario.qbm|table1|table2> [--threads N] [--stats sketch|exact|both]\n  qbm check  <scenario.qbm|table1|table2>\n  qbm plan   <scenario.qbm|table1|table2> [k]\n  qbm sweep  <scenario.qbm|table1|table2> [--threads N]\n  qbm trace  <scenario.qbm|table1|table2> [out.jsonl] [--probe-interval 10ms]\n  qbm trace-check <trace.jsonl>"
     );
     std::process::exit(2)
 }
@@ -184,6 +194,7 @@ fn parse_flags(args: &[String]) -> (Options, Vec<String>) {
         topology: None,
         flows: None,
         stats: None,
+        sources: None,
     };
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.iter();
@@ -211,6 +222,11 @@ fn parse_flags(args: &[String]) -> (Options, Vec<String>) {
             "--flows" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => opts.flows = Some(n),
                 _ => flag_error("--flows needs a positive subscriber count"),
+            },
+            "--sources" => match it.next().map(String::as_str) {
+                Some("spec") => opts.sources = Some(SourceSel::Spec),
+                Some("aimd") => opts.sources = Some(SourceSel::Aimd),
+                _ => flag_error("--sources needs `spec` or `aimd`"),
             },
             "--stats" => match it.next().map(String::as_str) {
                 Some("sketch") => opts.stats = Some(StatsMode::Sketch),
@@ -249,8 +265,15 @@ fn traced_run(s: &Scenario, trace_path: &str, probe_interval: Option<Dur>) -> u6
     let seed = 1;
     // A disabled probe's first tick sits at u64::MAX ns — never reached.
     let interval = probe_interval.unwrap_or(Dur(u64::MAX));
+    // Closed-loop runs capture `fb` records (schema v2); open-loop
+    // traces keep their exact v1 bytes.
+    let tracer = if s.sources == SourceSel::Aimd {
+        Tracer::default().with_feedback()
+    } else {
+        Tracer::default()
+    };
     let mut obs = (
-        Tracer::default(),
+        tracer,
         (
             TimeSeriesProbe::new(interval).with_per_flow(),
             CountingObserver::default(),
@@ -528,7 +551,7 @@ fn trace_check(path: &str) {
     match verify_trace(&text) {
         Ok(sum) => {
             println!(
-                "{path}: ok — {} records (arr {} | enq {} | drop {} | dep {} | thr {} | share {} | cells {}), {} truncated",
+                "{path}: ok — {} records (arr {} | enq {} | drop {} | dep {} | thr {} | share {} | fb {} | cells {}), {} truncated",
                 sum.records,
                 sum.arrivals,
                 sum.enqueues,
@@ -536,6 +559,7 @@ fn trace_check(path: &str) {
                 sum.departures,
                 sum.crossings,
                 sum.sharing,
+                sum.feedback,
                 sum.cells,
                 sum.truncated
             );
@@ -591,6 +615,7 @@ fn load(target: &str) -> Scenario {
                 duration: Dur::from_secs(22),
                 warmup: Dur::from_secs(2),
                 seeds: 5,
+                sources: SourceSel::Spec,
                 flows,
             }
         }

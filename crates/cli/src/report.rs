@@ -168,6 +168,30 @@ pub fn simulation_report(s: &Scenario, multi: &MultiRun) -> String {
         by(DropReason::BufferFull),
         by(DropReason::NoSharedSpace),
     ));
+    // Closed-loop window counters — present only when the run used
+    // AIMD sources (`sources = aimd`); open-loop reports are unchanged.
+    let mut aimd: Vec<(u32, qbm_traffic::AimdStats)> = Vec::new();
+    for r in &multi.runs {
+        for &(f, st) in r.aimd.iter().flatten() {
+            match aimd.iter_mut().find(|(g, _)| *g == f) {
+                Some((_, acc)) => *acc = acc.merge(&st),
+                None => aimd.push((f, st)),
+            }
+        }
+    }
+    if !aimd.is_empty() {
+        aimd.sort_by_key(|&(f, _)| f);
+        out.push_str(&format!(
+            "\nclosed-loop (AIMD) windows:\n{:>5} {:>10} {:>12} {:>13} {:>10}\n",
+            "flow", "final cwnd", "loss events", "rto backoffs", "lost pkts"
+        ));
+        for (f, st) in &aimd {
+            out.push_str(&format!(
+                "{:>5} {:>10} {:>12} {:>13} {:>10}\n",
+                f, st.final_cwnd, st.loss_events, st.rto_backoffs, st.lost_pkts
+            ));
+        }
+    }
     out
 }
 

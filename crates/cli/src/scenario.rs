@@ -5,7 +5,7 @@ use qbm_core::flow::{Conformance, FlowId, FlowSpec};
 use qbm_core::policy::PolicyKind;
 use qbm_core::units::{Dur, Rate};
 use qbm_sched::SchedKind;
-use qbm_sim::{ExperimentConfig, PolicySpec};
+use qbm_sim::{ExperimentConfig, PolicySpec, SourceSel};
 
 /// A parsed scenario, buildable into an [`ExperimentConfig`].
 #[derive(Debug, Clone)]
@@ -24,6 +24,8 @@ pub struct Scenario {
     pub warmup: Dur,
     /// Number of replications.
     pub seeds: usize,
+    /// Source family (`sources = spec | aimd`; spec is the default).
+    pub sources: SourceSel,
     /// The flow mix.
     pub flows: Vec<FlowSpec>,
 }
@@ -128,6 +130,7 @@ impl Scenario {
         let mut duration = Dur::from_secs(22);
         let mut warmup = Dur::from_secs(2);
         let mut seeds = 5usize;
+        let mut sources = SourceSel::Spec;
         let mut flows: Vec<FlowSpec> = Vec::new();
         let mut next_id = 0u32;
         let mut draft: Option<(FlowDraft, usize)> = None;
@@ -220,6 +223,18 @@ impl Scenario {
                     }
                 }
                 "policy" => policy = parse_policy(value, line_no)?,
+                "sources" => {
+                    sources = match value.to_ascii_lowercase().as_str() {
+                        "spec" => SourceSel::Spec,
+                        "aimd" => SourceSel::Aimd,
+                        other => {
+                            return Err(ScenarioError::BadLine {
+                                line: line_no,
+                                message: format!("unknown sources `{other}`"),
+                            })
+                        }
+                    }
+                }
                 other => {
                     return Err(ScenarioError::BadLine {
                         line: line_no,
@@ -247,6 +262,7 @@ impl Scenario {
             duration,
             warmup,
             seeds: seeds.max(1),
+            sources,
             flows,
         })
     }
@@ -263,6 +279,7 @@ impl Scenario {
             duration: self.duration,
             sojourns: Default::default(),
             stats: Default::default(),
+            sources: self.sources,
         }
     }
 }

@@ -510,6 +510,11 @@ fn exhaustiveness(ws: &model::Workspace, refs: &RefSet, out: &mut FileScan) {
                 rules::EXHAUSTIVE_POLICY,
                 rules::EXHAUSTIVE_POLICY_HINT,
             ),
+            (
+                "SourceKind",
+                rules::EXHAUSTIVE_SOURCE,
+                rules::EXHAUSTIVE_SOURCE_HINT,
+            ),
         ] {
             let Some(e) = ws.enum_def(ename) else {
                 continue;
@@ -534,37 +539,43 @@ fn exhaustiveness(ws: &model::Workspace, refs: &RefSet, out: &mut FileScan) {
     // dispatch fn, and the impls are all in the tree being analyzed.
     if let Some(e) = ws.enum_def("SourceKind") {
         let kind_file = &ws.files[e.file];
-        let dispatch = ws.fns.iter().find(|f| {
-            f.name == "next_emission" && f.owner.as_deref() == Some("SourceKind") && !f.decl
-        });
-        match dispatch {
-            Some(d) => {
-                let body: String = ws.files[d.file].lines[d.first_line..=d.last_line]
-                    .iter()
-                    .map(|l| l.code.as_str())
-                    .collect::<Vec<_>>()
-                    .join("\n");
-                for (v, vline) in &e.variants {
-                    if !body.contains(&format!("SourceKind::{v}")) {
-                        out.findings.push(Finding {
-                            file: kind_file.rel.clone(),
-                            line: vline + 1,
-                            rule: rules::EXHAUSTIVE_SOURCE,
-                            message: format!(
-                                "variant `SourceKind::{v}` is not dispatched in next_emission (wildcard arm?)"
-                            ),
-                            hint: rules::EXHAUSTIVE_SOURCE_HINT,
-                        });
+        // Both dispatch surfaces must spell every variant out: a
+        // wildcard arm in `next_emission` silently emits nothing, one
+        // in `on_feedback` silently opens the variant's control loop.
+        for fn_name in ["next_emission", "on_feedback"] {
+            let dispatch = ws
+                .fns
+                .iter()
+                .find(|f| f.name == fn_name && f.owner.as_deref() == Some("SourceKind") && !f.decl);
+            match dispatch {
+                Some(d) => {
+                    let body: String = ws.files[d.file].lines[d.first_line..=d.last_line]
+                        .iter()
+                        .map(|l| l.code.as_str())
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                    for (v, vline) in &e.variants {
+                        if !body.contains(&format!("SourceKind::{v}")) {
+                            out.findings.push(Finding {
+                                file: kind_file.rel.clone(),
+                                line: vline + 1,
+                                rule: rules::EXHAUSTIVE_SOURCE,
+                                message: format!(
+                                    "variant `SourceKind::{v}` is not dispatched in {fn_name} (wildcard arm?)"
+                                ),
+                                hint: rules::EXHAUSTIVE_SOURCE_HINT,
+                            });
+                        }
                     }
                 }
+                None => out.findings.push(Finding {
+                    file: kind_file.rel.clone(),
+                    line: 1,
+                    rule: rules::EXHAUSTIVE_SOURCE,
+                    message: format!("`SourceKind` has no `{fn_name}` dispatch impl"),
+                    hint: rules::EXHAUSTIVE_SOURCE_HINT,
+                }),
             }
-            None => out.findings.push(Finding {
-                file: kind_file.rel.clone(),
-                line: 1,
-                rule: rules::EXHAUSTIVE_SOURCE,
-                message: "`SourceKind` has no `next_emission` dispatch impl".to_string(),
-                hint: rules::EXHAUSTIVE_SOURCE_HINT,
-            }),
         }
         let kind_code: String = kind_file
             .lines
@@ -1212,6 +1223,12 @@ mod tests {
                                  _ => None,\n\
                              }\n\
                          }\n\
+                         fn on_feedback(&mut self, now: Time, fb: Feedback) -> Option<Time> {\n\
+                             match self {\n\
+                                 SourceKind::Cbr(s) => s.on_feedback(now, fb),\n\
+                                 _ => None,\n\
+                             }\n\
+                         }\n\
                      }\n",
                 ),
                 (
@@ -1224,8 +1241,9 @@ mod tests {
             &NO_REFS,
         );
         let f = rules_hit(&scan, rules::EXHAUSTIVE_SOURCE);
-        // Poisson falls into the wildcard arm; BurstSource is unwired.
-        assert_eq!(f.len(), 2);
+        // Poisson falls into both wildcard arms (next_emission and
+        // on_feedback); BurstSource is unwired.
+        assert_eq!(f.len(), 3);
         assert!(scan
             .findings
             .iter()

@@ -17,7 +17,7 @@
 //! | `hot-path-index` | everything reachable from [`HOT_ROOTS`] | indexing expressions are baselined; new ones fail |
 //! | `shard-safety` | everything reachable from [`SHARD_ROOTS`] | no `static mut`/`Cell`/`RefCell`/`Rc`/`Mutex`/atomics inside fabric shard scopes |
 //! | `exhaustive-sched` | workspace | every `Scheduler` impl appears in the equivalence suite / differential tests |
-//! | `exhaustive-source` | workspace | every `SourceKind` variant dispatches; every `Source` impl is wired into the enum |
+//! | `exhaustive-source` | workspace | every `SourceKind` variant dispatches (`next_emission` and `on_feedback`) and appears in the determinism suite; every `Source` impl is wired into the enum |
 //! | `exhaustive-policy` | workspace | every `PolicyKind` variant appears in the equivalence suite |
 //! | `exhaustive-rule-doc` | workspace | every rule has a RULES.md entry and a fixture pair |
 //! | `root-drift` | workspace | every audit root matches a live function (hard error) |
@@ -145,7 +145,8 @@ pub const EXHAUSTIVE_SCHED_HINT: &str =
     "add the scheduler to tests/determinism.rs::all_combinations (production) or crates/sched/tests/differential.rs (reference baseline)";
 
 /// Rule name: a `SourceKind` variant missing from the `next_emission`
-/// dispatch, or a `Source` impl not wired into the enum.
+/// or `on_feedback` dispatch, absent from the determinism suite, or a
+/// `Source` impl not wired into the enum.
 pub const EXHAUSTIVE_SOURCE: &str = "exhaustive-source";
 /// Hint for [`EXHAUSTIVE_SOURCE`].
 pub const EXHAUSTIVE_SOURCE_HINT: &str =
@@ -176,8 +177,9 @@ pub const ROOT_DRIFT_HINT: &str =
 /// streaming-telemetry update paths (sketch/heatmap `record`, called
 /// per event when sketches are attached), the tournament-tree
 /// `replay` inside [`ActiveSet`] (per tag update at tree layouts),
-/// and WF²Q+'s batched eligibility `sweep` (per virtual-clock
-/// advance).
+/// WF²Q+'s batched eligibility `sweep` (per virtual-clock advance),
+/// and every source's `on_feedback` handler (invoked once per
+/// departure/drop when the control loop is closed).
 pub const HOT_ROOTS: &[crate::callgraph::RootSpec] = &[
     crate::callgraph::RootSpec::InFile {
         file: "crates/sim/src/router.rs",
@@ -226,6 +228,10 @@ pub const HOT_ROOTS: &[crate::callgraph::RootSpec] = &[
     crate::callgraph::RootSpec::InFile {
         file: "crates/sched/src/wf2q.rs",
         name: "sweep",
+    },
+    crate::callgraph::RootSpec::TraitMethod {
+        trait_name: "Source",
+        name: "on_feedback",
     },
 ];
 
@@ -532,7 +538,7 @@ pub const REGISTRY: &[RuleMeta] = &[
     RuleMeta {
         id: EXHAUSTIVE_SOURCE,
         scope: "workspace cross-check",
-        rationale: "a SourceKind variant missing from next_emission (wildcard arm) silently emits nothing; a Source impl outside the enum silently pays dyn dispatch",
+        rationale: "a SourceKind variant missing from next_emission or on_feedback (wildcard arm) silently emits nothing or ignores its control loop; a variant absent from tests/determinism.rs has no pinned behavior; a Source impl outside the enum silently pays dyn dispatch",
         hint: EXHAUSTIVE_SOURCE_HINT,
         pragma: "none (hard error)",
     },

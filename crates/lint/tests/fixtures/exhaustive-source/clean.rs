@@ -11,4 +11,10 @@ impl Source for SourceKind {
             SourceKind::Poisson(s) => s.next_emission(),
         }
     }
+    fn on_feedback(&mut self, now: Time, fb: Feedback) -> Option<Time> {
+        match self {
+            SourceKind::Cbr(s) => s.on_feedback(now, fb),
+            SourceKind::Poisson(s) => s.on_feedback(now, fb),
+        }
+    }
 }

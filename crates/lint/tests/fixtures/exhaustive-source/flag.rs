@@ -11,4 +11,10 @@ impl Source for SourceKind {
             _ => None,
         }
     }
+    fn on_feedback(&mut self, now: Time, fb: Feedback) -> Option<Time> {
+        match self {
+            SourceKind::Cbr(s) => s.on_feedback(now, fb),
+            _ => None,
+        }
+    }
 }

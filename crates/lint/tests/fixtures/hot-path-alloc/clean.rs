@@ -53,3 +53,16 @@ impl Wf2q {
         }
     }
 }
+
+//@ file: crates/traffic/src/aimd.rs
+impl Source for AimdSource {
+    fn on_feedback(&mut self, now: Time, fb: Feedback) -> Option<Time> {
+        self.cwnd = self.cwnd.saturating_add(1);
+        None
+    }
+}
+
+// qbm-lint: cold(config table built once at construction)
+fn build_rto_table() -> Vec<u64> {
+    vec![0; 8]
+}

@@ -45,3 +45,16 @@ impl Wf2q {
         self.count = promoted.len();
     }
 }
+
+//@ file: crates/traffic/src/aimd.rs
+impl Source for AimdSource {
+    fn on_feedback(&mut self, now: Time, fb: Feedback) -> Option<Time> {
+        self.cwnd = recompute(self.cwnd);
+        None
+    }
+}
+
+fn recompute(w: u32) -> u32 {
+    let scratch: Vec<u32> = vec![w; 4];
+    scratch.len() as u32
+}

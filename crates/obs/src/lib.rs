@@ -48,13 +48,15 @@ pub mod tracer;
 
 pub use heatmap::{HeatmapObserver, HeatmapParams, TemporalHeatmap, MAX_TIERS};
 pub use probe::{Sample, TimeSeriesProbe};
-pub use record::{verify_trace, TraceError, TraceRecord, TraceSummary, SCHEMA_VERSION};
+pub use record::{
+    verify_trace, TraceError, TraceRecord, TraceSummary, SCHEMA_VERSION, SCHEMA_VERSION_V1,
+};
 pub use sketch::{QuantileSketch, SketchParams};
 pub use tracer::Tracer;
 
 use qbm_core::flow::FlowId;
 use qbm_core::policy::DropReason;
-use qbm_core::units::Time;
+use qbm_core::units::{Dur, Time};
 
 /// Hook points raised by the simulation event loop.
 ///
@@ -124,6 +126,25 @@ pub trait Observer {
         let _ = (now, holes, headroom, link);
     }
 
+    /// A feedback signal was routed to `flow`'s closed-loop source:
+    /// `delivered = true` for a departure signal (with the packet's
+    /// queueing `delay`), `delivered = false` for a loss (with its
+    /// `cause`). Emitted at the link that *observed* the event, even
+    /// when the owning source sits upstream in a fabric.
+    #[allow(clippy::too_many_arguments)]
+    fn on_feedback(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        delivered: bool,
+        len: u32,
+        delay: Dur,
+        cause: Option<DropReason>,
+        link: u32,
+    ) {
+        let _ = (now, flow, delivered, len, delay, cause, link);
+    }
+
     /// The run ended (end of the simulation horizon). Gives probes a
     /// chance to flush samples up to the boundary.
     fn on_end(&mut self, end: Time, link: u32) {
@@ -155,12 +176,20 @@ pub struct EventCounts {
     pub crossings: u64,
     /// Sharing-pool transition records.
     pub sharing: u64,
+    /// Feedback signals routed to closed-loop sources.
+    pub feedback: u64,
 }
 
 impl EventCounts {
     /// Total hook invocations — the "events" in events/sec.
     pub fn total(&self) -> u64 {
-        self.arrivals + self.enqueues + self.drops + self.departures + self.crossings + self.sharing
+        self.arrivals
+            + self.enqueues
+            + self.drops
+            + self.departures
+            + self.crossings
+            + self.sharing
+            + self.feedback
     }
 }
 
@@ -199,6 +228,18 @@ impl Observer for CountingObserver {
     }
     fn on_sharing(&mut self, _now: Time, _holes: u64, _headroom: u64, _link: u32) {
         self.counts.sharing += 1;
+    }
+    fn on_feedback(
+        &mut self,
+        _now: Time,
+        _flow: FlowId,
+        _delivered: bool,
+        _len: u32,
+        _delay: Dur,
+        _cause: Option<DropReason>,
+        _link: u32,
+    ) {
+        self.counts.feedback += 1;
     }
 }
 
@@ -264,6 +305,25 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
             self.1.on_sharing(now, holes, headroom, link);
         }
     }
+    fn on_feedback(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        delivered: bool,
+        len: u32,
+        delay: Dur,
+        cause: Option<DropReason>,
+        link: u32,
+    ) {
+        if A::ENABLED {
+            self.0
+                .on_feedback(now, flow, delivered, len, delay, cause, link);
+        }
+        if B::ENABLED {
+            self.1
+                .on_feedback(now, flow, delivered, len, delay, cause, link);
+        }
+    }
     fn on_end(&mut self, end: Time, link: u32) {
         if A::ENABLED {
             self.0.on_end(end, link);
@@ -305,6 +365,18 @@ impl<O: Observer + ?Sized> Observer for &mut O {
     fn on_sharing(&mut self, now: Time, holes: u64, headroom: u64, link: u32) {
         (**self).on_sharing(now, holes, headroom, link);
     }
+    fn on_feedback(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        delivered: bool,
+        len: u32,
+        delay: Dur,
+        cause: Option<DropReason>,
+        link: u32,
+    ) {
+        (**self).on_feedback(now, flow, delivered, len, delay, cause, link);
+    }
     fn on_end(&mut self, end: Time, link: u32) {
         (**self).on_end(end, link);
     }
@@ -340,10 +412,20 @@ mod tests {
         c.on_departure(t, FlowId(0), 500, Time::ZERO, 0);
         c.on_threshold(t, FlowId(1), 900, 800, true, 0);
         c.on_sharing(t, 100, 200, 0);
+        c.on_feedback(
+            t,
+            FlowId(1),
+            false,
+            500,
+            Dur::ZERO,
+            Some(DropReason::BufferFull),
+            0,
+        );
         c.on_end(t, 0);
-        assert_eq!(c.counts.total(), 6);
+        assert_eq!(c.counts.total(), 7);
         assert_eq!(c.counts.arrivals, 1);
         assert_eq!(c.counts.drops, 1);
+        assert_eq!(c.counts.feedback, 1);
     }
 
     #[test]

@@ -2,11 +2,12 @@
 //!
 //! A trace is a sequence of newline-delimited JSON objects:
 //!
-//! - Line 1 is the **header**: `{"schema":"qbm-trace","version":1,
-//!   "flows":N,"truncated":K}`. `version` is [`SCHEMA_VERSION`] and is
-//!   bumped whenever a record shape changes; consumers must reject
-//!   versions they do not know. `truncated` counts records evicted from
-//!   the bounded ring buffer (0 = complete trace).
+//! - Line 1 is the **header**: `{"schema":"qbm-trace","version":V,
+//!   "flows":N,"truncated":K}`. `version` is 1 for traces without
+//!   feedback records and [`SCHEMA_VERSION`] (2) when `fb` records may
+//!   appear; consumers must reject versions they do not know.
+//!   `truncated` counts records evicted from the bounded ring buffer
+//!   (0 = complete trace).
 //! - Every following line is one record: `{"ev":"<kind>","t":<ns>,…}`
 //!   where `t` is simulated time in integer nanoseconds. Record kinds:
 //!
@@ -18,6 +19,7 @@
 //! | `dep` | `flow`, `len`, `sojourn` | packet transmitted; `sojourn` = ns since enqueue |
 //! | `thr` | `flow`, `q`, `limit`, `up` | threshold crossing (hysteresis band, DESIGN.md §9) |
 //! | `share` | `holes`, `headroom` | §3.3 pool transition |
+//! | `fb` | `flow`, `ok`, `len`, `delay` \| `cause` | closed-loop feedback signal routed to the flow's source (v2 only): `ok:true` carries the delivery `delay` in ns, `ok:false` the drop `cause` |
 //! | `cell` | `cell`, `seed` | campaign cell boundary in a merged trace; resets the time watermark |
 //!
 //! Every event record additionally carries an optional `link` field —
@@ -36,7 +38,12 @@ use qbm_core::policy::DropReason;
 use qbm_core::units::Time;
 
 /// Trace schema version written in (and required of) the header line.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The original (pre-feedback) schema version. Traces that contain no
+/// `fb` records are still written as v1, so historical byte-identity
+/// holds for every open-loop trace; `fb` records require a v2 header.
+pub const SCHEMA_VERSION_V1: u32 = 1;
 
 /// The schema identifier in the header line.
 pub const SCHEMA_NAME: &str = "qbm-trace";
@@ -134,6 +141,24 @@ pub enum TraceRecord {
         /// Emitting link index (fabric dimension).
         link: u32,
     },
+    /// Closed-loop feedback signal routed back to a flow's source
+    /// (schema v2 only).
+    Feedback {
+        /// Event instant (when the signal was applied).
+        t: Time,
+        /// The flow whose source received the signal.
+        flow: FlowId,
+        /// `true` = delivery, `false` = loss.
+        delivered: bool,
+        /// Length of the packet the signal is about, bytes.
+        len: u32,
+        /// Queueing delay reported with a delivery, ns (0 for losses).
+        delay_ns: u64,
+        /// Drop cause reported with a loss (`None` for deliveries).
+        cause: Option<DropReason>,
+        /// Emitting link index (fabric dimension).
+        link: u32,
+    },
     /// Campaign cell boundary marker (merged traces only).
     Cell {
         /// Cell index in campaign order.
@@ -152,7 +177,8 @@ impl TraceRecord {
             | TraceRecord::Drop { t, .. }
             | TraceRecord::Departure { t, .. }
             | TraceRecord::Threshold { t, .. }
-            | TraceRecord::Sharing { t, .. } => t,
+            | TraceRecord::Sharing { t, .. }
+            | TraceRecord::Feedback { t, .. } => t,
             TraceRecord::Cell { .. } => Time::ZERO,
         }
     }
@@ -166,6 +192,7 @@ impl TraceRecord {
             TraceRecord::Departure { .. } => "dep",
             TraceRecord::Threshold { .. } => "thr",
             TraceRecord::Sharing { .. } => "share",
+            TraceRecord::Feedback { .. } => "fb",
             TraceRecord::Cell { .. } => "cell",
         }
     }
@@ -244,6 +271,32 @@ impl TraceRecord {
                 holes,
                 headroom
             ),
+            TraceRecord::Feedback {
+                t,
+                flow,
+                delivered,
+                len,
+                delay_ns,
+                cause,
+                ..
+            } => match cause {
+                None => format!(
+                    "{{\"ev\":\"fb\",\"t\":{},\"flow\":{},\"ok\":{},\"len\":{},\"delay\":{}}}",
+                    t.as_nanos(),
+                    flow.0,
+                    delivered,
+                    len,
+                    delay_ns
+                ),
+                Some(reason) => format!(
+                    "{{\"ev\":\"fb\",\"t\":{},\"flow\":{},\"ok\":{},\"len\":{},\"cause\":\"{}\"}}",
+                    t.as_nanos(),
+                    flow.0,
+                    delivered,
+                    len,
+                    reason_label(reason)
+                ),
+            },
             TraceRecord::Cell { cell, seed } => {
                 format!("{{\"ev\":\"cell\",\"t\":0,\"cell\":{cell},\"seed\":{seed}}}")
             }
@@ -259,7 +312,8 @@ impl TraceRecord {
             | TraceRecord::Drop { link, .. }
             | TraceRecord::Departure { link, .. }
             | TraceRecord::Threshold { link, .. }
-            | TraceRecord::Sharing { link, .. } => Some(link),
+            | TraceRecord::Sharing { link, .. }
+            | TraceRecord::Feedback { link, .. } => Some(link),
             TraceRecord::Cell { .. } => None,
         }
     }
@@ -279,11 +333,17 @@ impl TraceRecord {
     }
 }
 
-/// Render the header line for a trace covering `flows` flows with
-/// `truncated` ring-evicted records.
+/// Render the header line for a v1 (no-feedback) trace covering
+/// `flows` flows with `truncated` ring-evicted records.
 pub fn header(flows: usize, truncated: u64) -> String {
+    header_with_version(flows, truncated, SCHEMA_VERSION_V1)
+}
+
+/// [`header`] with an explicit schema version — v2 headers are written
+/// by tracers that may hold `fb` records ([`crate::Tracer::with_feedback`]).
+pub fn header_with_version(flows: usize, truncated: u64, version: u32) -> String {
     format!(
-        "{{\"schema\":\"{SCHEMA_NAME}\",\"version\":{SCHEMA_VERSION},\"flows\":{flows},\"truncated\":{truncated}}}"
+        "{{\"schema\":\"{SCHEMA_NAME}\",\"version\":{version},\"flows\":{flows},\"truncated\":{truncated}}}"
     )
 }
 
@@ -304,6 +364,8 @@ pub struct TraceSummary {
     pub crossings: u64,
     /// `share` records.
     pub sharing: u64,
+    /// `fb` records (schema v2).
+    pub feedback: u64,
     /// `cell` markers.
     pub cells: u64,
     /// The header's `truncated` count.
@@ -317,7 +379,7 @@ pub enum TraceError {
     Empty,
     /// Line 1 is not a `qbm-trace` header.
     BadHeader,
-    /// The header's `version` is not [`SCHEMA_VERSION`].
+    /// The header's `version` is neither 1 nor [`SCHEMA_VERSION`].
     WrongVersion(u64),
     /// A record line failed a check: `(1-based line, problem)`.
     BadRecord(usize, String),
@@ -329,7 +391,7 @@ impl std::fmt::Display for TraceError {
             TraceError::Empty => write!(f, "empty trace"),
             TraceError::BadHeader => write!(f, "line 1 is not a {SCHEMA_NAME} header"),
             TraceError::WrongVersion(v) => {
-                write!(f, "schema version {v} (expected {SCHEMA_VERSION})")
+                write!(f, "schema version {v} (expected 1..={SCHEMA_VERSION})")
             }
             TraceError::BadRecord(line, what) => write!(f, "line {line}: {what}"),
         }
@@ -362,11 +424,11 @@ pub fn verify_trace(text: &str) -> Result<TraceSummary, TraceError> {
     if field(head, "schema") != Some("\"qbm-trace\"") {
         return Err(TraceError::BadHeader);
     }
-    match field_u64(head, "version") {
-        Some(v) if v == SCHEMA_VERSION as u64 => {}
+    let version = match field_u64(head, "version") {
+        Some(v) if v >= 1 && v <= SCHEMA_VERSION as u64 => v,
         Some(v) => return Err(TraceError::WrongVersion(v)),
         None => return Err(TraceError::BadHeader),
-    }
+    };
     let mut sum = TraceSummary {
         truncated: field_u64(head, "truncated").ok_or(TraceError::BadHeader)?,
         ..TraceSummary::default()
@@ -416,6 +478,31 @@ pub fn verify_trace(text: &str) -> Result<TraceSummary, TraceError> {
             "\"share\"" => {
                 sum.sharing += 1;
                 &["holes", "headroom"]
+            }
+            "\"fb\"" => {
+                if version < SCHEMA_VERSION as u64 {
+                    return Err(bad("fb record in a v1 trace"));
+                }
+                sum.feedback += 1;
+                let ok = field(line, "ok").ok_or_else(|| bad("missing ok"))?;
+                match ok {
+                    "true" => {
+                        if field_u64(line, "delay").is_none() {
+                            return Err(bad("delivered fb needs delay"));
+                        }
+                    }
+                    "false" => {
+                        let cause = field(line, "cause").ok_or_else(|| bad("missing cause"))?;
+                        if !matches!(
+                            cause,
+                            "\"threshold\"" | "\"buffer-full\"" | "\"headroom-denied\""
+                        ) {
+                            return Err(bad("unknown fb cause"));
+                        }
+                    }
+                    _ => return Err(bad("ok must be a bool")),
+                }
+                &["flow", "len"]
             }
             "\"cell\"" => {
                 sum.cells += 1;

@@ -15,9 +15,9 @@ use std::collections::VecDeque;
 
 use qbm_core::flow::FlowId;
 use qbm_core::policy::DropReason;
-use qbm_core::units::Time;
+use qbm_core::units::{Dur, Time};
 
-use crate::record::{header, TraceRecord};
+use crate::record::{header_with_version, TraceRecord, SCHEMA_VERSION, SCHEMA_VERSION_V1};
 use crate::Observer;
 
 /// Default ring capacity (records).
@@ -34,6 +34,8 @@ pub struct Tracer {
     flows: usize,
     /// Emit the per-record `link` field in JSONL output.
     link_dim: bool,
+    /// Capture `fb` records and write a schema-v2 header.
+    feedback: bool,
 }
 
 impl Default for Tracer {
@@ -52,6 +54,7 @@ impl Tracer {
             truncated: 0,
             flows: 0,
             link_dim: false,
+            feedback: false,
         }
     }
 
@@ -62,6 +65,25 @@ impl Tracer {
     pub fn with_link_dim(mut self) -> Tracer {
         self.link_dim = true;
         self
+    }
+
+    /// Enable closed-loop capture: the tracer records `fb` events
+    /// (feedback signals routed to adaptive sources) and writes a
+    /// schema-v2 header. Off by default so every open-loop trace keeps
+    /// its exact historical v1 bytes.
+    pub fn with_feedback(mut self) -> Tracer {
+        self.feedback = true;
+        self
+    }
+
+    /// Schema version this tracer's header advertises: v2 when `fb`
+    /// records may appear, v1 otherwise.
+    fn version(&self) -> u32 {
+        if self.feedback {
+            SCHEMA_VERSION
+        } else {
+            SCHEMA_VERSION_V1
+        }
     }
 
     fn push(&mut self, rec: TraceRecord) {
@@ -99,7 +121,7 @@ impl Tracer {
     /// Render the full trace: header line + one JSON line per record,
     /// each newline-terminated.
     pub fn to_jsonl(&self) -> String {
-        let mut out = header(self.flows, self.truncated);
+        let mut out = header_with_version(self.flows, self.truncated, self.version());
         out.push('\n');
         self.body_jsonl(&mut out);
         out
@@ -126,7 +148,12 @@ impl Tracer {
     pub fn merged_jsonl(cells: &[(u64, Tracer)]) -> String {
         let flows = cells.iter().map(|(_, t)| t.flows).max().unwrap_or(0);
         let truncated = cells.iter().map(|(_, t)| t.truncated).sum();
-        let mut out = header(flows, truncated);
+        let version = cells
+            .iter()
+            .map(|(_, t)| t.version())
+            .max()
+            .unwrap_or(SCHEMA_VERSION_V1);
+        let mut out = header_with_version(flows, truncated, version);
         out.push('\n');
         for (idx, (seed, tr)) in cells.iter().enumerate() {
             out.push_str(
@@ -151,7 +178,12 @@ impl Tracer {
     pub fn merged_links_jsonl(links: &[Tracer]) -> String {
         let flows = links.iter().map(|t| t.flows).max().unwrap_or(0);
         let truncated = links.iter().map(|t| t.truncated).sum();
-        let mut out = header(flows, truncated);
+        let version = links
+            .iter()
+            .map(|t| t.version())
+            .max()
+            .unwrap_or(SCHEMA_VERSION_V1);
+        let mut out = header_with_version(flows, truncated, version);
         out.push('\n');
         let mut pos = vec![0usize; links.len()];
         loop {
@@ -238,6 +270,31 @@ impl Observer for Tracer {
             link,
         });
     }
+
+    fn on_feedback(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        delivered: bool,
+        len: u32,
+        delay: Dur,
+        cause: Option<DropReason>,
+        link: u32,
+    ) {
+        if !self.feedback {
+            return;
+        }
+        self.saw_flow(flow);
+        self.push(TraceRecord::Feedback {
+            t: now,
+            flow,
+            delivered,
+            len,
+            delay_ns: delay.as_nanos(),
+            cause,
+            link,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +351,51 @@ mod tests {
         assert!(dim_text.contains("{\"ev\":\"arr\",\"t\":5,\"flow\":1,\"len\":500,\"link\":3}\n"));
         verify_trace(&plain_text).expect("plain form verifies");
         verify_trace(&dim_text).expect("link form verifies");
+    }
+
+    #[test]
+    fn feedback_records_need_opt_in_and_bump_the_schema() {
+        use qbm_core::policy::DropReason;
+        // Without the opt-in, fb hooks are ignored and the header
+        // stays v1 — open-loop traces keep their historical bytes.
+        let mut plain = Tracer::new(8);
+        plain.on_arrival(Time(5), FlowId(0), 500, 0);
+        plain.on_feedback(Time(9), FlowId(0), true, 500, Dur(4), None, 0);
+        let plain_text = plain.to_jsonl();
+        assert!(plain_text.contains("\"version\":1,"));
+        assert!(!plain_text.contains("\"ev\":\"fb\""));
+
+        let mut fb = Tracer::new(8).with_feedback();
+        fb.on_arrival(Time(5), FlowId(0), 500, 0);
+        fb.on_feedback(Time(9), FlowId(0), true, 500, Dur(4), None, 0);
+        fb.on_feedback(
+            Time(12),
+            FlowId(1),
+            false,
+            500,
+            Dur::ZERO,
+            Some(DropReason::OverThreshold),
+            0,
+        );
+        let text = fb.to_jsonl();
+        assert!(text.starts_with("{\"schema\":\"qbm-trace\",\"version\":2,\"flows\":2,"));
+        assert!(text
+            .contains("{\"ev\":\"fb\",\"t\":9,\"flow\":0,\"ok\":true,\"len\":500,\"delay\":4}\n"));
+        assert!(text.contains(
+            "{\"ev\":\"fb\",\"t\":12,\"flow\":1,\"ok\":false,\"len\":500,\"cause\":\"threshold\"}\n"
+        ));
+        let sum = verify_trace(&text).expect("feedback trace verifies");
+        assert_eq!(sum.feedback, 2);
+    }
+
+    #[test]
+    fn merged_trace_takes_the_max_version_across_inputs() {
+        let a = Tracer::new(4); // v1
+        let mut b = Tracer::new(4).with_feedback(); // v2
+        b.on_feedback(Time(3), FlowId(0), true, 100, Dur::ZERO, None, 1);
+        let text = Tracer::merged_links_jsonl(&[a, b]);
+        assert!(text.contains("\"version\":2,"));
+        verify_trace(&text).expect("merged v2 trace verifies");
     }
 
     #[test]

@@ -140,6 +140,14 @@ pub trait EventCore {
     /// queued (and its flow's source stays unpulled) for the next
     /// epoch.
     fn peek_time(&self) -> Option<Time>;
+    /// Push `flow`'s pending arrival (if any) out to at least
+    /// `at_least`: the RTO backoff of a closed-loop source, whose
+    /// already-scheduled emission must not fire inside the timeout
+    /// window. No-op when the flow has no pending arrival or it is
+    /// already at `at_least` or later — in particular the event's
+    /// identity (and any tie-break state) is untouched unless a real
+    /// delay happens.
+    fn delay_arrival(&mut self, flow: FlowId, at_least: Time);
     /// [`EventCore::pop`] fused with the router's pull discipline: when
     /// the popped event is an arrival, `refill(flow)` is invoked once
     /// to pull the flow's next emission instant, and the returned time
@@ -183,6 +191,20 @@ impl EventCore for EventQueue {
 
     fn peek_time(&self) -> Option<Time> {
         EventQueue::peek_time(self)
+    }
+
+    fn delay_arrival(&mut self, flow: FlowId, at_least: Time) {
+        // Check before touching the heap: a no-op delay must not churn
+        // the sequence counter (it breaks full-tie insertion order).
+        let needs_delay = self
+            .heap
+            .iter()
+            .any(|Reverse(e)| e.event == Event::Arrival(flow) && e.time < at_least);
+        if needs_delay {
+            self.heap
+                .retain(|Reverse(e)| e.event != Event::Arrival(flow));
+            self.push(at_least, Event::Arrival(flow));
+        }
     }
 }
 
@@ -325,6 +347,16 @@ impl EventCore for IndexedTimers {
             Some(arrival.map_or(self.departure, |t| t.min(self.departure)))
         } else {
             arrival
+        }
+    }
+
+    #[inline]
+    fn delay_arrival(&mut self, flow: FlowId, at_least: Time) {
+        debug_assert!(at_least != Time::MAX, "Time::MAX is the empty sentinel");
+        let i = flow.index();
+        if self.next_arrival[i] != Time::MAX && self.next_arrival[i] < at_least {
+            self.next_arrival[i] = at_least;
+            self.replay(i);
         }
     }
 
@@ -522,6 +554,51 @@ mod tests {
     }
 
     #[test]
+    fn delay_arrival_pushes_only_earlier_slots() {
+        let mut q = IndexedTimers::with_flows(3);
+        q.schedule_arrival(FlowId(0), Time::from_secs(1));
+        q.schedule_arrival(FlowId(1), Time::from_secs(5));
+        // Flow 0 delayed past flow 1; flow 1's later slot untouched;
+        // flow 2 has nothing pending — a silent no-op.
+        q.delay_arrival(FlowId(0), Time::from_secs(7));
+        q.delay_arrival(FlowId(1), Time::from_secs(2));
+        q.delay_arrival(FlowId(2), Time::from_secs(1));
+        assert_eq!(
+            q.pop(),
+            Some((Time::from_secs(5), Event::Arrival(FlowId(1))))
+        );
+        assert_eq!(
+            q.pop(),
+            Some((Time::from_secs(7), Event::Arrival(FlowId(0))))
+        );
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn heap_delay_arrival_matches_timers_semantics() {
+        let mut q = EventQueue::with_flows(3);
+        q.schedule_arrival(FlowId(0), Time::from_secs(1));
+        q.schedule_arrival(FlowId(1), Time::from_secs(5));
+        q.schedule_departure(Time::from_secs(6));
+        q.delay_arrival(FlowId(0), Time::from_secs(7));
+        q.delay_arrival(FlowId(1), Time::from_secs(2));
+        q.delay_arrival(FlowId(2), Time::from_secs(1));
+        assert_eq!(
+            EventCore::pop(&mut q),
+            Some((Time::from_secs(5), Event::Arrival(FlowId(1))))
+        );
+        assert_eq!(
+            EventCore::pop(&mut q),
+            Some((Time::from_secs(6), Event::Departure))
+        );
+        assert_eq!(
+            EventCore::pop(&mut q),
+            Some((Time::from_secs(7), Event::Arrival(FlowId(0))))
+        );
+        assert_eq!(EventCore::pop(&mut q), None);
+    }
+
+    #[test]
     fn timers_non_power_of_two_padding_never_wins() {
         // 5 flows pad to 8 leaves; the 3 sentinel slots must never
         // surface even when every real flow is scheduled at Time::MAX−1.
@@ -625,6 +702,15 @@ mod proptests {
         fn schedule_departure(&mut self, t: Time) {
             self.heap.push(Reverse((t, 0, 0)));
         }
+        fn delay_arrival(&mut self, flow: FlowId, at_least: Time) {
+            let mut items: Vec<_> = std::mem::take(&mut self.heap).into_vec();
+            for Reverse((t, p, f)) in items.iter_mut() {
+                if *p == 1 && *f == flow.0 && *t < at_least {
+                    *t = at_least;
+                }
+            }
+            self.heap.extend(items);
+        }
         fn pop(&mut self) -> Option<(Time, Event)> {
             self.heap.pop().map(|Reverse((t, p, f))| {
                 (
@@ -644,13 +730,13 @@ mod proptests {
         /// the router's slot discipline, [`IndexedTimers`] produces the
         /// exact event sequence of the reference heap model. Ops are
         /// `(kind, flow, t)` triples — kind 0 schedules an arrival,
-        /// 1 a departure, 2–3 pop — with times drawn from a small range
-        /// so same-instant collisions (the interesting case) are
-        /// frequent.
+        /// 1 a departure, 2–3 pop, 4 delays an arrival — with times
+        /// drawn from a small range so same-instant collisions (the
+        /// interesting case) are frequent.
         #[test]
         fn timers_match_reference_heap(
             n_flows in 1usize..13,
-            ops in proptest::collection::vec((0u8..4, 0u8..13, 0u64..50), 1..300),
+            ops in proptest::collection::vec((0u8..5, 0u8..13, 0u64..50), 1..300),
         ) {
             let mut timers = IndexedTimers::with_flows(n_flows);
             let mut model = ModelHeap::default();
@@ -674,6 +760,13 @@ mod proptests {
                             timers.schedule_departure(Time(t));
                             model.schedule_departure(Time(t));
                         }
+                    }
+                    4 => {
+                        // Delay (legal whether or not anything is
+                        // pending — a no-op when nothing is earlier).
+                        let f = flow as usize % n_flows;
+                        timers.delay_arrival(FlowId(f as u32), Time(t));
+                        model.delay_arrival(FlowId(f as u32), Time(t));
                     }
                     _ => {
                         let peeked = timers.peek_time();

@@ -22,7 +22,7 @@ use qbm_core::policy::{BufferPolicy, BufferSharing, FixedThreshold, PolicyKind};
 use qbm_core::units::{Dur, Rate, Time};
 use qbm_obs::{NullObserver, Observer};
 use qbm_sched::SchedKind;
-use qbm_traffic::{build_source_kind_with_sojourns, Sojourns, SourceKind};
+use qbm_traffic::{build_source_kind_with_sojourns, AimdConfig, AimdSource, Sojourns, SourceKind};
 use rand::SplitMix64;
 
 /// How to build the admission policy — either a standard
@@ -80,6 +80,21 @@ impl PolicySpec {
     }
 }
 
+/// How an experiment's per-flow sources are built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourceSel {
+    /// Open-loop sources from each flow's spec — the paper's ON-OFF /
+    /// regulated traffic model ([`qbm_traffic::build_source_kind`]).
+    #[default]
+    Spec,
+    /// Closed-loop AIMD sources: every flow runs an ack-clocked AIMD
+    /// window paced at its spec's peak rate, reacting to the link's
+    /// own drop/departure feedback. Starts are staggered one
+    /// microsecond per flow index; emission is a pure function of
+    /// feedback, so the seed only affects statistics labelling.
+    Aimd,
+}
+
 /// A complete, reproducible experiment description.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
@@ -104,9 +119,26 @@ pub struct ExperimentConfig {
     /// sketches). Defaults to off: exact counters only, byte-identical
     /// to the pre-sketch simulator.
     pub stats: StatsConfig,
+    /// Source family: the spec's open-loop model, or closed-loop AIMD.
+    pub sources: SourceSel,
 }
 
 impl ExperimentConfig {
+    /// Build one source per spec according to [`SourceSel`].
+    fn build_sources(&self, seed: u64) -> Vec<SourceKind> {
+        self.specs
+            .iter()
+            .map(|s| match self.sources {
+                SourceSel::Spec => build_source_kind_with_sojourns(s, seed, self.sojourns),
+                SourceSel::Aimd => SourceKind::from(AimdSource::new(AimdConfig {
+                    start: Time::ZERO + Dur::from_micros(s.id.index() as u64),
+                    pace: Some(s.peak),
+                    ..AimdConfig::default()
+                })),
+            })
+            .collect()
+    }
+
     /// Run one seed to completion.
     pub fn run_once(&self, seed: u64) -> SimResult {
         self.run_once_with(seed, &mut NullObserver)
@@ -120,11 +152,7 @@ impl ExperimentConfig {
             .policy
             .build(self.buffer_bytes, self.link_rate, &self.specs);
         let sched = self.sched.build(self.link_rate, &self.specs);
-        let sources: Vec<SourceKind> = self
-            .specs
-            .iter()
-            .map(|s| build_source_kind_with_sojourns(s, seed, self.sojourns))
-            .collect();
+        let sources = self.build_sources(seed);
         let router = Router::new(self.link_rate, policy, sched, sources).with_stats(self.stats);
         router.run_with(
             Time::ZERO + self.warmup,
@@ -151,11 +179,7 @@ impl ExperimentConfig {
             .build(self.buffer_bytes, self.link_rate, &self.specs);
         let sched = self.sched.build(self.link_rate, &self.specs);
         let (mut lanes, timers) = arena.checkout(self.specs.len());
-        lanes.sources.extend(
-            self.specs
-                .iter()
-                .map(|s| build_source_kind_with_sojourns(s, seed, self.sojourns)),
-        );
+        lanes.sources.extend(self.build_sources(seed));
         let router =
             Router::from_lanes(self.link_rate, policy, sched, lanes).with_stats(self.stats);
         let (res, lanes, timers) = router.run_pooled(
@@ -187,11 +211,7 @@ impl ExperimentConfig {
             .policy
             .build(self.buffer_bytes, self.link_rate, &self.specs);
         let sched = self.sched.build_reference(self.link_rate, &self.specs);
-        let sources: Vec<SourceKind> = self
-            .specs
-            .iter()
-            .map(|s| build_source_kind_with_sojourns(s, seed, self.sojourns))
-            .collect();
+        let sources = self.build_sources(seed);
         let router = Router::new(self.link_rate, policy, sched, sources).with_stats(self.stats);
         router.run(Time::ZERO + self.warmup, Time::ZERO + self.duration, seed)
     }
@@ -212,7 +232,14 @@ impl ExperimentConfig {
         let sources: Vec<Box<dyn qbm_traffic::Source>> = self
             .specs
             .iter()
-            .map(|s| qbm_traffic::build_source_with_sojourns(s, seed, self.sojourns))
+            .map(|s| match self.sources {
+                SourceSel::Spec => qbm_traffic::build_source_with_sojourns(s, seed, self.sojourns),
+                SourceSel::Aimd => Box::new(AimdSource::new(AimdConfig {
+                    start: Time::ZERO + Dur::from_micros(s.id.index() as u64),
+                    pace: Some(s.peak),
+                    ..AimdConfig::default()
+                })) as Box<dyn qbm_traffic::Source>,
+            })
             .collect();
         Router::new(self.link_rate, policy, sched, sources)
             .with_stats(self.stats)
@@ -519,6 +546,7 @@ mod tests {
             duration: Dur::from_secs(4),
             sojourns: Sojourns::Exponential,
             stats: Default::default(),
+            sources: Default::default(),
         }
     }
 

@@ -43,13 +43,14 @@
 //! each exchange.
 
 use crate::event::{EventCore, IndexedTimers};
-use crate::router::{LinkEngine, Router};
+use crate::router::{FeedbackMode, LinkEngine, Router};
 use crate::stats::SimResult;
 use qbm_core::flow::FlowId;
 use qbm_core::policy::BufferPolicy;
 use qbm_core::units::{Dur, Time};
 use qbm_obs::{NullObserver, Observer};
 use qbm_sched::Scheduler;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Default epoch length: 1 s of simulation time. Long enough that
 /// barrier overhead vanishes against per-epoch event work, short
@@ -81,6 +82,11 @@ where
 {
     links: Vec<Router<P, S>>,
     edges: Vec<Edge>,
+    /// Wired edge endpoints, for O(log E) duplicate detection in
+    /// [`Fabric::connect`] — the linear scan it replaces made wiring a
+    /// 10⁶-flow subscriber tree (≈2×10⁶ edges) quadratic.
+    wired_src: BTreeSet<(u32, u32)>,
+    wired_dst: BTreeSet<(u32, u32)>,
     epoch: Dur,
 }
 
@@ -104,6 +110,8 @@ where
         Fabric {
             links: Vec::new(),
             edges: Vec::new(),
+            wired_src: BTreeSet::new(),
+            wired_dst: BTreeSet::new(),
             epoch: DEFAULT_EPOCH,
         }
     }
@@ -152,16 +160,14 @@ where
             "edge references unknown flow"
         );
         assert_ne!(src_link, dst_link, "self-loop edge");
-        for e in &self.edges {
-            assert!(
-                !(e.src_link == src_link && e.src_flow == src_flow),
-                "flow {src_flow} of link {src_link} already feeds an edge"
-            );
-            assert!(
-                !(e.dst_link == dst_link && e.dst_flow == dst_flow),
-                "flow {dst_flow} of link {dst_link} already has a feeder"
-            );
-        }
+        assert!(
+            self.wired_src.insert((src_link, src_flow)),
+            "flow {src_flow} of link {src_link} already feeds an edge"
+        );
+        assert!(
+            self.wired_dst.insert((dst_link, dst_flow)),
+            "flow {dst_flow} of link {dst_link} already has a feeder"
+        );
         self.edges.push(Edge {
             src_link,
             src_flow,
@@ -258,9 +264,63 @@ where
         // order within each group — the fixed mailbox drain order.
         let mut edges = self.edges;
         edges.sort_by_key(|e| (level[e.src_link as usize], e.src_link, e.src_flow));
-        let records: Vec<bool> = (0..n as u32)
-            .map(|i| edges.iter().any(|e| e.src_link == i))
+        let mut records = vec![false; n];
+        for e in &edges {
+            records[e.src_link as usize] = true;
+        }
+
+        // Closed-loop path wiring (DESIGN.md §16). Walk every flow's
+        // relay chain back to its path origin; when the origin's
+        // source reacts to feedback, the chain's links are rewired:
+        // the origin applies losses locally (`Local`), every relay
+        // buffers its signals for the end-of-epoch drain (`Remote`),
+        // and only the terminal hop — the one feeding no further edge
+        // — reports `Delivered`.
+        let pred: BTreeMap<(u32, u32), (u32, u32)> = edges
+            .iter()
+            .map(|e| ((e.dst_link, e.dst_flow), (e.src_link, e.src_flow)))
             .collect();
+        let feeds_edge: BTreeSet<(u32, u32)> =
+            edges.iter().map(|e| (e.src_link, e.src_flow)).collect();
+        let origin_of = |mut l: u32, mut f: u32| {
+            while let Some(&(pl, pf)) = pred.get(&(l, f)) {
+                l = pl;
+                f = pf;
+            }
+            (l, f)
+        };
+        // (link, flow, mode) overrides plus the relay→origin map the
+        // drain uses to route buffered signals home.
+        let mut mode_overrides: Vec<(u32, u32, FeedbackMode)> = Vec::new();
+        let mut fb_origin: BTreeMap<(u32, u32), (u32, u32)> = BTreeMap::new();
+        for (l, link) in self.links.iter().enumerate() {
+            let l = l as u32;
+            for f in 0..link.n_flows() as u32 {
+                let (ol, of) = origin_of(l, f);
+                if !self.links[ol as usize].flow_is_closed_loop(of as usize) {
+                    continue;
+                }
+                let terminal = !feeds_edge.contains(&(l, f));
+                if (ol, of) == (l, f) {
+                    mode_overrides.push((
+                        l,
+                        f,
+                        FeedbackMode::Local {
+                            delivered: terminal,
+                        },
+                    ));
+                } else {
+                    fb_origin.insert((l, f), (ol, of));
+                    mode_overrides.push((
+                        l,
+                        f,
+                        FeedbackMode::Remote {
+                            delivered: terminal,
+                        },
+                    ));
+                }
+            }
+        }
 
         // Wrap each router in a paused engine, permuted into level
         // order. Only links that feed an edge record departures.
@@ -275,6 +335,9 @@ where
                 LinkEngine::new(router, warmup, end, seed, traces, events, link as u32)
             })
             .collect();
+        for &(l, f, mode) in &mode_overrides {
+            engines[pos_of[l as usize]].set_feedback_mode(FlowId(f), mode);
+        }
         let mut obs: Vec<Option<&mut O>> = observers.iter_mut().map(Some).collect();
         let mut obs: Vec<&mut O> = order
             .iter()
@@ -304,6 +367,29 @@ where
                     exchange(&mut engines, &pos_of, edges[edge_cursor]);
                     edge_cursor += 1;
                 }
+            }
+            // The feedback return leg: after every level reached this
+            // horizon, drain each link's buffered cross-link signals —
+            // serially, in fixed storage (level, link) order — and
+            // apply them to the origin flow stamped at the horizon.
+            // Fixed order + a simulation-time stamp make the drain
+            // byte-identical at any shard width; the horizon stamp is
+            // also why closed-loop runs quantize feedback latency to
+            // the epoch (see DESIGN.md §16) — unlike the forward
+            // (mailbox) direction, the return leg points *up* the
+            // level order, so it cannot be exact within an epoch.
+            for pos in 0..engines.len() {
+                let buf = engines[pos].take_feedback_out();
+                if !buf.is_empty() {
+                    let link = order[pos] as u32;
+                    for ev in &buf {
+                        let &(ol, of) = fb_origin
+                            .get(&(link, ev.flow.0))
+                            .expect("remote feedback from an unwired flow");
+                        engines[pos_of[ol as usize]].apply_feedback(FlowId(of), horizon, ev.fb);
+                    }
+                }
+                engines[pos].put_feedback_out(buf);
             }
         }
 

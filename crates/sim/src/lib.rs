@@ -45,7 +45,9 @@ pub mod tandem;
 
 pub use arena::SimArena;
 pub use event::{EventCore, EventQueue, IndexedTimers};
-pub use experiment::{Campaign, ExperimentConfig, MultiRun, PolicySpec, SeedMode, Summary};
+pub use experiment::{
+    Campaign, ExperimentConfig, MultiRun, PolicySpec, SeedMode, SourceSel, Summary,
+};
 pub use fabric::Fabric;
 pub use router::Router;
 pub use stats::{FlowStats, SimResult, StatsCollector, StatsConfig};

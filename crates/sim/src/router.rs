@@ -28,10 +28,42 @@ use crate::stats::{SimResult, StatsCollector, StatsConfig};
 use qbm_core::flow::{FlowId, FlowSpec};
 use qbm_core::policy::{BufferPolicy, DropReason, Verdict};
 use qbm_core::token_bucket::TokenBucket;
-use qbm_core::units::{Rate, Time};
+use qbm_core::units::{Dur, Rate, Time};
 use qbm_obs::{NullObserver, Observer};
 use qbm_sched::{PacketRef, Scheduler};
-use qbm_traffic::{Emission, Source, SourceKind};
+use qbm_traffic::{Emission, Feedback, Source, SourceKind};
+
+/// How one flow's feedback signals are routed (see DESIGN.md §16).
+/// Computed once at engine construction from the sources' declared
+/// reactivity; the fabric overrides relay flows that carry a
+/// closed-loop origin's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FeedbackMode {
+    /// Open-loop flow: drops and departures generate no signal.
+    Off,
+    /// The owning source sits on this link: apply feedback in place.
+    /// `delivered` gates departure signals — `false` when a downstream
+    /// link owns the delivery leg of a multi-hop path.
+    Local {
+        /// Emit `Delivered` on departures here.
+        delivered: bool,
+    },
+    /// The owning source sits on an upstream link: buffer the signal
+    /// for the fabric's end-of-epoch drain. Same `delivered` gate.
+    Remote {
+        /// Emit `Delivered` on departures here.
+        delivered: bool,
+    },
+}
+
+/// A buffered cross-link feedback signal. `flow` is the *local* flow
+/// index on the link that observed the event; the fabric maps it to
+/// the origin link's flow before applying.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FbEvent {
+    pub(crate) flow: FlowId,
+    pub(crate) fb: Feedback,
+}
 
 /// Per-flow event-loop state, struct-of-arrays for locality: the inner
 /// loop touches `sources[i]` and `pending[i]` on every arrival, and the
@@ -83,6 +115,12 @@ where
     /// Number of flows this router multiplexes.
     pub(crate) fn n_flows(&self) -> usize {
         self.lanes.sources.len()
+    }
+
+    /// Whether flow `flow`'s source reacts to feedback — the fabric's
+    /// probe for wiring closed-loop signal paths.
+    pub(crate) fn flow_is_closed_loop(&self, flow: usize) -> bool {
+        self.lanes.sources[flow].is_closed_loop()
     }
 
     /// Assemble a router. `sources[i]` feeds `FlowId(i)`.
@@ -313,6 +351,12 @@ where
     /// records are emitted only on transitions (the per-flow leg
     /// lives in `lanes.over`). None when the observer is disabled.
     prev_sharing: Option<(u64, u64)>,
+    /// Per-flow feedback routing; all-`Off` on open-loop links, so the
+    /// hot arms pay one predictable branch.
+    fb_modes: Vec<FeedbackMode>,
+    /// Cross-link feedback buffer (`Some` on fabric links with any
+    /// `Remote`-mode flow; drained by the fabric each epoch).
+    fb_out: Option<Vec<FbEvent>>,
     events: E,
     end: Time,
     /// This link's index in its fabric (0 for single-router runs),
@@ -356,6 +400,22 @@ where
                 }
             }
         }
+        // A source that reacts to feedback gets the full local loop by
+        // default (drops *and* deliveries signalled on this link); the
+        // fabric rewires multi-hop flows after construction.
+        let fb_modes = router
+            .lanes
+            .sources
+            .iter()
+            .map(|s| {
+                if s.is_closed_loop() {
+                    FeedbackMode::Local { delivered: true }
+                } else {
+                    FeedbackMode::Off
+                }
+            })
+            // qbm-lint: allow(hot-path-alloc) — once per link at construction, before the event loop starts
+            .collect();
         LinkEngine {
             link_rate: router.link_rate,
             policy: router.policy,
@@ -367,6 +427,8 @@ where
             traces,
             queued_bytes: 0,
             prev_sharing: None,
+            fb_modes,
+            fb_out: None,
             events,
             end,
             link,
@@ -497,6 +559,52 @@ where
                         }
                         Verdict::Drop(reason) => {
                             self.stats.on_arrival(now, flow, len, Some(reason));
+                            // The loss leg of the signal path: tell the
+                            // owning source (or buffer for the fabric)
+                            // why admission refused its packet.
+                            match self.fb_modes[flow.index()] {
+                                FeedbackMode::Off => {}
+                                FeedbackMode::Local { .. } => {
+                                    if O::ENABLED {
+                                        obs.on_feedback(
+                                            now,
+                                            flow,
+                                            false,
+                                            len,
+                                            Dur::ZERO,
+                                            Some(reason),
+                                            self.link,
+                                        );
+                                    }
+                                    self.apply_feedback(
+                                        flow,
+                                        now,
+                                        Feedback::Lost { cause: reason },
+                                    );
+                                }
+                                FeedbackMode::Remote { .. } => {
+                                    if O::ENABLED {
+                                        obs.on_feedback(
+                                            now,
+                                            flow,
+                                            false,
+                                            len,
+                                            Dur::ZERO,
+                                            Some(reason),
+                                            self.link,
+                                        );
+                                    }
+                                    match self.fb_out.as_mut() {
+                                        Some(buf) => buf.push(FbEvent {
+                                            flow,
+                                            fb: Feedback::Lost { cause: reason },
+                                        }),
+                                        None => {
+                                            debug_assert!(false, "remote feedback, no buffer")
+                                        }
+                                    }
+                                }
+                            }
                             if O::ENABLED {
                                 obs.on_drop(now, flow, len, reason, self.link);
                                 // Upward crossing via refusal: the flow
@@ -575,6 +683,53 @@ where
                             len: pkt.len,
                         });
                     }
+                    // The delivery leg of the signal path, gated per
+                    // flow: only the link that terminates the path
+                    // reports `Delivered` (an upstream hop's departure
+                    // is just a relay).
+                    match self.fb_modes[pkt.flow.index()] {
+                        FeedbackMode::Off => {}
+                        FeedbackMode::Local { delivered } => {
+                            if delivered {
+                                let delay = now.since(pkt.arrival);
+                                if O::ENABLED {
+                                    obs.on_feedback(
+                                        now, pkt.flow, true, pkt.len, delay, None, self.link,
+                                    );
+                                }
+                                self.apply_feedback(
+                                    pkt.flow,
+                                    now,
+                                    Feedback::Delivered {
+                                        bytes: pkt.len,
+                                        delay,
+                                    },
+                                );
+                            }
+                        }
+                        FeedbackMode::Remote { delivered } => {
+                            if delivered {
+                                let delay = now.since(pkt.arrival);
+                                if O::ENABLED {
+                                    obs.on_feedback(
+                                        now, pkt.flow, true, pkt.len, delay, None, self.link,
+                                    );
+                                }
+                                match self.fb_out.as_mut() {
+                                    Some(buf) => buf.push(FbEvent {
+                                        flow: pkt.flow,
+                                        fb: Feedback::Delivered {
+                                            bytes: pkt.len,
+                                            delay,
+                                        },
+                                    }),
+                                    None => {
+                                        debug_assert!(false, "remote feedback, no buffer")
+                                    }
+                                }
+                            }
+                        }
+                    }
                     if !self.scheduler.is_empty() {
                         self.start_transmission(now);
                     }
@@ -620,6 +775,51 @@ where
         }
     }
 
+    /// Route one feedback signal to flow `flow`'s owning source at
+    /// instant `now`: the source updates its window, an RTO request
+    /// pushes the flow's pending [`IndexedTimers`] slot out to the
+    /// backoff instant, and a window-blocked flow (parked with no
+    /// pending arrival by the pull discipline) is re-armed from its
+    /// next emission. Allocation-free: two slot updates at most.
+    #[inline]
+    pub(crate) fn apply_feedback(&mut self, flow: FlowId, now: Time, fb: Feedback) {
+        let f = flow.index();
+        if let Some(at_least) = self.lanes.sources[f].on_feedback(now, fb) {
+            self.events.delay_arrival(flow, at_least);
+        }
+        if self.lanes.pending[f].is_none() {
+            if let Some(e) = self.lanes.sources[f].next_emission() {
+                debug_assert!(e.time >= now, "source emitted into the past");
+                self.lanes.pending[f] = Some(e.len);
+                self.events.schedule_arrival(flow, e.time);
+            }
+        }
+    }
+
+    /// Override flow `flow`'s feedback routing — fabric wiring for
+    /// multi-hop closed-loop paths (cold, construction time).
+    pub(crate) fn set_feedback_mode(&mut self, flow: FlowId, mode: FeedbackMode) {
+        self.fb_modes[flow.index()] = mode;
+        if matches!(mode, FeedbackMode::Remote { .. }) && self.fb_out.is_none() {
+            self.fb_out = Some(Vec::new());
+        }
+    }
+
+    /// Take the buffered cross-link feedback, leaving an empty buffer
+    /// behind (the fabric returns it via
+    /// [`LinkEngine::put_feedback_out`] so the allocation recycles).
+    pub(crate) fn take_feedback_out(&mut self) -> Vec<FbEvent> {
+        self.fb_out.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Return a drained cross-link buffer for reuse next epoch.
+    pub(crate) fn put_feedback_out(&mut self, mut buf: Vec<FbEvent>) {
+        if let Some(slot) = self.fb_out.as_mut() {
+            buf.clear();
+            *slot = buf;
+        }
+    }
+
     /// Mutable access to relay flow `flow`'s recording buffer — the
     /// fabric takes it (`mem::take`), delivers it downstream, and puts
     /// the swapped-out spare back.
@@ -637,7 +837,21 @@ where
         if O::ENABLED {
             obs.on_end(self.end, self.link);
         }
-        (self.stats.finish(), self.traces, self.lanes, self.events)
+        let mut result = self.stats.finish();
+        // Harvest closed-loop counters; open-loop runs leave the field
+        // `None` so their Debug rendering (and goldens) are unchanged.
+        let aimd: Vec<(u32, qbm_traffic::AimdStats)> = self
+            .lanes
+            .sources
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_aimd().map(|a| (i as u32, a.stats())))
+            // qbm-lint: allow(hot-path-alloc) — once per run at teardown, after the event loop ends
+            .collect();
+        if !aimd.is_empty() {
+            result.aimd = Some(aimd);
+        }
+        (result, self.traces, self.lanes, self.events)
     }
 
     fn start_transmission(&mut self, now: Time) {

@@ -23,9 +23,9 @@ use qbm_core::analysis::hybrid::{
 };
 use qbm_core::flow::{Conformance, FlowId, FlowSpec};
 use qbm_core::policy::PolicyKind;
-use qbm_core::units::{ByteSize, Dur, Rate};
+use qbm_core::units::{ByteSize, Dur, Rate, Time};
 use qbm_sched::SchedKind;
-use qbm_traffic::{build_source_kind, SourceKind, TraceSource};
+use qbm_traffic::{build_source_kind, AimdConfig, AimdSource, SourceKind, TraceSource};
 
 /// The paper's link rate: 48 Mb/s ("a little over T3 capacity").
 pub const LINK_RATE: Rate = Rate::from_bps(48_000_000);
@@ -273,6 +273,7 @@ pub fn paper_experiment(
         duration: Dur::from_secs(22),
         sojourns: qbm_traffic::Sojourns::Exponential,
         stats: StatsConfig::default(),
+        sources: Default::default(),
     }
 }
 
@@ -454,6 +455,76 @@ pub fn incast_fanin(
     fabric
 }
 
+/// Epoch length for the closed-loop topologies. Cross-link feedback is
+/// applied at the epoch horizon (see DESIGN.md §16), so the epoch must
+/// be short against the AIMD recovery timeout (5 ms by default) for
+/// the control loop to see losses promptly.
+pub const CLOSED_LOOP_EPOCH: Dur = Dur::from_millis(1);
+
+/// `min_cwnd` of the designated aggressive sender in
+/// [`incast_closed_loop`]: it never closes its window below this,
+/// modelling a non-compliant stack that shrugs off congestion signals.
+pub const AGGRESSIVE_MIN_CWND: u32 = 64;
+
+/// A datacenter incast with *closed-loop* senders, in the style of the
+/// partition/aggregate configuration: `senders` links each carrying
+/// one ack-clocked AIMD flow, all synchronized at `t = 0` (the incast
+/// pathology), draining into one aggregator link whose shared buffer
+/// is the management point. Sender 0 is a designated aggressive flow
+/// — its window never drops below [`AGGRESSIVE_MIN_CWND`] — while the
+/// rest respond to loss normally, so the topology asks the paper's
+/// question of a reactive workload: does the buffer policy confine the
+/// firehose to its share, or does FIFO-with-no-management let it win?
+///
+/// Each flow's reservation is the fair share `agg_rate / senders`
+/// (16 KiB bucket); the aggressive flow is classed
+/// [`Conformance::Aggressive`], the rest conformant/adaptive. There is
+/// no seed parameter: AIMD emission is a pure function of feedback, so
+/// the whole fabric is deterministic by construction. The epoch is
+/// [`CLOSED_LOOP_EPOCH`] — results are byte-identical at any shard
+/// count, but (unlike open-loop fabrics) *not* across epoch lengths,
+/// because feedback latency quantizes to the epoch.
+///
+/// Link indices: `0..senders` = senders, `senders` = aggregator.
+pub fn incast_closed_loop(senders: usize, agg_rate: Rate, profile: &LinkProfile) -> Fabric {
+    assert!(senders > 0, "empty incast");
+    let share = Rate::from_bps((agg_rate.bps() / senders as u64).max(1));
+    let bucket = ByteSize::from_kib(16).bytes();
+    let spec_for = |i: usize| {
+        let b = FlowSpec::builder(FlowId(i as u32))
+            .bucket(bucket)
+            .token_rate(share)
+            .peak(agg_rate);
+        if i == 0 {
+            b.class(Conformance::Aggressive).build()
+        } else {
+            b.class(Conformance::Conformant).adaptive(true).build()
+        }
+    };
+    let mut fabric = Fabric::new().with_epoch(CLOSED_LOOP_EPOCH);
+    for i in 0..senders {
+        let cfg = if i == 0 {
+            AimdConfig {
+                init_cwnd: AGGRESSIVE_MIN_CWND,
+                min_cwnd: AGGRESSIVE_MIN_CWND,
+                ..AimdConfig::default()
+            }
+        } else {
+            AimdConfig::default()
+        };
+        let spec = renumber(&[spec_for(i)]);
+        let sources = vec![SourceKind::from(AimdSource::new(cfg))];
+        fabric.add_link(topology_link(agg_rate, &spec, sources, profile));
+    }
+    let agg_specs = renumber(&(0..senders).map(spec_for).collect::<Vec<_>>());
+    let agg_sources = agg_specs.iter().map(|_| relay_stub()).collect();
+    let agg = fabric.add_link(topology_link(agg_rate, &agg_specs, agg_sources, profile));
+    for i in 0..senders as u32 {
+        fabric.connect(i, 0, agg, i);
+    }
+    fabric
+}
+
 /// Number of subscriber-plan tiers in [`subscriber_plans`].
 pub const PLAN_TIERS: usize = 5;
 
@@ -550,6 +621,28 @@ pub fn subscriber_plans(n: usize) -> Vec<FlowSpec> {
 /// `profile` as-is. Link indices: 0 = core, `1..=sites` = sites, then
 /// APs in `(site, ap)` order.
 pub fn subscriber_tree(shape: SubscriberTreeShape, profile: &LinkProfile, seed: u64) -> Fabric {
+    subscriber_tree_impl(shape, profile, seed, false)
+}
+
+/// [`subscriber_tree`] with *closed-loop* subscribers: every plan's
+/// open-loop source is replaced by a paced AIMD source whose pace is
+/// the plan's peak rate — each subscriber overdrives its reservation
+/// until drops at the core push its window down. Starts are staggered
+/// by one microsecond per subscriber index to break the synchronized
+/// slam the open-loop tree doesn't have to worry about. Deterministic
+/// with no seed (AIMD emission is a pure function of feedback); runs
+/// on the [`CLOSED_LOOP_EPOCH`], so results are shard-invariant but
+/// epoch-sensitive (see DESIGN.md §16).
+pub fn subscriber_tree_closed_loop(shape: SubscriberTreeShape, profile: &LinkProfile) -> Fabric {
+    subscriber_tree_impl(shape, profile, 0, true)
+}
+
+fn subscriber_tree_impl(
+    shape: SubscriberTreeShape,
+    profile: &LinkProfile,
+    seed: u64,
+    closed_loop: bool,
+) -> Fabric {
     assert!(
         shape.sites > 0 && shape.aps_per_site > 0 && shape.subs_per_ap > 0,
         "empty tree"
@@ -588,9 +681,23 @@ pub fn subscriber_tree(shape: SubscriberTreeShape, profile: &LinkProfile, seed: 
     };
 
     let mut fabric = Fabric::new();
+    if closed_loop {
+        fabric = fabric.with_epoch(CLOSED_LOOP_EPOCH);
+    }
     let core_sources: Vec<SourceKind> = specs
         .iter()
-        .map(|s| build_source_kind(s, derive_cell_seed(seed, s.id.index() as u64, 0)))
+        .map(|s| {
+            if closed_loop {
+                let g = s.id.index() as u64;
+                SourceKind::from(AimdSource::new(AimdConfig {
+                    start: Time::ZERO + Dur::from_micros(g),
+                    pace: Some(s.peak),
+                    ..AimdConfig::default()
+                }))
+            } else {
+                build_source_kind(s, derive_cell_seed(seed, s.id.index() as u64, 0))
+            }
+        })
         .collect();
     let core = fabric.add_link(topology_link(
         core_rate,
@@ -754,6 +861,78 @@ mod tests {
         assert_eq!(res[3].flows.len(), 6);
         let agg: u64 = res[3].flows.iter().map(|f| f.delivered_pkts).sum();
         assert!(agg > 100, "aggregator barely delivered: {agg}");
+    }
+
+    #[test]
+    fn closed_loop_incast_is_shard_invariant_and_reports_aimd() {
+        use qbm_core::units::Time;
+        let run = |threads| {
+            incast_closed_loop(4, Rate::from_mbps(40.0), &LinkProfile::default()).run(
+                3,
+                Time::from_secs_f64(0.1),
+                Time::from_secs_f64(0.6),
+                threads,
+            )
+        };
+        let (serial, sharded) = (run(1), run(4));
+        assert_eq!(serial, sharded, "shard count changed closed-loop results");
+        assert_eq!(serial.len(), 5);
+        // Every sender link harvested its AIMD counters; the relays
+        // carry none.
+        for r in &serial[..4] {
+            let aimd = r.aimd.as_ref().expect("sender link has AIMD flows");
+            assert_eq!(aimd.len(), 1);
+            let (_, stats) = aimd[0];
+            assert!(stats.final_cwnd >= 1);
+        }
+        assert!(serial[4].aimd.is_none(), "relay link grew AIMD stats");
+        let agg: u64 = serial[4].flows.iter().map(|f| f.delivered_pkts).sum();
+        assert!(agg > 100, "aggregator barely delivered: {agg}");
+    }
+
+    #[test]
+    fn closed_loop_senders_react_to_loss() {
+        use qbm_core::units::Time;
+        // A 4:1 overload at a small buffer must produce losses, and
+        // the responsive senders must register them as loss events
+        // (the control loop is actually closed across the fabric).
+        let profile = LinkProfile {
+            buffer_bytes: ByteSize::from_kib(32).bytes(),
+            ..LinkProfile::default()
+        };
+        let res = incast_closed_loop(4, Rate::from_mbps(8.0), &profile).run(
+            3,
+            Time::from_secs_f64(0.1),
+            Time::from_secs(1),
+            1,
+        );
+        let losses: u64 = res[..4]
+            .iter()
+            .flat_map(|r| r.aimd.iter().flatten())
+            .map(|&(_, s)| s.loss_events)
+            .sum();
+        assert!(losses > 0, "overloaded incast produced no loss events");
+    }
+
+    #[test]
+    fn closed_loop_subscriber_tree_runs_shard_invariant() {
+        use qbm_core::units::Time;
+        let shape = SubscriberTreeShape::for_flows(100);
+        let run = |threads| {
+            subscriber_tree_closed_loop(shape, &LinkProfile::default()).run(
+                13,
+                Time::from_secs_f64(0.1),
+                Time::from_secs_f64(0.5),
+                threads,
+            )
+        };
+        let (serial, sharded) = (run(1), run(4));
+        assert_eq!(serial, sharded, "shard count changed tree results");
+        let core = &serial[0];
+        let aimd = core.aimd.as_ref().expect("closed-loop core has AIMD flows");
+        assert_eq!(aimd.len(), 100);
+        let delivered: u64 = core.flows.iter().map(|f| f.delivered_pkts).sum();
+        assert!(delivered > 100, "core barely delivered: {delivered}");
     }
 
     #[test]

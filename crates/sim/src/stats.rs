@@ -248,6 +248,10 @@ pub struct SimResult {
     /// Aggregate occupancy sketch (total buffer bytes, sampled at every
     /// admission and departure), same gating.
     pub occ_sketch: Option<QuantileSketch>,
+    /// Closed-loop source counters, `(flow index, stats)` per AIMD
+    /// flow, populated only when the run had any — open-loop results
+    /// render (and hash) exactly as before.
+    pub aimd: Option<Vec<(u32, qbm_traffic::AimdStats)>>,
 }
 
 /// Hand-written for the same golden-digest reason as
@@ -265,6 +269,9 @@ impl std::fmt::Debug for SimResult {
         if self.occ_sketch.is_some() {
             s.field("occ_sketch", &self.occ_sketch);
         }
+        if self.aimd.is_some() {
+            s.field("aimd", &self.aimd);
+        }
         s.finish()
     }
 }
@@ -278,6 +285,7 @@ impl SimResult {
             seed,
             delay_sketch: None,
             occ_sketch: None,
+            aimd: None,
         }
     }
 
@@ -509,6 +517,20 @@ impl StatsCollector {
         }
         merge_sketch(&mut self.result.delay_sketch, &other.delay_sketch);
         merge_sketch(&mut self.result.occ_sketch, &other.occ_sketch);
+        // qbm-lint: cold(per-run fold, not per-event)
+        match (&mut self.result.aimd, &other.aimd) {
+            (_, None) => {}
+            (slot @ None, Some(o)) => *slot = Some(o.clone()),
+            (Some(a), Some(o)) => {
+                for (flow, st) in o {
+                    match a.iter_mut().find(|(f, _)| f == flow) {
+                        Some((_, into)) => *into = into.merge(st),
+                        None => a.push((*flow, *st)),
+                    }
+                }
+                a.sort_by_key(|(f, _)| *f);
+            }
+        }
     }
 }
 

@@ -62,6 +62,7 @@ proptest! {
             duration: Dur::from_secs(2),
             sojourns: Sojourns::Exponential,
             stats: Default::default(),
+            sources: Default::default(),
         };
         let res = cfg.run_once(seed);
         let max_queued_pkts = buffer / 500 + 1; // + 1 in flight
@@ -96,6 +97,7 @@ proptest! {
             duration: Dur::from_secs(2),
             sojourns: Sojourns::Exponential,
             stats: Default::default(),
+            sources: Default::default(),
         };
         let res = cfg.run_once(seed);
         let bound = LINK.transmission_time(buffer + 500).as_nanos();
@@ -134,6 +136,7 @@ proptest! {
             duration: Dur::from_secs(2),
             sojourns: Sojourns::Exponential,
             stats: Default::default(),
+            sources: Default::default(),
         };
         let res = cfg.run_once(seed);
         // One in-flight packet of slack at the window edge.

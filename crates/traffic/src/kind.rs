@@ -10,12 +10,14 @@
 //! working unchanged (`From<Box<dyn Source>>` makes them coerce
 //! silently).
 
+use crate::aimd::AimdSource;
 use crate::cbr::CbrSource;
 use crate::onoff::OnOffSource;
 use crate::poisson::PoissonSource;
 use crate::regulator::ShapedSource;
-use crate::source::{Emission, Source};
+use crate::source::{Emission, Feedback, Source};
 use crate::trace::TraceSource;
+use qbm_core::units::Time;
 
 /// A packet source with statically-known dispatch.
 ///
@@ -33,6 +35,9 @@ pub enum SourceKind {
     /// Leaky-bucket-regulated ON-OFF source — the paper's conformant
     /// flows (§3.2), monomorphized end to end.
     Regulated(ShapedSource<OnOffSource>),
+    /// Closed-loop AIMD source: window-gated emission driven by
+    /// [`Feedback`] from the link it feeds.
+    Aimd(AimdSource),
     /// Escape hatch for source types outside this crate; pays the
     /// virtual call the other variants avoid.
     Dyn(Box<dyn Source>),
@@ -47,7 +52,33 @@ impl Source for SourceKind {
             SourceKind::Poisson(s) => s.next_emission(),
             SourceKind::Trace(s) => s.next_emission(),
             SourceKind::Regulated(s) => s.next_emission(),
+            SourceKind::Aimd(s) => s.next_emission(),
             SourceKind::Dyn(s) => s.next_emission(),
+        }
+    }
+
+    #[inline]
+    fn on_feedback(&mut self, now: Time, fb: Feedback) -> Option<Time> {
+        // Every variant spelled out (no wildcard): the qbm-lint
+        // exhaustiveness check requires a new variant to take an
+        // explicit stance on feedback, not inherit silence.
+        match self {
+            SourceKind::Cbr(_) => None,
+            SourceKind::OnOff(_) => None,
+            SourceKind::Poisson(_) => None,
+            SourceKind::Trace(_) => None,
+            SourceKind::Regulated(_) => None,
+            SourceKind::Aimd(s) => s.on_feedback(now, fb),
+            SourceKind::Dyn(s) => s.on_feedback(now, fb),
+        }
+    }
+
+    #[inline]
+    fn reacts_to_feedback(&self) -> bool {
+        match self {
+            SourceKind::Aimd(_) => true,
+            SourceKind::Dyn(s) => s.reacts_to_feedback(),
+            _ => false,
         }
     }
 }
@@ -64,6 +95,24 @@ impl SourceKind {
                 buf.clear();
                 Some(buf)
             }
+            _ => None,
+        }
+    }
+
+    /// Whether this source reacts to [`Feedback`] — i.e. the engine
+    /// must route drop/departure signals back to it and re-pull after
+    /// a `None` emission. `Dyn` defers to the boxed source's
+    /// [`Source::reacts_to_feedback`], so external closed-loop impls
+    /// opt in while historical boxed open-loop sources stay untouched.
+    pub fn is_closed_loop(&self) -> bool {
+        self.reacts_to_feedback()
+    }
+
+    /// Borrow the AIMD state for stats harvest, if this is an
+    /// [`SourceKind::Aimd`] flow.
+    pub fn as_aimd(&self) -> Option<&AimdSource> {
+        match self {
+            SourceKind::Aimd(s) => Some(s),
             _ => None,
         }
     }
@@ -105,6 +154,12 @@ impl From<ShapedSource<OnOffSource>> for SourceKind {
     }
 }
 
+impl From<AimdSource> for SourceKind {
+    fn from(s: AimdSource) -> SourceKind {
+        SourceKind::Aimd(s)
+    }
+}
+
 impl std::fmt::Debug for SourceKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {
@@ -113,6 +168,7 @@ impl std::fmt::Debug for SourceKind {
             SourceKind::Poisson(_) => "Poisson",
             SourceKind::Trace(_) => "Trace",
             SourceKind::Regulated(_) => "Regulated",
+            SourceKind::Aimd(_) => "Aimd",
             SourceKind::Dyn(_) => "Dyn",
         };
         f.debug_tuple(name).finish()

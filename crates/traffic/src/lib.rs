@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod aimd;
 pub mod cbr;
 pub mod kind;
 pub mod onoff;
@@ -24,12 +25,13 @@ pub mod source;
 pub mod trace;
 pub mod workloads;
 
+pub use aimd::{AimdConfig, AimdSource, AimdStats};
 pub use cbr::CbrSource;
 pub use kind::SourceKind;
 pub use onoff::{OnOffSource, Sojourns};
 pub use poisson::PoissonSource;
 pub use regulator::ShapedSource;
-pub use source::{Emission, Source};
+pub use source::{Emission, Feedback, Source};
 pub use trace::TraceSource;
 pub use workloads::{
     build_source, build_source_kind, build_source_kind_with_sojourns, build_source_with_sojourns,

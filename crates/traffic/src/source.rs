@@ -1,6 +1,8 @@
-//! The pull-based [`Source`] abstraction.
+//! The pull-based [`Source`] abstraction and the feedback signal that
+//! closes the loop for reactive (AIMD-style) sources.
 
-use qbm_core::units::Time;
+use qbm_core::policy::DropReason;
+use qbm_core::units::{Dur, Time};
 
 /// One packet emission: the instant the source hands the packet to the
 /// network and its length in bytes.
@@ -12,14 +14,58 @@ pub struct Emission {
     pub len: u32,
 }
 
+/// The network's answer about one previously emitted packet — the
+/// return leg of the source↔link signal path. Every emission of a
+/// closed-loop flow produces **exactly one** feedback: either the
+/// packet departed its final link or it was dropped somewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feedback {
+    /// The packet left the (last) link: its size and queueing delay.
+    Delivered {
+        /// Packet length, bytes.
+        bytes: u32,
+        /// Arrival-to-departure delay at the delivering link.
+        delay: Dur,
+    },
+    /// The packet was dropped by an admission policy.
+    Lost {
+        /// Why admission refused it.
+        cause: DropReason,
+    },
+}
+
 /// A packet source.
 ///
 /// Contract: successive calls return emissions with non-decreasing
 /// `time` (ties allowed — an instantaneous burst); `None` means the
-/// source is exhausted (finite traces) and will never emit again.
+/// source has nothing to emit *now*. For open-loop sources `None` is
+/// final (finite traces); a closed-loop source may return `None` while
+/// window-blocked and resume after [`Source::on_feedback`] — the
+/// engine re-pulls it whenever feedback for the flow arrives.
 pub trait Source: Send {
     /// Produce the next emission, or `None` if the source is done.
     fn next_emission(&mut self) -> Option<Emission>;
+
+    /// Consume feedback about one previously emitted packet, observed
+    /// at simulation instant `now`. Emissions after this call must be
+    /// at times `>= now`.
+    ///
+    /// Returns `Some(t)` to ask the engine to **delay** the flow's
+    /// already-scheduled pending arrival to at least `t` (the RTO
+    /// backoff of an AIMD source); the source must then also keep its
+    /// own future emissions at times `>= t`. Open-loop sources keep
+    /// the default no-op.
+    fn on_feedback(&mut self, _now: Time, _fb: Feedback) -> Option<Time> {
+        None
+    }
+
+    /// Whether this source reacts to [`Feedback`]. The engine routes
+    /// drop/departure signals only to reacting (closed-loop) sources
+    /// and re-pulls them after a `None` emission; open-loop sources
+    /// keep the default and pay nothing.
+    fn reacts_to_feedback(&self) -> bool {
+        false
+    }
 }
 
 /// Blanket impl so `Box<dyn Source>` is itself a `Source` — lets
@@ -27,6 +73,14 @@ pub trait Source: Send {
 impl Source for Box<dyn Source> {
     fn next_emission(&mut self) -> Option<Emission> {
         (**self).next_emission()
+    }
+
+    fn on_feedback(&mut self, now: Time, fb: Feedback) -> Option<Time> {
+        (**self).on_feedback(now, fb)
+    }
+
+    fn reacts_to_feedback(&self) -> bool {
+        (**self).reacts_to_feedback()
     }
 }
 

@@ -26,6 +26,7 @@ fn main() {
         duration: Dur::from_secs(12),
         sojourns: Default::default(),
         stats: Default::default(),
+        sources: Default::default(),
     };
 
     println!(

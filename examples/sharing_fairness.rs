@@ -53,6 +53,7 @@ fn main() {
             duration: Dur::from_secs(22),
             sojourns: Default::default(),
             stats: Default::default(),
+            sources: Default::default(),
         };
         let mr = cfg.run_many(1, 5);
         let util = mr.summarize(|r| r.aggregate_throughput_bps() / 48e6 * 100.0);

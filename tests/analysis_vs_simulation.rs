@@ -74,6 +74,7 @@ proptest! {
             duration: Dur::from_secs(3),
         sojourns: Default::default(),
         stats: Default::default(),
+            sources: Default::default(),
         };
         let res = cfg.run_once(seed);
         let loss = res.class_loss_ratio(&specs, Conformance::Conformant);
@@ -138,6 +139,7 @@ proptest! {
             duration: Dur::from_secs(3),
         sojourns: Default::default(),
         stats: Default::default(),
+            sources: Default::default(),
         };
         let res = cfg.run_once(seed);
         let loss = res.class_loss_ratio(&specs, Conformance::Conformant);

@@ -21,6 +21,7 @@ fn run(sched: SchedKind, buffer: u64, seed: u64) -> qos_buffer_mgmt::sim::SimRes
         duration: Dur::from_secs(11),
         sojourns: Default::default(),
         stats: Default::default(),
+        sources: Default::default(),
     };
     cfg.run_once(seed)
 }

@@ -85,6 +85,7 @@ fn sharing_beats_thresholds_on_utilization() {
             duration: Dur::from_secs(7),
             sojourns: Default::default(),
             stats: Default::default(),
+            sources: Default::default(),
         };
         quick(&mut cfg);
         cfg.run_many(1, 3)
@@ -109,6 +110,7 @@ fn sharing_beats_thresholds_on_utilization() {
         duration: Dur::from_secs(7),
         sojourns: Default::default(),
         stats: Default::default(),
+        sources: Default::default(),
     };
     quick(&mut cfg);
     let res = cfg.run_once(2);

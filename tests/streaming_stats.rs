@@ -41,6 +41,7 @@ fn cfg(duration: Dur) -> ExperimentConfig {
             sketches: Some(SketchParams::default()),
             ..StatsConfig::default()
         },
+        sources: Default::default(),
     }
 }
 
